@@ -1,0 +1,99 @@
+package exsample
+
+import "testing"
+
+func TestAutoChunkValidation(t *testing.T) {
+	bad := []Options{
+		{AutoChunk: true, Strategy: StrategyRandom},
+		{AutoChunk: true, NumChunks: 8},
+		{AutoChunk: true, BatchSize: 8},
+		{AutoChunk: true, HomeChunkAccounting: true},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad autochunk options %d accepted", i)
+		}
+	}
+	if err := (Options{AutoChunk: true}).Validate(); err != nil {
+		t.Errorf("valid autochunk options rejected: %v", err)
+	}
+}
+
+func TestAutoChunkFindsResults(t *testing.T) {
+	ds := smallDataset(t, WithPerfectDetector())
+	rep, err := ds.Search(Query{Class: "car", Limit: 30},
+		Options{AutoChunk: true, Seed: 111})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) < 30 {
+		t.Fatalf("autochunk found %d results", len(rep.Results))
+	}
+}
+
+func TestAutoChunkBeatsRandomUnderSkew(t *testing.T) {
+	// Heavy skew with many objects: the adaptive layout should strongly
+	// outperform random even though the user never chose a chunk count.
+	ds, err := Synthesize(SynthSpec{
+		NumFrames:    1_000_000,
+		NumInstances: 800,
+		Class:        "event",
+		MeanDuration: 400,
+		SkewFraction: 1.0 / 32,
+		ChunkFrames:  1_000_000 / 4, // deliberately terrible native layout
+		Seed:         113,
+	}, WithPerfectDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Class: "event", RecallTarget: 0.5}
+	var autoFrames, rndFrames, nativeFrames int64
+	for seed := uint64(0); seed < 3; seed++ {
+		auto, err := ds.Search(q, Options{AutoChunk: true, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd, err := ds.Search(q, Options{Strategy: StrategyRandom, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		native, err := ds.Search(q, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		autoFrames += auto.FramesProcessed
+		rndFrames += rnd.FramesProcessed
+		nativeFrames += native.FramesProcessed
+	}
+	if autoFrames >= rndFrames {
+		t.Fatalf("autochunk %d frames >= random %d", autoFrames, rndFrames)
+	}
+	// It should also beat the terrible 4-chunk native layout.
+	if autoFrames >= nativeFrames {
+		t.Fatalf("autochunk %d frames >= native-4-chunk %d", autoFrames, nativeFrames)
+	}
+	t.Logf("frames to 50%% recall: autochunk %d, native-4 %d, random %d",
+		autoFrames/3, nativeFrames/3, rndFrames/3)
+}
+
+func TestAutoChunkSmallRepository(t *testing.T) {
+	// Repositories smaller than the coarse grid must still work.
+	ds, err := Synthesize(SynthSpec{
+		NumFrames:    2000,
+		NumInstances: 10,
+		Class:        "car",
+		MeanDuration: 50,
+		ChunkFrames:  500,
+		Seed:         117,
+	}, WithPerfectDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ds.Search(Query{Class: "car", RecallTarget: 1}, Options{AutoChunk: true, Seed: 119})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recall < 1 {
+		t.Fatalf("recall %v on tiny repo", rep.Recall)
+	}
+}

@@ -1,0 +1,171 @@
+// Command exbench regenerates the paper's tables and figures from the
+// synthetic reproduction. Each experiment prints the same rows/series the
+// paper reports; see EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	exbench -experiment fig2|fig3|fig4|table1|fig5|fig6|ablation|extensions|all
+//	        [-scale 0.05] [-trials N] [-seed N] [-full]
+//
+// -full runs fig3/fig4 at the paper's 16M-frame size (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/exsample/exsample/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig2|fig3|fig4|table1|fig5|fig6|ablation|extensions|all")
+		scale      = flag.Float64("scale", 0, "dataset scale for table1/fig5/fig6 (0 = experiment default)")
+		trials     = flag.Int("trials", 0, "trial count override (0 = experiment default)")
+		seed       = flag.Uint64("seed", 0, "seed override (0 = experiment default)")
+		full       = flag.Bool("full", false, "run fig3/fig4 at the paper's full 16M-frame size")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *scale, *trials, *seed, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "exbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, scale float64, trials int, seed uint64, full bool) error {
+	type renderer interface{ Render(w *os.File) error }
+	runOne := func(name string) error {
+		switch name {
+		case "fig2":
+			cfg := bench.DefaultFig2()
+			if trials > 0 {
+				cfg.Runs = trials
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := bench.RunFig2(cfg)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig3":
+			cfg := bench.DefaultFig3()
+			if full {
+				cfg = bench.PaperFig3()
+			}
+			if trials > 0 {
+				cfg.Trials = trials
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := bench.RunFig3(cfg)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig4":
+			cfg := bench.DefaultFig4()
+			if full {
+				cfg.NumFrames = 16_000_000
+				cfg.Trials = 21
+				cfg.Budget = 30_000
+				cfg.Checkpoints = []int64{1000, 3000, 10_000, 20_000, 30_000}
+			}
+			if trials > 0 {
+				cfg.Trials = trials
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := bench.RunFig4(cfg)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "table1":
+			cfg := bench.DefaultTable1()
+			if scale > 0 {
+				cfg.Scale = scale
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := bench.RunTable1(cfg)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig5":
+			cfg := bench.DefaultFig5()
+			if scale > 0 {
+				cfg.Scale = scale
+			}
+			if trials > 0 {
+				cfg.Trials = trials
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := bench.RunFig5(cfg)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig6":
+			cfg := bench.DefaultFig6()
+			if scale > 0 {
+				cfg.Scale = scale
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := bench.RunFig6(cfg)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "extensions":
+			cfg := bench.DefaultExtensions()
+			if trials > 0 {
+				cfg.Trials = trials
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := bench.RunExtensions(cfg)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "ablation":
+			cfg := bench.DefaultAblation()
+			if trials > 0 {
+				cfg.Trials = trials
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := bench.RunAblation(cfg)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if experiment == "all" {
+		for _, name := range []string{"fig2", "fig3", "fig4", "table1", "fig5", "fig6", "ablation", "extensions"} {
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(experiment)
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("figure99", 0, 0, 0, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	if err := run("fig6", 0.05, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig2SmallTrials(t *testing.T) {
+	if err := run("fig2", 0, 30, 99, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable1SmallScale(t *testing.T) {
+	if err := run("table1", 0.02, 0, 3, false); err != nil {
+		t.Fatal(err)
+	}
+}

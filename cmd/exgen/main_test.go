@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	if err := run("bddmot", 0.05, 3, "", true, false, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExportJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "truth.json")
+	if err := run("dashcam", 0.02, 5, out, false, false, 5); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc exportFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Dataset != "dashcam" || doc.NumFrames <= 0 || len(doc.Instances) == 0 {
+		t.Fatalf("bad export: %+v", doc)
+	}
+	for _, in := range doc.Instances {
+		if in.End < in.Start || in.Start < 0 || in.End >= doc.NumFrames {
+			t.Fatalf("bad instance %+v", in)
+		}
+		if in.Class == "" {
+			t.Fatal("empty class in export")
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 0.05, 1, "", false, false, 5); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("dashcam", 0, 1, "", false, false, 5); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if err := run("dashcam", 0.02, 1, "/nonexistent-dir/x.json", false, false, 5); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestRunRebuild(t *testing.T) {
+	if err := run("bdd1k", 0.02, 3, "", false, true, 10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Command exsearch runs one distinct-object search against a synthetic
+// dataset profile and prints the results and cost accounting.
+//
+// Usage:
+//
+//	exsearch -dataset dashcam -class "traffic light" -limit 20
+//	         [-strategy exsample|random|random+|sequential|proxy]
+//	         [-scale 0.1] [-recall 0] [-chunks 0] [-seed 1] [-batch 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/exsample/exsample/internal/costmodel"
+
+	exsample "github.com/exsample/exsample"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "dashcam", "profile name (see -list)")
+		class    = flag.String("class", "traffic light", "object class to search")
+		limit    = flag.Int("limit", 20, "number of distinct objects to find (0 = use -recall)")
+		recall   = flag.Float64("recall", 0, "recall target in (0,1] instead of a limit")
+		strategy = flag.String("strategy", "exsample", "exsample|random|random+|sequential|proxy")
+		scale    = flag.Float64("scale", 0.1, "dataset scale (1 = paper size)")
+		chunks   = flag.Int("chunks", 0, "override chunk count (0 = native)")
+		batch    = flag.Int("batch", 0, "batched sampling size (0 = unbatched)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list dataset profiles and classes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range exsample.ProfileNames() {
+			ds, err := exsample.OpenProfile(name, 0.02, 1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "exsearch:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-14s %8d frames (full: scale this by 50x)  classes: %v\n",
+				name, ds.NumFrames(), ds.Classes())
+		}
+		return
+	}
+
+	if err := run(*dataset, *class, *limit, *recall, *strategy, *scale, *chunks, *batch, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "exsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStrategy(s string) (exsample.Strategy, error) {
+	switch s {
+	case "exsample":
+		return exsample.StrategyExSample, nil
+	case "random":
+		return exsample.StrategyRandom, nil
+	case "random+":
+		return exsample.StrategyRandomPlus, nil
+	case "sequential":
+		return exsample.StrategySequential, nil
+	case "proxy":
+		return exsample.StrategyProxy, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func run(dataset, class string, limit int, recall float64, strategy string, scale float64, chunks, batch int, seed uint64) error {
+	strat, err := parseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	ds, err := exsample.OpenProfile(dataset, scale, seed)
+	if err != nil {
+		return err
+	}
+	total, err := ds.GroundTruthCount(class)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s at scale %.2f: %d frames (%.1f h), %d chunks, %d distinct %q instances\n",
+		dataset, scale, ds.NumFrames(), ds.Hours(), ds.NumChunks(), total, class)
+
+	rep, err := ds.Search(
+		exsample.Query{Class: class, Limit: limit, RecallTarget: recall},
+		exsample.Options{Strategy: strat, NumChunks: chunks, BatchSize: batch, Seed: seed},
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%s found %d distinct objects in %d frames (%.1f%% of repo)\n",
+		strat, len(rep.Results), rep.FramesProcessed,
+		100*float64(rep.FramesProcessed)/float64(ds.NumFrames()))
+	fmt.Printf("charged time: detect %s + decode %s", costmodel.FormatDuration(rep.DetectSeconds),
+		costmodel.FormatDuration(rep.DecodeSeconds))
+	if rep.ScanSeconds > 0 {
+		fmt.Printf(" + proxy scan %s", costmodel.FormatDuration(rep.ScanSeconds))
+	}
+	fmt.Printf(" = %s  (~$%.2f GPU)\n", costmodel.FormatDuration(rep.TotalSeconds()),
+		costmodel.DollarCost(rep.TotalSeconds()))
+	fmt.Printf("recall vs ground truth: %.1f%%\n\n", rep.Recall*100)
+
+	show := len(rep.Results)
+	if show > 10 {
+		show = 10
+	}
+	for _, r := range rep.Results[:show] {
+		fmt.Printf("  object %3d: frame %9d  box (%.0f,%.0f)-(%.0f,%.0f)  score %.2f\n",
+			r.ObjectID, r.Frame, r.Box.X1, r.Box.Y1, r.Box.X2, r.Box.Y2, r.Score)
+	}
+	if len(rep.Results) > show {
+		fmt.Printf("  ... and %d more\n", len(rep.Results)-show)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	exsample "github.com/exsample/exsample"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]exsample.Strategy{
+		"exsample":   exsample.StrategyExSample,
+		"random":     exsample.StrategyRandom,
+		"random+":    exsample.StrategyRandomPlus,
+		"sequential": exsample.StrategySequential,
+		"proxy":      exsample.StrategyProxy,
+	}
+	for in, want := range cases {
+		got, err := parseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("parseStrategy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseStrategy("quantum"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunSearch(t *testing.T) {
+	if err := run("dashcam", "traffic light", 5, 0, "exsample", 0.02, 0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSearchRecallTarget(t *testing.T) {
+	if err := run("bdd1k", "truck", 0, 0.2, "random", 0.02, 0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSearchErrors(t *testing.T) {
+	if err := run("nope", "car", 5, 0, "exsample", 0.02, 0, 0, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("dashcam", "spaceship", 5, 0, "exsample", 0.02, 0, 0, 1); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if err := run("dashcam", "truck", 5, 0, "quantum", 0.02, 0, 0, 1); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

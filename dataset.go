@@ -1,0 +1,246 @@
+package exsample
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/exsample/exsample/internal/costmodel"
+	"github.com/exsample/exsample/internal/datasets"
+	"github.com/exsample/exsample/internal/detect"
+	"github.com/exsample/exsample/internal/synth"
+	"github.com/exsample/exsample/internal/track"
+	"github.com/exsample/exsample/internal/video"
+)
+
+// Dataset is a searchable video repository with known ground truth: a frame
+// layout, a chunking, per-class object instances, a simulated detector and
+// the cost model that converts frame counts into query time.
+//
+// Real deployments would wire a decoder and a DNN here; the paper's sampler
+// only ever sees frame indices, detections and costs, which is exactly what
+// Dataset provides.
+type Dataset struct {
+	inner *datasets.Dataset
+	noise detect.NoiseModel
+	cost  costmodel.Model
+	dec   video.DecodeCostModel
+	seed  uint64
+	// failAfter > 0 injects a detector outage after that many calls per
+	// search (failure-injection testing).
+	failAfter int64
+}
+
+// NoiseConfig exposes the simulated detector's imperfections.
+type NoiseConfig struct {
+	// MissProb is the per-frame probability a visible object goes
+	// undetected.
+	MissProb float64
+	// EdgeMissBoost adds misses near the start/end of an object's
+	// visibility.
+	EdgeMissBoost float64
+	// JitterFrac perturbs box coordinates by up to this fraction of size.
+	JitterFrac float64
+	// FalsePositiveRate is the expected spurious detections per frame.
+	FalsePositiveRate float64
+}
+
+// DatasetOption customizes dataset construction.
+type DatasetOption func(*Dataset)
+
+// WithNoise replaces the default detector noise model.
+func WithNoise(nc NoiseConfig) DatasetOption {
+	return func(d *Dataset) {
+		d.noise = detect.NoiseModel{
+			MissProb:          nc.MissProb,
+			EdgeMissBoost:     nc.EdgeMissBoost,
+			JitterFrac:        nc.JitterFrac,
+			FalsePositiveRate: nc.FalsePositiveRate,
+			MinScore:          0.5,
+			MaxScore:          0.99,
+		}
+	}
+}
+
+// WithPerfectDetector removes all detector noise.
+func WithPerfectDetector() DatasetOption {
+	return func(d *Dataset) {
+		d.noise = detect.NoiseModel{MinScore: 1, MaxScore: 1}
+	}
+}
+
+// WithThroughput overrides the cost model (frames/second of the detector
+// path and of the proxy scoring scan). The defaults are the paper's measured
+// 20 and 100 fps.
+func WithThroughput(detectFPS, scanFPS float64) DatasetOption {
+	return func(d *Dataset) {
+		d.cost = costmodel.Model{DetectFPS: detectFPS, ScanFPS: scanFPS}
+	}
+}
+
+// WithDetectorFailureAfter makes every search's detector return no
+// detections after n calls, simulating a mid-query inference outage.
+// Searches must keep terminating cleanly (on their budget) rather than
+// spinning; this is a failure-injection knob for tests.
+func WithDetectorFailureAfter(n int64) DatasetOption {
+	return func(d *Dataset) { d.failAfter = n }
+}
+
+// ProfileNames lists the built-in dataset profiles (the paper's six
+// evaluation datasets).
+func ProfileNames() []string {
+	ps := datasets.Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// OpenProfile builds one of the six built-in synthetic datasets at the given
+// scale (1 = paper size; e.g. 0.1 shrinks frames and populations 10x while
+// preserving density and skew). seed drives ground-truth generation and the
+// detector's noise.
+func OpenProfile(name string, scale float64, seed uint64, opts ...DatasetOption) (*Dataset, error) {
+	p, err := datasets.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := datasets.Build(p, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return newDataset(inner, seed, opts...), nil
+}
+
+func newDataset(inner *datasets.Dataset, seed uint64, opts ...DatasetOption) *Dataset {
+	d := &Dataset{
+		inner: inner,
+		noise: detect.DefaultNoise(),
+		cost:  costmodel.Default(),
+		dec:   video.DefaultDecodeCost(),
+		seed:  seed,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// SynthSpec describes a custom single-class synthetic dataset.
+type SynthSpec struct {
+	// NumFrames is the repository size.
+	NumFrames int64
+	// NumInstances is the distinct object population.
+	NumInstances int
+	// Class names the objects (default "object").
+	Class string
+	// MeanDuration is the mean visibility in frames.
+	MeanDuration float64
+	// SkewFraction concentrates 95% of objects into this fraction of the
+	// repository (0 = uniform).
+	SkewFraction float64
+	// ChunkFrames is the chunk length (0 = 1/64 of the repository).
+	ChunkFrames int64
+	// FPS is the recording rate (0 = 30).
+	FPS float64
+	// Seed drives generation.
+	Seed uint64
+}
+
+// Synthesize builds a custom dataset from a SynthSpec.
+func Synthesize(spec SynthSpec, opts ...DatasetOption) (*Dataset, error) {
+	if spec.FPS == 0 {
+		spec.FPS = 30
+	}
+	if spec.Class == "" {
+		spec.Class = "object"
+	}
+	if spec.ChunkFrames == 0 {
+		spec.ChunkFrames = spec.NumFrames / 64
+		if spec.ChunkFrames < 1 {
+			spec.ChunkFrames = 1
+		}
+	}
+	instances, err := synth.Generate(synth.GridSpec{
+		NumInstances: spec.NumInstances,
+		NumFrames:    spec.NumFrames,
+		SkewFraction: spec.SkewFraction,
+		MeanDuration: spec.MeanDuration,
+		Class:        spec.Class,
+		Seed:         spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	repo, err := video.NewRepository(spec.FPS, spec.NumFrames)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := repo.ChunkByDuration(spec.ChunkFrames)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := track.NewIndex(instances, spec.NumFrames, 0)
+	if err != nil {
+		return nil, err
+	}
+	inner := &datasets.Dataset{
+		Profile: datasets.Profile{
+			Name:        "custom",
+			NumFrames:   spec.NumFrames,
+			FPS:         spec.FPS,
+			ChunkFrames: spec.ChunkFrames,
+			Queries: []datasets.QuerySpec{{
+				Class:        spec.Class,
+				NumInstances: spec.NumInstances,
+				MeanDuration: spec.MeanDuration,
+				SkewFraction: spec.SkewFraction,
+			}},
+		},
+		Scale:        1,
+		Repo:         repo,
+		Chunks:       chunks,
+		Instances:    instances,
+		Index:        idx,
+		CountByClass: map[string]int{spec.Class: len(instances)},
+	}
+	return newDataset(inner, spec.Seed, opts...), nil
+}
+
+// Name returns the dataset profile name.
+func (d *Dataset) Name() string { return d.inner.Profile.Name }
+
+// NumFrames returns the repository size in frames.
+func (d *Dataset) NumFrames() int64 { return d.inner.Repo.NumFrames() }
+
+// NumChunks returns the native chunk count.
+func (d *Dataset) NumChunks() int { return len(d.inner.Chunks) }
+
+// Hours returns the repository length in hours of video.
+func (d *Dataset) Hours() float64 { return d.inner.Repo.Hours() }
+
+// Classes lists the searchable object classes, sorted.
+func (d *Dataset) Classes() []string {
+	out := make([]string, 0, len(d.inner.CountByClass))
+	for c := range d.inner.CountByClass {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroundTruthCount returns the number of distinct instances of a class.
+func (d *Dataset) GroundTruthCount(class string) (int, error) {
+	n, ok := d.inner.CountByClass[class]
+	if !ok {
+		return 0, fmt.Errorf("exsample: dataset %q has no class %q", d.Name(), class)
+	}
+	return n, nil
+}
+
+// ScanSeconds returns the time a proxy-model scoring pass over the whole
+// dataset costs under the dataset's cost model — the upfront price of the
+// proxy baseline (Table I's "proxy (scan)" column).
+func (d *Dataset) ScanSeconds() float64 {
+	return d.cost.ScanSeconds(d.NumFrames())
+}

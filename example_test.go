@@ -1,0 +1,94 @@
+package exsample_test
+
+import (
+	"fmt"
+	"log"
+
+	exsample "github.com/exsample/exsample"
+)
+
+// The basic flow: open a dataset, run a distinct-object limit query, read
+// the results.
+func Example() {
+	ds, err := exsample.Synthesize(exsample.SynthSpec{
+		NumFrames:    100_000,
+		NumInstances: 50,
+		Class:        "traffic light",
+		MeanDuration: 200,
+		SkewFraction: 0.25,
+		Seed:         1,
+	}, exsample.WithPerfectDetector())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := ds.Search(
+		exsample.Query{Class: "traffic light", Limit: 5},
+		exsample.Options{Seed: 2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A single frame can reveal more than one new object, so the result
+	// count can slightly exceed the limit.
+	fmt.Printf("found at least 5: %v\n", len(report.Results) >= 5)
+	// Output:
+	// found at least 5: true
+}
+
+// Comparing strategies on the same query: ExSample needs no scan, the proxy
+// baseline pays one before its first result.
+func ExampleDataset_Search_strategies() {
+	ds, err := exsample.Synthesize(exsample.SynthSpec{
+		NumFrames:    100_000,
+		NumInstances: 50,
+		Class:        "car",
+		MeanDuration: 200,
+		SkewFraction: 0.25,
+		Seed:         3,
+	}, exsample.WithPerfectDetector())
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := exsample.Query{Class: "car", Limit: 5}
+	ex, err := ds.Search(q, exsample.Options{Strategy: exsample.StrategyExSample, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	px, err := ds.Search(q, exsample.Options{Strategy: exsample.StrategyProxy, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exsample scan: %.0fs, proxy scan: %.0fs\n", ex.ScanSeconds, px.ScanSeconds)
+	// Output:
+	// exsample scan: 0s, proxy scan: 1000s
+}
+
+// Driving a search incrementally with a Session.
+func ExampleDataset_NewSession() {
+	ds, err := exsample.Synthesize(exsample.SynthSpec{
+		NumFrames:    100_000,
+		NumInstances: 50,
+		Class:        "bike",
+		MeanDuration: 200,
+		SkewFraction: 0.25,
+		Seed:         5,
+	}, exsample.WithPerfectDetector())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := ds.NewSession(exsample.Query{Class: "bike", Limit: 3}, exsample.Options{Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for !sess.Done() {
+		if _, ok, err := sess.Step(); err != nil || !ok {
+			if err != nil {
+				log.Fatal(err)
+			}
+			break
+		}
+	}
+	fmt.Printf("%d results, processed frames: %v\n", len(sess.Results()), sess.Frames() > 0)
+	// Output:
+	// 3 results, processed frames: true
+}

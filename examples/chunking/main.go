@@ -1,0 +1,54 @@
+// Chunking: reproduces the Figure 4 phenomenon on a live search — the
+// number of chunks is the one parameter the user chooses ahead of time, and
+// both too few (can't exploit skew) and too many (too many arms to learn)
+// hurt. The sweet spot spans orders of magnitude.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	exsample "github.com/exsample/exsample"
+)
+
+func main() {
+	// A custom single-class dataset with strong skew: 95% of the 500
+	// objects live in 1/32 of the two-million-frame repository.
+	ds, err := exsample.Synthesize(exsample.SynthSpec{
+		NumFrames:    2_000_000,
+		NumInstances: 500,
+		Class:        "event",
+		MeanDuration: 700,
+		SkewFraction: 1.0 / 32,
+		Seed:         3,
+	}, exsample.WithPerfectDetector())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic repository: %d frames, 500 objects, 95%% inside 1/32 of the data\n\n", ds.NumFrames())
+
+	q := exsample.Query{Class: "event", RecallTarget: 0.5}
+	fmt.Printf("%8s %12s %12s\n", "chunks", "frames", "vs random")
+
+	// Random baseline first.
+	rnd, err := ds.Search(q, exsample.Options{Strategy: exsample.StrategyRandom, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s %12d %12s\n", "random", rnd.FramesProcessed, "1.00x")
+
+	for _, m := range []int{1, 2, 16, 128, 1024} {
+		rep, err := ds.Search(q, exsample.Options{
+			Strategy:  exsample.StrategyExSample,
+			NumChunks: m,
+			Seed:      21,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %12d %11.2fx\n", m, rep.FramesProcessed,
+			float64(rnd.FramesProcessed)/float64(rep.FramesProcessed))
+	}
+	fmt.Println("\n1 chunk degenerates to random; moderate chunk counts exploit the skew;")
+	fmt.Println("very many chunks pay a long exploration tax before the skew is visible (§IV-C).")
+}

@@ -1,0 +1,53 @@
+// Dashcam: the map-annotation scenario from the paper's introduction. An
+// OpenStreetMap contributor wants most of the stop signs in a drive archive
+// (high recall), while an autonomous-driving data scientist only needs a
+// handful of bicycle examples (low recall). The right stopping point — and
+// the value of adaptive sampling — differs between the two.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	exsample "github.com/exsample/exsample"
+)
+
+func main() {
+	ds, err := exsample.OpenProfile("dashcam", 0.1, 11, exsample.WithPerfectDetector())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scenario 1: a few bicycle examples for model debugging (10% recall).
+	runScenario(ds, "bicycle", 0.1, "ML engineer: a few examples")
+
+	// Scenario 2: most stop signs for map annotation (90% recall).
+	runScenario(ds, "stop sign", 0.9, "mapper: near-exhaustive")
+}
+
+func runScenario(ds *exsample.Dataset, class string, recall float64, label string) {
+	total, err := ds.GroundTruthCount(class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %s — %q to %.0f%% recall (%d instances in ground truth)\n",
+		label, class, recall*100, total)
+
+	q := exsample.Query{Class: class, RecallTarget: recall}
+	ex, err := ds.Search(q, exsample.Options{Strategy: exsample.StrategyExSample, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rnd, err := ds.Search(q, exsample.Options{Strategy: exsample.StrategyRandom, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("   exsample: %6d frames, %7.1fs, found %d\n",
+		ex.FramesProcessed, ex.TotalSeconds(), len(ex.Results))
+	fmt.Printf("   random:   %6d frames, %7.1fs, found %d\n",
+		rnd.FramesProcessed, rnd.TotalSeconds(), len(rnd.Results))
+	if ex.TotalSeconds() > 0 {
+		fmt.Printf("   savings: %.2fx\n\n", rnd.TotalSeconds()/ex.TotalSeconds())
+	}
+}

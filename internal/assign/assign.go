@@ -1,0 +1,153 @@
+// Package assign solves the linear assignment problem (minimum-cost
+// bipartite matching) with the Hungarian algorithm. The SORT-style tracker
+// uses it to associate detections with predicted track positions each frame
+// (the paper's ground-truth construction matches detection boxes across
+// adjacent frames by IoU, §V-A).
+package assign
+
+import (
+	"fmt"
+	"math"
+)
+
+// Infeasible marks a forbidden pairing in the cost matrix; the solver never
+// selects it unless a row has no feasible column at all, in which case the
+// row is reported unassigned.
+var Infeasible = math.Inf(1)
+
+// Solve finds the assignment of rows to columns minimizing total cost.
+// cost[i][j] is the cost of assigning row i to column j; the matrix may be
+// rectangular. It returns rowTo, where rowTo[i] is the column assigned to
+// row i or -1, and the total cost over feasible assignments.
+//
+// The implementation is the O(n³) Hungarian algorithm with potentials
+// (Jonker–Volgenant style shortest augmenting paths).
+func Solve(cost [][]float64) (rowTo []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("assign: ragged cost matrix at row %d", i)
+		}
+		for _, c := range row {
+			if math.IsNaN(c) {
+				return nil, 0, fmt.Errorf("assign: NaN cost at row %d", i)
+			}
+			if c < 0 && !math.IsInf(c, 1) {
+				// Negative costs are fine mathematically, but the Infeasible
+				// sentinel logic assumes +Inf is the only special value.
+				continue
+			}
+		}
+	}
+
+	// Pad to a square problem of size N = max(n, m) with Infeasible cells,
+	// then run the potentials algorithm on the padded matrix. Work in a
+	// "large but finite" surrogate for Inf so arithmetic stays sane.
+	big := maxFinite(cost)*float64(n+m+1) + 1
+	if big == 1 {
+		big = 1 // all-infeasible matrix
+	}
+	size := n
+	if m > size {
+		size = m
+	}
+	a := make([][]float64, size+1)
+	for i := range a {
+		a[i] = make([]float64, size+1)
+	}
+	for i := 1; i <= size; i++ {
+		for j := 1; j <= size; j++ {
+			v := big
+			if i <= n && j <= m && !math.IsInf(cost[i-1][j-1], 1) {
+				v = cost[i-1][j-1]
+			}
+			a[i][j] = v
+		}
+	}
+
+	u := make([]float64, size+1)
+	v := make([]float64, size+1)
+	p := make([]int, size+1) // p[j] = row matched to column j
+	way := make([]int, size+1)
+	for i := 1; i <= size; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, size+1)
+		used := make([]bool, size+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= size; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= size; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	rowTo = make([]int, n)
+	for i := range rowTo {
+		rowTo[i] = -1
+	}
+	for j := 1; j <= size; j++ {
+		i := p[j]
+		if i >= 1 && i <= n && j <= m {
+			// Reject padded/infeasible matches.
+			if !math.IsInf(cost[i-1][j-1], 1) {
+				rowTo[i-1] = j - 1
+				total += cost[i-1][j-1]
+			}
+		}
+	}
+	return rowTo, total, nil
+}
+
+func maxFinite(cost [][]float64) float64 {
+	mx := 0.0
+	for _, row := range cost {
+		for _, c := range row {
+			if !math.IsInf(c, 1) && math.Abs(c) > mx {
+				mx = math.Abs(c)
+			}
+		}
+	}
+	return mx
+}

@@ -1,0 +1,181 @@
+// Package baseline implements the comparison methods from §II-B and §V:
+// sequential scanning, uniform random sampling, global random+, and the
+// proxy-score approach representative of BlazeIt.
+//
+// The proxy approach trains a cheap model per query, scores every frame of
+// the dataset in an upfront sequential scan (at io+decode throughput), and
+// then runs the expensive detector on frames in descending score order. The
+// paper's central observation (Table I) is that the scan alone often costs
+// more than an entire ExSample query; the proxy model here is therefore
+// parameterized by score quality rather than by network architecture — a
+// perfect proxy (quality 1) is the strongest possible version of the
+// baseline, and the scan cost dominates regardless.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/exsample/exsample/internal/track"
+)
+
+// ProxyScorer assigns each frame a score approximating "contains a relevant
+// object". Quality q blends the ground-truth signal with hash noise:
+// q=1 ranks all positive frames above all negatives (a perfect proxy);
+// q=0 is a random permutation (an untrained proxy).
+type ProxyScorer struct {
+	idx     *track.Index
+	class   string
+	quality float64
+	seed    uint64
+}
+
+// NewProxyScorer builds a scorer for one query class over ground truth.
+func NewProxyScorer(idx *track.Index, class string, quality float64, seed uint64) (*ProxyScorer, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("baseline: nil index")
+	}
+	if quality < 0 || quality > 1 {
+		return nil, fmt.Errorf("baseline: quality %v outside [0,1]", quality)
+	}
+	return &ProxyScorer{idx: idx, class: class, quality: quality, seed: seed}, nil
+}
+
+// Score returns the proxy score for a frame, in [0, 2).
+func (p *ProxyScorer) Score(frame int64) float64 {
+	var truth float64
+	var buf [4]track.Instance
+	var visible []track.Instance
+	if p.class == "" {
+		visible = p.idx.At(frame, buf[:0])
+	} else {
+		visible = p.idx.AtClass(frame, p.class, buf[:0])
+	}
+	if len(visible) > 0 {
+		truth = 1
+	}
+	noise := hash01(p.seed, uint64(frame))
+	return p.quality*truth + (1-p.quality)*noise + p.quality*noise*1e-6
+}
+
+func hash01(seed, a uint64) float64 {
+	x := seed ^ (a * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// ProxyOrder emits frames in descending proxy score, after a full-dataset
+// scoring pass. It implements video.FrameOrder. The scan cost is not part of
+// the order itself — callers charge it via costmodel.ScanSeconds — but
+// ScannedFrames records how much work the scan did.
+type ProxyOrder struct {
+	frames []int64
+	pos    int
+	// ScannedFrames is the number of frames the scoring pass touched
+	// (always the full range).
+	ScannedFrames int64
+
+	dupRadius int64
+	emitted   map[int64]bool // blocked buckets (frame / dupRadius)
+	deferred  []int64
+	inDefer   bool
+}
+
+// NewProxyOrder scores every frame in [start, end) and prepares the
+// descending-score order. dupRadius > 0 enables the duplicate-avoidance
+// heuristic (§III): frames within dupRadius of an already-emitted frame are
+// deferred until all other frames have been emitted.
+func NewProxyOrder(scorer *ProxyScorer, start, end, dupRadius int64) (*ProxyOrder, error) {
+	if scorer == nil {
+		return nil, fmt.Errorf("baseline: nil scorer")
+	}
+	if end <= start {
+		return nil, fmt.Errorf("baseline: empty range [%d, %d)", start, end)
+	}
+	n := end - start
+	type scored struct {
+		frame int64
+		score float64
+	}
+	all := make([]scored, n)
+	for i := int64(0); i < n; i++ {
+		f := start + i
+		all[i] = scored{frame: f, score: scorer.Score(f)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].frame < all[j].frame
+	})
+	frames := make([]int64, n)
+	for i, s := range all {
+		frames[i] = s.frame
+	}
+	po := &ProxyOrder{
+		frames:        frames,
+		ScannedFrames: n,
+		dupRadius:     dupRadius,
+	}
+	if dupRadius > 0 {
+		po.emitted = make(map[int64]bool)
+	}
+	return po, nil
+}
+
+// Next returns the next frame in proxy order.
+func (p *ProxyOrder) Next() (int64, bool) {
+	if p.dupRadius <= 0 {
+		if p.pos >= len(p.frames) {
+			return 0, false
+		}
+		f := p.frames[p.pos]
+		p.pos++
+		return f, true
+	}
+	for !p.inDefer {
+		if p.pos >= len(p.frames) {
+			p.inDefer = true
+			p.pos = 0
+			break
+		}
+		f := p.frames[p.pos]
+		p.pos++
+		if p.blocked(f) {
+			p.deferred = append(p.deferred, f)
+			continue
+		}
+		p.block(f)
+		return f, true
+	}
+	if p.pos < len(p.deferred) {
+		f := p.deferred[p.pos]
+		p.pos++
+		return f, true
+	}
+	return 0, false
+}
+
+func (p *ProxyOrder) blocked(f int64) bool {
+	return p.emitted[f/p.dupRadius]
+}
+
+func (p *ProxyOrder) block(f int64) {
+	b := f / p.dupRadius
+	p.emitted[b] = true
+}
+
+// Remaining returns how many frames have not been emitted yet.
+func (p *ProxyOrder) Remaining() int64 {
+	if p.dupRadius <= 0 {
+		return int64(len(p.frames) - p.pos)
+	}
+	if p.inDefer {
+		return int64(len(p.deferred) - p.pos)
+	}
+	return int64(len(p.frames)-p.pos) + int64(len(p.deferred))
+}

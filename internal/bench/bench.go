@@ -1,0 +1,64 @@
+// Package bench implements the experiment harness: one runner per table and
+// figure of the paper's evaluation, each producing the same rows/series the
+// paper reports. Runners accept a Scale knob so the full experiments (hours
+// at paper size) can be exercised end-to-end in seconds during tests and
+// benchmarks; shapes — who wins, rough factors, crossovers — are preserved
+// at reduced scale, and EXPERIMENTS.md records both.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// LogCheckpoints returns ~perDecade sample counts per decade between lo and
+// hi (inclusive), ascending and deduplicated — the x axis of Figures 3/4.
+func LogCheckpoints(lo, hi int64, perDecade int) ([]int64, error) {
+	if lo <= 0 || hi < lo {
+		return nil, fmt.Errorf("bench: bad checkpoint range [%d, %d]", lo, hi)
+	}
+	if perDecade <= 0 {
+		return nil, fmt.Errorf("bench: perDecade must be positive, got %d", perDecade)
+	}
+	var out []int64
+	step := math.Pow(10, 1/float64(perDecade))
+	x := float64(lo)
+	prev := int64(0)
+	for {
+		v := int64(math.Round(x))
+		if v > hi {
+			break
+		}
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+		x *= step
+	}
+	if prev != hi {
+		out = append(out, hi)
+	}
+	return out, nil
+}
+
+// writef writes formatted output, propagating the first error through a
+// shared pointer so render functions stay linear.
+func writef(w io.Writer, errp *error, format string, args ...any) {
+	if *errp != nil {
+		return
+	}
+	_, *errp = fmt.Fprintf(w, format, args...)
+}
+
+// fmtRatio renders a savings ratio the way the paper labels them ("3.9x",
+// "0.79x").
+func fmtRatio(r float64) string {
+	if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+		return "-"
+	}
+	if r >= 10 {
+		return fmt.Sprintf("%.0fx", r)
+	}
+	return fmt.Sprintf("%.2gx", r)
+}

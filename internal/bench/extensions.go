@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/exsample/exsample/internal/stats"
+
+	exsample "github.com/exsample/exsample"
+)
+
+// ExtensionsConfig parameterizes the benchmark of the §VII future-work
+// features implemented beyond the paper's evaluation: proxy fusion within
+// chunks, automated chunking, home-chunk accounting, and the trained-proxy
+// baseline, all on one skewed workload.
+type ExtensionsConfig struct {
+	NumFrames    int64
+	NumInstances int
+	MeanDuration float64
+	Skew         float64
+	ChunkFrames  int64
+	RecallTarget float64
+	Trials       int
+	Seed         uint64
+}
+
+// DefaultExtensions uses a strongly skewed single-class workload.
+func DefaultExtensions() ExtensionsConfig {
+	return ExtensionsConfig{
+		NumFrames:    1_000_000,
+		NumInstances: 800,
+		MeanDuration: 400,
+		Skew:         1.0 / 32,
+		ChunkFrames:  1_000_000 / 64,
+		RecallTarget: 0.5,
+		Trials:       3,
+		Seed:         211,
+	}
+}
+
+// ExtensionsRow is one variant's outcome.
+type ExtensionsRow struct {
+	Variant string
+	// MedianSeconds is the charged time to the recall target (including
+	// scans where applicable).
+	MedianSeconds float64
+	// MedianFrames is the detector frames to the recall target.
+	MedianFrames float64
+}
+
+// ExtensionsResult aggregates all variants.
+type ExtensionsResult struct {
+	Config ExtensionsConfig
+	Rows   []ExtensionsRow
+}
+
+// RunExtensions executes the benchmark through the public API.
+func RunExtensions(cfg ExtensionsConfig) (*ExtensionsResult, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("bench: extensions needs trials")
+	}
+	ds, err := exsample.Synthesize(exsample.SynthSpec{
+		NumFrames:    cfg.NumFrames,
+		NumInstances: cfg.NumInstances,
+		Class:        "event",
+		MeanDuration: cfg.MeanDuration,
+		SkewFraction: cfg.Skew,
+		ChunkFrames:  cfg.ChunkFrames,
+		Seed:         cfg.Seed,
+	}, exsample.WithPerfectDetector())
+	if err != nil {
+		return nil, err
+	}
+	q := exsample.Query{Class: "event", RecallTarget: cfg.RecallTarget}
+	variants := []struct {
+		name string
+		opts exsample.Options
+	}{
+		{"exsample (paper)", exsample.Options{}},
+		{"exsample + fusion (§VII scoring)", exsample.Options{FuseProxyWithinChunk: true}},
+		{"exsample + autochunk (§VII)", exsample.Options{AutoChunk: true}},
+		{"exsample + home accounting", exsample.Options{HomeChunkAccounting: true}},
+		{"random", exsample.Options{Strategy: exsample.StrategyRandom}},
+		{"proxy (full scan)", exsample.Options{Strategy: exsample.StrategyProxy}},
+		{"proxy + training labels", exsample.Options{Strategy: exsample.StrategyProxy, ProxyTrainPositives: 10}},
+	}
+	res := &ExtensionsResult{Config: cfg}
+	for _, v := range variants {
+		var secs, frames []float64
+		for t := 0; t < cfg.Trials; t++ {
+			opts := v.opts
+			opts.Seed = cfg.Seed + uint64(t)*911
+			rep, err := ds.Search(q, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: extensions %s: %w", v.name, err)
+			}
+			secs = append(secs, rep.TotalSeconds())
+			frames = append(frames, float64(rep.FramesProcessed))
+		}
+		ms, err := stats.Median(secs)
+		if err != nil {
+			return nil, err
+		}
+		mf, err := stats.Median(frames)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ExtensionsRow{Variant: v.name, MedianSeconds: ms, MedianFrames: mf})
+	}
+	return res, nil
+}
+
+// Render writes the extension comparison table.
+func (r *ExtensionsResult) Render(w io.Writer) error {
+	var err error
+	writef(w, &err, "Extensions — charged time to %.0f%% recall (skew %s, %d trials)\n",
+		r.Config.RecallTarget*100, skewLabel(r.Config.Skew), r.Config.Trials)
+	writef(w, &err, "%-34s %12s %12s\n", "variant", "seconds", "frames")
+	for _, row := range r.Rows {
+		writef(w, &err, "%-34s %12.1f %12.0f\n", row.Variant, row.MedianSeconds, row.MedianFrames)
+	}
+	writef(w, &err, "\n")
+	return err
+}

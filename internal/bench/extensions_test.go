@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtensionsBenchmark(t *testing.T) {
+	cfg := DefaultExtensions()
+	cfg.NumFrames = 200_000
+	cfg.NumInstances = 200
+	cfg.ChunkFrames = 200_000 / 32
+	cfg.Trials = 3
+	res, err := RunExtensions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byName := map[string]ExtensionsRow{}
+	for _, r := range res.Rows {
+		byName[r.Variant] = r
+		if r.MedianSeconds <= 0 || r.MedianFrames <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	paper := byName["exsample (paper)"]
+	random := byName["random"]
+	proxy := byName["proxy (full scan)"]
+	fusion := byName["exsample + fusion (§VII scoring)"]
+	if paper.MedianSeconds >= random.MedianSeconds {
+		t.Errorf("exsample %v s >= random %v s under skew", paper.MedianSeconds, random.MedianSeconds)
+	}
+	if paper.MedianSeconds >= proxy.MedianSeconds {
+		t.Errorf("exsample %v s >= proxy %v s", paper.MedianSeconds, proxy.MedianSeconds)
+	}
+	// Fusion trades detector frames for per-chunk scoring: comparable
+	// frame counts to plain ExSample (generous 2x noise bound at this tiny
+	// scale), and always cheaper than the full scan.
+	if fusion.MedianFrames > paper.MedianFrames*2 {
+		t.Errorf("fusion frames %v >> plain %v", fusion.MedianFrames, paper.MedianFrames)
+	}
+	if fusion.MedianSeconds >= proxy.MedianSeconds {
+		t.Errorf("fusion %v s >= full proxy %v s", fusion.MedianSeconds, proxy.MedianSeconds)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Extensions") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtensionsValidation(t *testing.T) {
+	if _, err := RunExtensions(ExtensionsConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}

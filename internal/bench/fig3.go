@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/exsample/exsample/internal/metrics"
+	"github.com/exsample/exsample/internal/opt"
+	"github.com/exsample/exsample/internal/sim"
+	"github.com/exsample/exsample/internal/stats"
+	"github.com/exsample/exsample/internal/synth"
+	"github.com/exsample/exsample/internal/video"
+)
+
+// Fig3Config parameterizes the §IV-B simulation grid. The paper fixes
+// N=2000 instances over 16M frames, 128 chunks, 21 trials, skew columns
+// {none, 1/4, 1/32, 1/256} and mean-duration rows {14, 100, 700, 4900},
+// and labels the savings in samples to reach 10, 100 and 1000 results.
+type Fig3Config struct {
+	NumInstances int
+	NumFrames    int64
+	NumChunks    int
+	Trials       int
+	Budget       int64
+	Skews        []float64 // 0 = none
+	MeanDurs     []float64
+	Targets      []int64 // savings labels (paper: 10, 100, 1000)
+	// OptCheckpoints computes the optimal-allocation (Eq. IV.1) expected-N
+	// curve at this many log-spaced points (0 disables, saving time).
+	OptCheckpoints int
+	Seed           uint64
+}
+
+// DefaultFig3 returns the paper's grid at a scale that runs in seconds:
+// frames and budget shrink together so densities (and hence savings shapes)
+// are preserved.
+func DefaultFig3() Fig3Config {
+	return Fig3Config{
+		NumInstances:   2000,
+		NumFrames:      2_000_000,
+		NumChunks:      128,
+		Trials:         7,
+		Budget:         20_000,
+		Skews:          []float64{0, 0.25, 1.0 / 32, 1.0 / 256},
+		MeanDurs:       []float64{14, 100, 700, 4900},
+		Targets:        []int64{10, 100, 1000},
+		OptCheckpoints: 0,
+		Seed:           31,
+	}
+}
+
+// PaperFig3 is the full-size grid (16M frames, 21 trials) — hours of CPU.
+func PaperFig3() Fig3Config {
+	cfg := DefaultFig3()
+	cfg.NumFrames = 16_000_000
+	cfg.Trials = 21
+	cfg.Budget = 100_000
+	return cfg
+}
+
+// Fig3Cell is one (skew, duration) grid cell.
+type Fig3Cell struct {
+	Skew    float64
+	MeanDur float64
+	// SavingsAt[k] is median(random samples)/median(exsample samples) to
+	// reach Targets[k]; 0 when a target was unreachable for either method.
+	SavingsAt []float64
+	// ExSampleFound/RandomFound are median distinct counts at Budget.
+	ExSampleFound, RandomFound float64
+	// ExSampleBand/RandomBand are the 25–75% bands at Budget.
+	ExSampleBand, RandomBand metrics.Band
+	// OptimalCurve holds Eq. IV.1 expected-N at OptCheckpoints sample
+	// counts (nil when disabled).
+	OptimalNs    []int64
+	OptimalCurve []float64
+}
+
+// Fig3Result is the full grid.
+type Fig3Result struct {
+	Config Fig3Config
+	Cells  []Fig3Cell
+}
+
+// RunFig3 executes the grid.
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("bench: fig3 needs trials > 0")
+	}
+	res := &Fig3Result{Config: cfg}
+	cellSeed := cfg.Seed
+	for _, dur := range cfg.MeanDurs {
+		for _, skew := range cfg.Skews {
+			cellSeed += 101
+			cell, err := runFig3Cell(cfg, skew, dur, cellSeed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig3 cell skew=%v dur=%v: %w", skew, dur, err)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+func runFig3Cell(cfg Fig3Config, skew, dur float64, seed uint64) (Fig3Cell, error) {
+	cell := Fig3Cell{Skew: skew, MeanDur: dur}
+	instances, err := synth.Generate(synth.GridSpec{
+		NumInstances: cfg.NumInstances,
+		NumFrames:    cfg.NumFrames,
+		SkewFraction: skew,
+		MeanDuration: dur,
+		Seed:         seed,
+	})
+	if err != nil {
+		return cell, err
+	}
+
+	type trialOut struct {
+		toTarget map[int64]int64 // samples to reach each target (0 = missed)
+		found    float64
+	}
+	runMethod := func(method sim.Method) ([]trialOut, error) {
+		outs := make([]trialOut, cfg.Trials)
+		for t := 0; t < cfg.Trials; t++ {
+			simCfg := sim.ChunkSimConfig{
+				Instances: instances,
+				NumFrames: cfg.NumFrames,
+				NumChunks: cfg.NumChunks,
+				Budget:    cfg.Budget,
+				Seed:      seed + uint64(t)*7919,
+			}
+			tr, err := sim.Run(method, simCfg)
+			if err != nil {
+				return nil, err
+			}
+			out := trialOut{toTarget: make(map[int64]int64), found: float64(tr.FoundAtEnd)}
+			for _, target := range cfg.Targets {
+				n, ok, err := sim.SamplesToReach(method, simCfg, target)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out.toTarget[target] = n
+				}
+			}
+			outs[t] = out
+		}
+		return outs, nil
+	}
+
+	exOuts, err := runMethod(sim.MethodExSample)
+	if err != nil {
+		return cell, err
+	}
+	rndOuts, err := runMethod(sim.MethodRandom)
+	if err != nil {
+		return cell, err
+	}
+
+	// Medians of found-at-budget plus bands.
+	collect := func(outs []trialOut) ([]float64, error) {
+		vals := make([]float64, len(outs))
+		for i, o := range outs {
+			vals[i] = o.found
+		}
+		return vals, nil
+	}
+	exFound, _ := collect(exOuts)
+	rndFound, _ := collect(rndOuts)
+	if cell.ExSampleBand, err = metrics.NewBand(exFound); err != nil {
+		return cell, err
+	}
+	if cell.RandomBand, err = metrics.NewBand(rndFound); err != nil {
+		return cell, err
+	}
+	cell.ExSampleFound = cell.ExSampleBand.Median
+	cell.RandomFound = cell.RandomBand.Median
+
+	// Savings per target from median samples-to-target across trials that
+	// reached it (both methods must have a majority of reaching trials).
+	cell.SavingsAt = make([]float64, len(cfg.Targets))
+	for k, target := range cfg.Targets {
+		med := func(outs []trialOut) (float64, bool) {
+			var vals []float64
+			for _, o := range outs {
+				if n, ok := o.toTarget[target]; ok {
+					vals = append(vals, float64(n))
+				}
+			}
+			if len(vals)*2 <= len(outs) {
+				return 0, false
+			}
+			m, err := stats.Median(vals)
+			return m, err == nil
+		}
+		ex, okEx := med(exOuts)
+		rnd, okRnd := med(rndOuts)
+		if okEx && okRnd && ex > 0 {
+			cell.SavingsAt[k] = rnd / ex
+		}
+	}
+
+	// Optimal-allocation curve (Eq. IV.1).
+	if cfg.OptCheckpoints > 0 {
+		chunks, err := video.SplitRange(0, cfg.NumFrames, cfg.NumChunks)
+		if err != nil {
+			return cell, err
+		}
+		pr, err := opt.FromInstances(instances, chunks)
+		if err != nil {
+			return cell, err
+		}
+		ns, err := LogCheckpoints(10, cfg.Budget, maxInt(1, cfg.OptCheckpoints/4))
+		if err != nil {
+			return cell, err
+		}
+		if len(ns) > cfg.OptCheckpoints {
+			ns = thin(ns, cfg.OptCheckpoints)
+		}
+		curve, err := pr.ExpectedCurve(ns, nil, true)
+		if err != nil {
+			return cell, err
+		}
+		cell.OptimalNs = ns
+		cell.OptimalCurve = curve
+	}
+	return cell, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func thin(xs []int64, k int) []int64 {
+	if len(xs) <= k {
+		return xs
+	}
+	out := make([]int64, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, xs[i*(len(xs)-1)/(k-1)])
+	}
+	return out
+}
+
+// Render writes the Figure 3 grid as savings tables.
+func (r *Fig3Result) Render(w io.Writer) error {
+	var err error
+	writef(w, &err, "Figure 3 — simulated savings of ExSample over random\n")
+	writef(w, &err, "%d instances, %d frames, %d chunks, %d trials, budget %d samples\n\n",
+		r.Config.NumInstances, r.Config.NumFrames, r.Config.NumChunks, r.Config.Trials, r.Config.Budget)
+	for ti, target := range r.Config.Targets {
+		writef(w, &err, "savings in samples to reach %d results (rows: mean duration; cols: skew)\n", target)
+		writef(w, &err, "%10s", "dur\\skew")
+		for _, s := range r.Config.Skews {
+			writef(w, &err, " %10s", skewLabel(s))
+		}
+		writef(w, &err, "\n")
+		for _, dur := range r.Config.MeanDurs {
+			writef(w, &err, "%10.0f", dur)
+			for _, s := range r.Config.Skews {
+				cell := r.cell(s, dur)
+				if cell == nil {
+					writef(w, &err, " %10s", "-")
+					continue
+				}
+				writef(w, &err, " %10s", fmtRatio(cell.SavingsAt[ti]))
+			}
+			writef(w, &err, "\n")
+		}
+		writef(w, &err, "\n")
+	}
+	writef(w, &err, "median distinct found at budget (exsample / random)\n")
+	for _, dur := range r.Config.MeanDurs {
+		writef(w, &err, "%10.0f", dur)
+		for _, s := range r.Config.Skews {
+			cell := r.cell(s, dur)
+			writef(w, &err, " %6.0f/%-6.0f", cell.ExSampleFound, cell.RandomFound)
+		}
+		writef(w, &err, "\n")
+	}
+	writef(w, &err, "\n")
+	return err
+}
+
+func (r *Fig3Result) cell(skew, dur float64) *Fig3Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Skew == skew && r.Cells[i].MeanDur == dur {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+func skewLabel(s float64) string {
+	if s == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("1/%.0f", 1/s)
+}

@@ -1,0 +1,392 @@
+// Package core implements the paper's primary contribution: the ExSample
+// chunk-based adaptive sampler (Algorithm 1).
+//
+// The repository is partitioned into M chunks. For each chunk j the sampler
+// tracks n[j], the number of frames sampled from the chunk, and N1[j], the
+// (signed) count of result objects currently seen exactly once whose
+// sightings bookkeeping is charged to the chunk. The estimate of the number
+// of new results the next sample from chunk j will produce is
+//
+//	R̂_j = N1[j] / n[j]                            (Eq. III.1)
+//
+// and the belief distribution accounting for estimate uncertainty is
+//
+//	R_j ~ Gamma(alpha = N1[j]+α0, beta = n[j]+β0)  (Eq. III.4)
+//
+// Thompson sampling draws one value from each chunk's belief and samples a
+// frame from the arg-max chunk; the (α0, β0) prior keeps the belief
+// well-defined when N1 = 0 and lets chunks recover from early bad luck.
+package core
+
+import (
+	"fmt"
+
+	"github.com/exsample/exsample/internal/stats"
+	"github.com/exsample/exsample/internal/video"
+	"github.com/exsample/exsample/internal/xrand"
+)
+
+// Policy selects how chunk scores are derived from the per-chunk beliefs.
+type Policy int
+
+const (
+	// Thompson draws a random sample from each chunk's Gamma belief
+	// (Eq. III.4) and picks the arg max. This is the paper's method.
+	Thompson Policy = iota
+	// BayesUCB scores each chunk by an upper quantile of its Gamma belief,
+	// the alternative the paper reports behaves indistinguishably (§III-C).
+	BayesUCB
+	// Greedy uses the raw point estimate N1/n with random tie-breaking. The
+	// paper warns this gets stuck on early lucky chunks (§III-B); it exists
+	// for the ablation benchmarks.
+	Greedy
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Thompson:
+		return "thompson"
+	case BayesUCB:
+		return "bayes-ucb"
+	case Greedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// WithinChunk selects the without-replacement frame order inside a chunk.
+type WithinChunk int
+
+const (
+	// WithinRandomPlus stratifies samples inside the chunk (random+,
+	// §III-F), the paper's default for ExSample.
+	WithinRandomPlus WithinChunk = iota
+	// WithinUniform samples uniformly without replacement.
+	WithinUniform
+	// WithinScored orders frames inside a chunk by a caller-provided score
+	// (descending). §VII notes the chunk estimates remain valid under
+	// non-uniform within-chunk sampling; this is the building block of the
+	// ExSample+proxy fusion, which scores only the chunks actually visited
+	// instead of scanning the whole dataset. Requires Config.Scorer.
+	WithinScored
+)
+
+// String returns the order name.
+func (w WithinChunk) String() string {
+	switch w {
+	case WithinRandomPlus:
+		return "random+"
+	case WithinUniform:
+		return "uniform"
+	case WithinScored:
+		return "scored"
+	default:
+		return fmt.Sprintf("within(%d)", int(w))
+	}
+}
+
+// Config parameterizes a Sampler.
+type Config struct {
+	// Alpha0 and Beta0 are the belief prior (Eq. III.4). The paper uses
+	// α0 = 0.1 and β0 = 1 and reports weak sensitivity to the choice.
+	// Zero values select those defaults.
+	Alpha0 float64
+	Beta0  float64
+	// Policy is the chunk-selection policy (default Thompson).
+	Policy Policy
+	// Within is the frame order inside a chunk (default random+).
+	Within WithinChunk
+	// Seed drives all sampler randomness; runs with the same seed, chunks
+	// and update sequence are identical.
+	Seed uint64
+	// Scorer supplies per-frame scores for WithinScored; it is consulted
+	// lazily, once per frame of each chunk that is actually sampled. It
+	// must be nil for other within-chunk orders.
+	Scorer func(frame int64) float64
+	// OnChunkOpen, if set, is called the first time a chunk's frame order
+	// is built (e.g. to charge per-chunk scoring cost in a fusion setup).
+	OnChunkOpen func(chunk int)
+}
+
+// DefaultAlpha0 and DefaultBeta0 are the paper's prior (§III-C).
+const (
+	DefaultAlpha0 = 0.1
+	DefaultBeta0  = 1.0
+)
+
+func (c Config) withDefaults() Config {
+	if c.Alpha0 == 0 {
+		c.Alpha0 = DefaultAlpha0
+	}
+	if c.Beta0 == 0 {
+		c.Beta0 = DefaultBeta0
+	}
+	return c
+}
+
+// Validate reports an error for out-of-range parameters.
+func (c Config) Validate() error {
+	if c.Alpha0 < 0 || c.Beta0 < 0 {
+		return fmt.Errorf("core: negative prior (alpha0=%v beta0=%v)", c.Alpha0, c.Beta0)
+	}
+	switch c.Policy {
+	case Thompson, BayesUCB, Greedy:
+	default:
+		return fmt.Errorf("core: unknown policy %d", int(c.Policy))
+	}
+	switch c.Within {
+	case WithinRandomPlus, WithinUniform:
+		if c.Scorer != nil {
+			return fmt.Errorf("core: Scorer set but within-chunk order is %v", c.Within)
+		}
+	case WithinScored:
+		if c.Scorer == nil {
+			return fmt.Errorf("core: WithinScored requires a Scorer")
+		}
+	default:
+		return fmt.Errorf("core: unknown within-chunk order %d", int(c.Within))
+	}
+	return nil
+}
+
+// Pick is one sampling decision: the frame to process and the chunk it was
+// drawn from. Updates must be reported against the same chunk.
+type Pick struct {
+	Frame int64
+	Chunk int
+}
+
+// Sampler is the ExSample decision loop state. It owns which frame to look
+// at next; the caller owns running the detector and discriminator and must
+// feed the resulting (d0, d1) sizes back via Update.
+type Sampler struct {
+	cfg    Config
+	chunks []video.Chunk
+	orders []video.FrameOrder
+	n1     []int64
+	n      []int64
+	total  int64 // total frames sampled across chunks
+	live   int   // chunks with frames remaining
+	rng    *xrand.RNG
+}
+
+// New creates a sampler over the given chunks. Chunks must be non-empty and
+// non-overlapping; they are the sampler's arms.
+func New(chunks []video.Chunk, cfg Config) (*Sampler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("core: no chunks")
+	}
+	for i, c := range chunks {
+		if c.Len() <= 0 {
+			return nil, fmt.Errorf("core: chunk %d is empty", i)
+		}
+	}
+	s := &Sampler{
+		cfg:    cfg,
+		chunks: append([]video.Chunk(nil), chunks...),
+		orders: make([]video.FrameOrder, len(chunks)),
+		n1:     make([]int64, len(chunks)),
+		n:      make([]int64, len(chunks)),
+		live:   len(chunks),
+		rng:    xrand.New(cfg.Seed),
+	}
+	return s, nil
+}
+
+// order lazily builds the within-chunk frame order for chunk j.
+func (s *Sampler) order(j int) (video.FrameOrder, error) {
+	if s.orders[j] != nil {
+		return s.orders[j], nil
+	}
+	c := s.chunks[j]
+	rng := xrand.NewFrom(s.cfg.Seed, uint64(j)+1)
+	var (
+		o   video.FrameOrder
+		err error
+	)
+	switch s.cfg.Within {
+	case WithinUniform:
+		o, err = video.NewUniformOrder(c.Start, c.End, rng)
+	case WithinScored:
+		o, err = video.NewScoredOrder(c.Start, c.End, s.cfg.Scorer)
+	default:
+		o, err = video.NewRandomPlusOrder(c.Start, c.End, 0, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.OnChunkOpen != nil {
+		s.cfg.OnChunkOpen(j)
+	}
+	s.orders[j] = o
+	return o, nil
+}
+
+// alphaBeta returns the belief parameters for chunk j. Per-chunk N1 can go
+// negative when an object discovered in one chunk is re-sighted from
+// another (the -1 of the update lands on the re-sighting chunk), so alpha is
+// floored at the prior to keep the Gamma well-defined; the technical report
+// describes the same adjustment for instances spanning chunks.
+func (s *Sampler) alphaBeta(j int) (alpha, beta float64) {
+	alpha = float64(s.n1[j]) + s.cfg.Alpha0
+	if alpha < s.cfg.Alpha0 {
+		alpha = s.cfg.Alpha0
+	}
+	if alpha <= 0 {
+		alpha = 1e-9 // alpha0 = 0 with no positive results yet
+	}
+	beta = float64(s.n[j]) + s.cfg.Beta0
+	if beta <= 0 {
+		beta = 1e-9
+	}
+	return alpha, beta
+}
+
+// score computes the chunk's selection score under the configured policy.
+func (s *Sampler) score(j int) float64 {
+	alpha, beta := s.alphaBeta(j)
+	switch s.cfg.Policy {
+	case BayesUCB:
+		// Quantile level 1 - 1/(t+1) grows with total samples t, the
+		// schedule from Kaufmann's Bayes-UCB (§III-C reference [18]).
+		level := 1 - 1/float64(s.total+2)
+		q, err := stats.GammaQuantile(level, alpha, beta)
+		if err != nil {
+			// Extremely defensive: fall back to the mean.
+			return alpha / beta
+		}
+		return q
+	case Greedy:
+		// Point estimate with vanishing random tie-break so identical
+		// estimates (e.g. at start) don't collapse onto chunk 0.
+		return alpha/beta + 1e-12*s.rng.Float64()
+	default:
+		return s.rng.Gamma(alpha, beta)
+	}
+}
+
+// Next returns the next frame to process: the Thompson (or alternative
+// policy) choice of chunk, and a frame drawn from that chunk's
+// without-replacement order. ok is false when every chunk is exhausted.
+func (s *Sampler) Next() (Pick, bool) {
+	for s.live > 0 {
+		best, bestScore := -1, 0.0
+		for j := range s.chunks {
+			if s.orders[j] != nil && s.orders[j].Remaining() == 0 {
+				continue
+			}
+			sc := s.score(j)
+			if best == -1 || sc > bestScore {
+				best, bestScore = j, sc
+			}
+		}
+		if best == -1 {
+			return Pick{}, false
+		}
+		o, err := s.order(best)
+		if err != nil {
+			return Pick{}, false
+		}
+		frame, ok := o.Next()
+		if !ok {
+			// Chunk exhausted between the score pass and the draw.
+			s.live--
+			continue
+		}
+		if o.Remaining() == 0 {
+			s.live--
+		}
+		return Pick{Frame: frame, Chunk: best}, true
+	}
+	return Pick{}, false
+}
+
+// NextBatch fills dst with up to b picks drawn by the batched variant
+// (§III-F): b independent belief samples per chunk, each producing one
+// arg-max pick. Chunks can repeat within a batch. The caller should process
+// the whole batch and then apply updates; N1/n updates are additive and
+// commute, so batching does not change the statistics.
+func (s *Sampler) NextBatch(b int) []Pick {
+	if b <= 0 {
+		return nil
+	}
+	picks := make([]Pick, 0, b)
+	for i := 0; i < b; i++ {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		picks = append(picks, p)
+	}
+	return picks
+}
+
+// Update feeds back the discriminator's classification of the detections
+// found in a frame sampled from the given chunk: d0 = detections that
+// matched no previous result (new objects), d1 = detections whose object had
+// been seen exactly once before (Algorithm 1, lines 11–12).
+func (s *Sampler) Update(chunk int, d0, d1 int) error {
+	if chunk < 0 || chunk >= len(s.chunks) {
+		return fmt.Errorf("core: chunk %d out of range [0, %d)", chunk, len(s.chunks))
+	}
+	if d0 < 0 || d1 < 0 {
+		return fmt.Errorf("core: negative counts d0=%d d1=%d", d0, d1)
+	}
+	s.n1[chunk] += int64(d0) - int64(d1)
+	s.n[chunk]++
+	s.total++
+	return nil
+}
+
+// Adjust applies a raw N1 delta to a chunk without counting a sample. It
+// implements the technical report's cross-chunk accounting: when an object
+// discovered from chunk A is re-sighted while sampling chunk B, the -1 of
+// the "seen exactly once" bookkeeping belongs to A (where the object's +1
+// lives), not to B. Callers using this pass d1 as per-home-chunk deltas and
+// report Update(chunk, d0, 0) for the sampled chunk.
+func (s *Sampler) Adjust(chunk int, delta int64) error {
+	if chunk < 0 || chunk >= len(s.chunks) {
+		return fmt.Errorf("core: chunk %d out of range [0, %d)", chunk, len(s.chunks))
+	}
+	s.n1[chunk] += delta
+	return nil
+}
+
+// Stats returns chunk j's current (N1, n).
+func (s *Sampler) Stats(j int) (n1, n int64) { return s.n1[j], s.n[j] }
+
+// PointEstimate returns the prior-smoothed point estimate
+// (N1+α0)/(n+β0) for chunk j.
+func (s *Sampler) PointEstimate(j int) float64 {
+	alpha, beta := s.alphaBeta(j)
+	return alpha / beta
+}
+
+// TotalSamples returns the number of frames sampled so far.
+func (s *Sampler) TotalSamples() int64 { return s.total }
+
+// NumChunks returns the number of arms.
+func (s *Sampler) NumChunks() int { return len(s.chunks) }
+
+// Chunks returns the chunk layout (copy-on-construction slice; do not
+// mutate).
+func (s *Sampler) Chunks() []video.Chunk { return s.chunks }
+
+// Allocation returns the fraction of samples taken from each chunk, the
+// de-facto weight vector the sampler has converged to (§IV-A).
+func (s *Sampler) Allocation() []float64 {
+	out := make([]float64, len(s.n))
+	if s.total == 0 {
+		return out
+	}
+	for j, nj := range s.n {
+		out[j] = float64(nj) / float64(s.total)
+	}
+	return out
+}

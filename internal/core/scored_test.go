@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/exsample/exsample/internal/video"
+)
+
+func TestScoredWithinValidation(t *testing.T) {
+	chunks := []video.Chunk{{ID: 0, Start: 0, End: 10}}
+	// WithinScored without a scorer is rejected.
+	if _, err := New(chunks, Config{Within: WithinScored}); err == nil {
+		t.Error("WithinScored without scorer accepted")
+	}
+	// A scorer with a non-scored order is rejected.
+	if _, err := New(chunks, Config{Scorer: func(int64) float64 { return 0 }}); err == nil {
+		t.Error("scorer with random+ order accepted")
+	}
+	if _, err := New(chunks, Config{Within: WithinScored, Scorer: func(int64) float64 { return 0 }}); err != nil {
+		t.Errorf("valid scored config rejected: %v", err)
+	}
+}
+
+func TestScoredWithinFollowsScores(t *testing.T) {
+	chunks, err := video.SplitRange(0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(chunks, Config{
+		Within: WithinScored,
+		Scorer: func(f int64) float64 { return float64(f) }, // prefer later frames
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(1 << 62)
+	for i := 0; i < 100; i++ {
+		p, ok := s.Next()
+		if !ok {
+			t.Fatal("exhausted early")
+		}
+		if p.Frame >= prev {
+			t.Fatalf("scored order not descending: %d after %d", p.Frame, prev)
+		}
+		prev = p.Frame
+		if err := s.Update(p.Chunk, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOnChunkOpenFiresOncePerChunk(t *testing.T) {
+	chunks, err := video.SplitRange(0, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened := make(map[int]int)
+	s, err := New(chunks, Config{
+		Seed:        3,
+		OnChunkOpen: func(j int) { opened[j]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		s.Update(p.Chunk, 0, 0)
+	}
+	if len(opened) != 4 {
+		t.Fatalf("opened %d chunks, want 4", len(opened))
+	}
+	for j, c := range opened {
+		if c != 1 {
+			t.Fatalf("chunk %d opened %d times", j, c)
+		}
+	}
+}
+
+func TestAdjust(t *testing.T) {
+	chunks, err := video.SplitRange(0, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(chunks, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Adjust(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	n1, n := s.Stats(0)
+	if n1 != 3 || n != 0 {
+		t.Fatalf("Stats = (%d, %d); Adjust must not count a sample", n1, n)
+	}
+	if err := s.Adjust(0, -5); err != nil {
+		t.Fatal(err)
+	}
+	if n1, _ := s.Stats(0); n1 != -2 {
+		t.Fatalf("N1 = %d", n1)
+	}
+	if err := s.Adjust(-1, 1); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	if err := s.Adjust(2, 1); err == nil {
+		t.Error("out-of-range chunk accepted")
+	}
+}

@@ -1,0 +1,277 @@
+// Package datasets defines synthetic equivalents of the paper's six
+// evaluation datasets (§V-A): dashcam, BDD-1k, BDD MOT, amsterdam, archie
+// and night-street.
+//
+// Real video and labels are unavailable here; what the sampler actually
+// interacts with is the joint distribution of (a) how many distinct
+// instances of each class exist, (b) how long each stays visible, and
+// (c) how instances cluster across chunks (skew). Each profile pins those
+// three per query. Where the paper reports a concrete statistic we match it:
+// chunk structure (20-minute chunks for long video, one chunk per clip for
+// BDD), repository sizes consistent with Table I's scan times at 100 fps,
+// and the Figure 6 anchor queries (dashcam/bicycle N=249 S≈14, bdd1k/motor
+// N=509 S≈19, night-street/person N=2078 S≈4.5, archie/car high-N S≈1.1,
+// amsterdam/boat N=588 S≈1.6). Remaining queries get plausible populations
+// consistent with their Table I time ordering.
+package datasets
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/exsample/exsample/internal/synth"
+	"github.com/exsample/exsample/internal/track"
+	"github.com/exsample/exsample/internal/video"
+)
+
+// QuerySpec describes one object-class query on a dataset profile.
+type QuerySpec struct {
+	// Class is the object class searched for.
+	Class string
+	// NumInstances is the distinct ground-truth population N.
+	NumInstances int
+	// MeanDuration is the mean visibility in frames.
+	MeanDuration float64
+	// SkewFraction concentrates 95% of the class inside this fraction of
+	// the repository (0 = uniform).
+	SkewFraction float64
+	// Center offsets the class's concentration region (fraction of the
+	// repository; 0 = midpoint).
+	Center float64
+}
+
+// Profile describes one synthetic dataset.
+type Profile struct {
+	// Name matches the paper's dataset name.
+	Name string
+	// NumFrames is the repository size at scale 1.
+	NumFrames int64
+	// FPS is the recording rate.
+	FPS float64
+	// ChunkFrames is the fixed chunk length (0 when ChunkPerFile).
+	ChunkFrames int64
+	// ChunkPerFile selects one chunk per clip (the BDD constraint, §V-A).
+	ChunkPerFile bool
+	// ClipFrames is the per-file length used when ChunkPerFile is set.
+	ClipFrames int64
+	// Queries lists the object classes evaluated on this dataset.
+	Queries []QuerySpec
+}
+
+// Profiles returns all six dataset profiles with their Table I query lists.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			// 10 hours of drive video, ~1.04M frames (2h54m scan at 100fps),
+			// 20-minute chunks -> ~29 chunks.
+			Name: "dashcam", NumFrames: 1_044_000, FPS: 30, ChunkFrames: 36_000,
+			Queries: []QuerySpec{
+				{Class: "bicycle", NumInstances: 249, MeanDuration: 60, SkewFraction: 1.0 / 16, Center: 0.30},
+				{Class: "bus", NumInstances: 120, MeanDuration: 90, SkewFraction: 1.0 / 8, Center: 0.62},
+				{Class: "fire hydrant", NumInstances: 300, MeanDuration: 40, SkewFraction: 1.0 / 6, Center: 0.45},
+				{Class: "person", NumInstances: 2200, MeanDuration: 80, SkewFraction: 1.0 / 5, Center: 0.38},
+				{Class: "stop sign", NumInstances: 350, MeanDuration: 45, SkewFraction: 1.0 / 4, Center: 0.55},
+				{Class: "traffic light", NumInstances: 1400, MeanDuration: 120, SkewFraction: 1.0 / 4, Center: 0.42},
+				{Class: "truck", NumInstances: 500, MeanDuration: 70, SkewFraction: 1.0 / 3, Center: 0.58},
+			},
+		},
+		{
+			// 1000 sub-minute clips, one chunk each (54m scan).
+			Name: "bdd1k", NumFrames: 324_000, FPS: 30, ChunkPerFile: true, ClipFrames: 324,
+			Queries: []QuerySpec{
+				{Class: "bike", NumInstances: 380, MeanDuration: 45, SkewFraction: 1.0 / 10, Center: 0.35},
+				{Class: "bus", NumInstances: 300, MeanDuration: 55, SkewFraction: 1.0 / 8, Center: 0.6},
+				{Class: "motor", NumInstances: 509, MeanDuration: 40, SkewFraction: 1.0 / 13, Center: 0.28},
+				{Class: "person", NumInstances: 3200, MeanDuration: 60, SkewFraction: 1.0 / 4, Center: 0.5},
+				{Class: "rider", NumInstances: 420, MeanDuration: 45, SkewFraction: 1.0 / 9, Center: 0.33},
+				{Class: "traffic light", NumInstances: 2600, MeanDuration: 70, SkewFraction: 1.0 / 3, Center: 0.5},
+				{Class: "traffic sign", NumInstances: 3400, MeanDuration: 55, SkewFraction: 1.0 / 3, Center: 0.52},
+				{Class: "truck", NumInstances: 900, MeanDuration: 60, SkewFraction: 1.0 / 6, Center: 0.57},
+			},
+		},
+		{
+			// 1600 clips of ~200 frames (53m scan).
+			Name: "bddmot", NumFrames: 320_000, FPS: 30, ChunkPerFile: true, ClipFrames: 200,
+			Queries: []QuerySpec{
+				{Class: "bicycle", NumInstances: 290, MeanDuration: 50, SkewFraction: 1.0 / 9, Center: 0.4},
+				{Class: "bus", NumInstances: 420, MeanDuration: 60, SkewFraction: 1.0 / 6, Center: 0.55},
+				{Class: "car", NumInstances: 9000, MeanDuration: 70, SkewFraction: 1.0 / 2, Center: 0.5},
+				{Class: "motorcycle", NumInstances: 210, MeanDuration: 45, SkewFraction: 1.0 / 10, Center: 0.3},
+				{Class: "pedestrian", NumInstances: 3800, MeanDuration: 65, SkewFraction: 1.0 / 4, Center: 0.45},
+				{Class: "rider", NumInstances: 330, MeanDuration: 50, SkewFraction: 1.0 / 8, Center: 0.36},
+				{Class: "trailer", NumInstances: 90, MeanDuration: 60, SkewFraction: 1.0 / 7, Center: 0.63},
+				{Class: "train", NumInstances: 40, MeanDuration: 80, SkewFraction: 1.0 / 12, Center: 0.7},
+				{Class: "truck", NumInstances: 1300, MeanDuration: 60, SkewFraction: 1.0 / 4, Center: 0.55},
+			},
+		},
+		{
+			// 20 hours of canal-side static camera (~9h50m scan).
+			Name: "amsterdam", NumFrames: 3_540_000, FPS: 50, ChunkFrames: 60_000,
+			Queries: []QuerySpec{
+				{Class: "bicycle", NumInstances: 4200, MeanDuration: 300, SkewFraction: 1.0 / 3, Center: 0.45},
+				{Class: "boat", NumInstances: 588, MeanDuration: 9000, SkewFraction: 0.85, Center: 0.5},
+				{Class: "car", NumInstances: 5200, MeanDuration: 450, SkewFraction: 1.0 / 3, Center: 0.5},
+				{Class: "dog", NumInstances: 180, MeanDuration: 250, SkewFraction: 1.0 / 6, Center: 0.4},
+				{Class: "motorcycle", NumInstances: 95, MeanDuration: 200, SkewFraction: 1.0 / 8, Center: 0.35},
+				{Class: "person", NumInstances: 16000, MeanDuration: 500, SkewFraction: 1.0 / 2.5, Center: 0.5},
+				{Class: "truck", NumInstances: 800, MeanDuration: 400, SkewFraction: 1.0 / 4, Center: 0.55},
+			},
+		},
+		{
+			// 20 hours of urban intersection static camera (~9h49m scan).
+			Name: "archie", NumFrames: 3_534_000, FPS: 50, ChunkFrames: 60_000,
+			Queries: []QuerySpec{
+				{Class: "bicycle", NumInstances: 2600, MeanDuration: 280, SkewFraction: 1.0 / 3, Center: 0.48},
+				{Class: "bus", NumInstances: 900, MeanDuration: 350, SkewFraction: 1.0 / 4, Center: 0.5},
+				{Class: "car", NumInstances: 33546, MeanDuration: 600, SkewFraction: 0, Center: 0.5},
+				{Class: "motorcycle", NumInstances: 140, MeanDuration: 220, SkewFraction: 1.0 / 7, Center: 0.42},
+				{Class: "person", NumInstances: 9500, MeanDuration: 450, SkewFraction: 1.0 / 2.5, Center: 0.5},
+				{Class: "truck", NumInstances: 1400, MeanDuration: 380, SkewFraction: 1.0 / 4, Center: 0.53},
+			},
+		},
+		{
+			// 20 hours of night street static camera (8h scan).
+			Name: "night-street", NumFrames: 2_880_000, FPS: 40, ChunkFrames: 48_000,
+			Queries: []QuerySpec{
+				{Class: "bus", NumInstances: 700, MeanDuration: 300, SkewFraction: 1.0 / 4, Center: 0.45},
+				{Class: "car", NumInstances: 18000, MeanDuration: 500, SkewFraction: 1.0 / 2, Center: 0.5},
+				{Class: "dog", NumInstances: 110, MeanDuration: 200, SkewFraction: 1.0 / 8, Center: 0.35},
+				{Class: "motorcycle", NumInstances: 45, MeanDuration: 180, SkewFraction: 1.0 / 10, Center: 0.3},
+				{Class: "person", NumInstances: 2078, MeanDuration: 350, SkewFraction: 1.0 / 3.2, Center: 0.4},
+				{Class: "truck", NumInstances: 950, MeanDuration: 320, SkewFraction: 1.0 / 4, Center: 0.55},
+			},
+		},
+	}
+}
+
+// ProfileByName looks up a profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("datasets: unknown profile %q", name)
+}
+
+// Query looks up a class on a profile.
+func (p Profile) Query(class string) (QuerySpec, error) {
+	for _, q := range p.Queries {
+		if q.Class == class {
+			return q, nil
+		}
+	}
+	return QuerySpec{}, fmt.Errorf("datasets: profile %q has no class %q", p.Name, class)
+}
+
+// Dataset is a fully generated synthetic repository: frame layout, chunking,
+// and ground-truth instances for every query class.
+type Dataset struct {
+	Profile   Profile
+	Scale     float64
+	Repo      *video.Repository
+	Chunks    []video.Chunk
+	Instances []track.Instance
+	Index     *track.Index
+	// CountByClass caches the distinct population per class.
+	CountByClass map[string]int
+}
+
+// Build generates a dataset at the given scale (1 = paper size; smaller
+// scales shrink frames and populations proportionally, preserving density
+// and skew so savings ratios survive). seed controls generation.
+func Build(p Profile, scale float64, seed uint64) (*Dataset, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("datasets: scale %v outside (0,1]", scale)
+	}
+	numFrames := int64(float64(p.NumFrames) * scale)
+	if numFrames < 1000 {
+		return nil, fmt.Errorf("datasets: scale %v leaves only %d frames", scale, numFrames)
+	}
+
+	// File layout and chunks.
+	var repo *video.Repository
+	var chunks []video.Chunk
+	var err error
+	if p.ChunkPerFile {
+		clip := p.ClipFrames
+		numClips := int(numFrames / clip)
+		if numClips < 2 {
+			return nil, fmt.Errorf("datasets: scale %v leaves %d clips", scale, numClips)
+		}
+		counts := make([]int64, numClips)
+		for i := range counts {
+			counts[i] = clip
+		}
+		repo, err = video.NewRepository(p.FPS, counts...)
+		if err != nil {
+			return nil, err
+		}
+		chunks = repo.ChunkPerFile()
+		numFrames = repo.NumFrames()
+	} else {
+		repo, err = video.NewRepository(p.FPS, numFrames)
+		if err != nil {
+			return nil, err
+		}
+		chunkFrames := int64(float64(p.ChunkFrames) * scale)
+		if chunkFrames < 100 {
+			chunkFrames = 100
+		}
+		chunks, err = repo.ChunkByDuration(chunkFrames)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Ground truth per query class, ids offset so they are globally unique.
+	var all []track.Instance
+	counts := make(map[string]int, len(p.Queries))
+	idBase := 0
+	for qi, q := range p.Queries {
+		n := int(math.Round(float64(q.NumInstances) * scale))
+		if n < 5 {
+			n = 5
+		}
+		meanDur := q.MeanDuration
+		if meanDur >= float64(numFrames)/4 {
+			meanDur = float64(numFrames) / 4
+		}
+		instances, err := synth.Generate(synth.GridSpec{
+			NumInstances: n,
+			NumFrames:    numFrames,
+			SkewFraction: q.SkewFraction,
+			Center:       q.Center,
+			MeanDuration: meanDur,
+			Class:        q.Class,
+			Seed:         seed + uint64(qi)*1_000_003,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("datasets: %s/%s: %w", p.Name, q.Class, err)
+		}
+		for i := range instances {
+			instances[i].ID = idBase + i
+		}
+		idBase += len(instances)
+		counts[q.Class] = len(instances)
+		all = append(all, instances...)
+	}
+	idx, err := track.NewIndex(all, numFrames, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Profile:      p,
+		Scale:        scale,
+		Repo:         repo,
+		Chunks:       chunks,
+		Instances:    all,
+		Index:        idx,
+		CountByClass: counts,
+	}, nil
+}
+
+// ClassInstances returns the ground-truth instances of one class.
+func (d *Dataset) ClassInstances(class string) []track.Instance {
+	return track.FilterClass(d.Instances, class)
+}

@@ -1,0 +1,217 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/exsample/exsample/internal/metrics"
+	"github.com/exsample/exsample/internal/video"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	profiles := Profiles()
+	if len(profiles) != 6 {
+		t.Fatalf("got %d profiles, want 6", len(profiles))
+	}
+	// Total query count matches Table I (43 rows).
+	total := 0
+	names := map[string]bool{}
+	for _, p := range profiles {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.NumFrames <= 0 || p.FPS <= 0 {
+			t.Fatalf("profile %q has bad size/fps", p.Name)
+		}
+		if !p.ChunkPerFile && p.ChunkFrames <= 0 {
+			t.Fatalf("profile %q has no chunk policy", p.Name)
+		}
+		if p.ChunkPerFile && p.ClipFrames <= 0 {
+			t.Fatalf("profile %q per-file chunks without clip length", p.Name)
+		}
+		classes := map[string]bool{}
+		for _, q := range p.Queries {
+			if classes[q.Class] {
+				t.Fatalf("%s: duplicate class %q", p.Name, q.Class)
+			}
+			classes[q.Class] = true
+			if q.NumInstances <= 0 || q.MeanDuration <= 0 {
+				t.Fatalf("%s/%s: bad population", p.Name, q.Class)
+			}
+		}
+		total += len(p.Queries)
+	}
+	if total != 43 {
+		t.Fatalf("total queries = %d, want 43 (Table I)", total)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("dashcam")
+	if err != nil || p.Name != "dashcam" {
+		t.Fatalf("ProfileByName(dashcam) = %v, %v", p.Name, err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestQueryLookup(t *testing.T) {
+	p, err := ProfileByName("amsterdam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.Query("boat")
+	if err != nil || q.Class != "boat" {
+		t.Fatalf("Query(boat) = %+v, %v", q, err)
+	}
+	if _, err := p.Query("spaceship"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestBuildSmallScale(t *testing.T) {
+	p, err := ProfileByName("dashcam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Build(p, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Repo.NumFrames() != ds.Index.NumFrames() {
+		t.Fatalf("repo %d frames, index %d", ds.Repo.NumFrames(), ds.Index.NumFrames())
+	}
+	if err := video.ValidateChunks(ds.Chunks, ds.Repo.NumFrames()); err != nil {
+		t.Fatal(err)
+	}
+	// Every query class is populated.
+	for _, q := range p.Queries {
+		if ds.CountByClass[q.Class] == 0 {
+			t.Errorf("class %q empty", q.Class)
+		}
+	}
+	// Instance ids globally unique.
+	seen := map[int]bool{}
+	for _, in := range ds.Instances {
+		if seen[in.ID] {
+			t.Fatalf("duplicate instance id %d", in.ID)
+		}
+		seen[in.ID] = true
+	}
+}
+
+func TestBuildPerFileChunks(t *testing.T) {
+	p, err := ProfileByName("bdd1k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Build(p, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Chunks) != ds.Repo.NumFiles() {
+		t.Fatalf("%d chunks for %d files", len(ds.Chunks), ds.Repo.NumFiles())
+	}
+	// Roughly 100 clips at scale 0.1.
+	if len(ds.Chunks) < 80 || len(ds.Chunks) > 120 {
+		t.Fatalf("chunk count = %d", len(ds.Chunks))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p, _ := ProfileByName("dashcam")
+	for _, scale := range []float64{0, -1, 1.5, 1e-6} {
+		if _, err := Build(p, scale, 1); err == nil {
+			t.Errorf("scale %v accepted", scale)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p, _ := ProfileByName("bddmot")
+	a, err := Build(p, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(p, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instances) != len(b.Instances) {
+		t.Fatal("instance counts differ between builds")
+	}
+	for i := range a.Instances {
+		if a.Instances[i] != b.Instances[i] {
+			t.Fatalf("instance %d differs", i)
+		}
+	}
+}
+
+// Figure 6 anchors: the skew metric ordering must hold — dashcam/bicycle and
+// bdd1k/motor are highly skewed, archie/car and amsterdam/boat nearly
+// uniform.
+func TestFigure6SkewOrdering(t *testing.T) {
+	skewOf := func(profile, class string) float64 {
+		t.Helper()
+		p, err := ProfileByName(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := Build(p, 0.25, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := metrics.ChunkHistogram(ds.ClassInstances(class), ds.Chunks)
+		s, err := metrics.SkewMetric(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	bike := skewOf("dashcam", "bicycle")
+	motor := skewOf("bdd1k", "motor")
+	person := skewOf("night-street", "person")
+	car := skewOf("archie", "car")
+	boat := skewOf("amsterdam", "boat")
+	t.Logf("S: dashcam/bicycle=%.1f bdd1k/motor=%.1f night-street/person=%.1f archie/car=%.1f amsterdam/boat=%.1f",
+		bike, motor, person, car, boat)
+	if bike < 4 {
+		t.Errorf("dashcam/bicycle S=%v, want strongly skewed", bike)
+	}
+	if motor < 4 {
+		t.Errorf("bdd1k/motor S=%v, want strongly skewed", motor)
+	}
+	if person < 2 {
+		t.Errorf("night-street/person S=%v, want moderately skewed", person)
+	}
+	if car > 2.5 {
+		t.Errorf("archie/car S=%v, want near-uniform", car)
+	}
+	if boat > 3 {
+		t.Errorf("amsterdam/boat S=%v, want low skew", boat)
+	}
+	if bike < person || motor < person {
+		t.Error("high-skew anchors below moderate-skew anchor")
+	}
+	if person < car {
+		t.Error("moderate-skew anchor below uniform anchor")
+	}
+}
+
+func TestClassInstances(t *testing.T) {
+	p, _ := ProfileByName("night-street")
+	ds, err := Build(p, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dogs := ds.ClassInstances("dog")
+	if len(dogs) != ds.CountByClass["dog"] {
+		t.Fatalf("ClassInstances(dog) = %d, CountByClass = %d", len(dogs), ds.CountByClass["dog"])
+	}
+	for _, in := range dogs {
+		if in.Class != "dog" {
+			t.Fatal("wrong class returned")
+		}
+	}
+}

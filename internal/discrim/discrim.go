@@ -1,0 +1,231 @@
+// Package discrim implements the paper's discriminator (§II-B): the
+// component that decides whether a detection corresponds to an object
+// already returned earlier in the query, so that distinct-object queries
+// count each object once.
+//
+// The paper's discriminator applies a SORT-like tracker backwards and
+// forwards through the video from each new detection, recording the object's
+// predicted position in every frame where it is visible; later detections
+// are discarded when they match a recorded position by IoU. Here the tracker
+// is abstracted as an Extender: given a detection, it returns the predicted
+// track (a frame interval with interpolated boxes). The simulation-backed
+// extender reproduces a tracker of configurable quality over ground truth;
+// a trivial extender covers only the detection's own frame.
+//
+// The discriminator also maintains per-object sighting counts, because
+// ExSample's estimator needs d0 (detections matching nothing: new objects)
+// and d1 (detections whose object had been seen exactly once before):
+// Algorithm 1 updates N1[j] += len(d0) - len(d1).
+package discrim
+
+import (
+	"fmt"
+
+	"github.com/exsample/exsample/internal/geom"
+	"github.com/exsample/exsample/internal/track"
+)
+
+// PredictedTrack is the tracker's output for one discovered object: the
+// frame interval over which the tracker could follow the object, with
+// interpolated boxes.
+type PredictedTrack struct {
+	Start    int64
+	End      int64
+	StartBox geom.Box
+	EndBox   geom.Box
+}
+
+// BoxAt returns the predicted box at a frame within the track (clamped).
+func (p PredictedTrack) BoxAt(frame int64) geom.Box {
+	if p.End <= p.Start {
+		return p.StartBox
+	}
+	t := float64(frame-p.Start) / float64(p.End-p.Start)
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return geom.Lerp(p.StartBox, p.EndBox, t)
+}
+
+// Covers reports whether the predicted track covers the frame.
+func (p PredictedTrack) Covers(frame int64) bool {
+	return frame >= p.Start && frame <= p.End
+}
+
+// Extender runs the tracker forwards and backwards from a detection and
+// returns the predicted track.
+type Extender interface {
+	Extend(det track.Detection) PredictedTrack
+}
+
+// Object is a distinct result registered by the discriminator.
+type Object struct {
+	// ID is the discriminator-assigned result id (0, 1, 2, ...).
+	ID int
+	// Class is the detection class.
+	Class string
+	// Track is the predicted visibility extent.
+	Track PredictedTrack
+	// Sightings counts how many detections have matched this object,
+	// including the one that created it.
+	Sightings int
+	// FirstDetection is the detection that discovered the object.
+	FirstDetection track.Detection
+}
+
+// Discriminator matches detections against previously discovered objects.
+type Discriminator struct {
+	iouThresh  float64
+	extender   Extender
+	objects    []*Object
+	bucketSize int64
+	buckets    map[int64][]int // bucket -> object indices whose track overlaps
+}
+
+// DefaultIoUThreshold is the overlap needed for a detection to match a
+// predicted position, the usual SORT/IoU-matching operating point.
+const DefaultIoUThreshold = 0.5
+
+// New creates a discriminator. iouThresh <= 0 selects
+// DefaultIoUThreshold.
+func New(extender Extender, iouThresh float64) (*Discriminator, error) {
+	if extender == nil {
+		return nil, fmt.Errorf("discrim: nil extender")
+	}
+	if iouThresh <= 0 {
+		iouThresh = DefaultIoUThreshold
+	}
+	if iouThresh > 1 {
+		return nil, fmt.Errorf("discrim: IoU threshold %v > 1", iouThresh)
+	}
+	return &Discriminator{
+		iouThresh:  iouThresh,
+		extender:   extender,
+		bucketSize: 1 << 10,
+		buckets:    make(map[int64][]int),
+	}, nil
+}
+
+// GetMatches classifies the frame's detections without mutating state
+// (Algorithm 1, line 10): d0 are detections that match no known object (new
+// objects); d1 are detections whose matched object had been seen exactly
+// once before. Detections matching an object already seen twice or more fall
+// into neither set.
+func (d *Discriminator) GetMatches(frame int64, dets []track.Detection) (d0, d1 []track.Detection) {
+	for _, det := range dets {
+		obj := d.match(frame, det)
+		switch {
+		case obj == nil:
+			d0 = append(d0, det)
+		case obj.Sightings == 1:
+			d1 = append(d1, det)
+		}
+	}
+	return d0, d1
+}
+
+// Add registers the frame's detections (Algorithm 1, line 13): matched
+// detections bump their object's sighting count; unmatched detections create
+// new objects via the tracker. It returns the newly created objects.
+func (d *Discriminator) Add(frame int64, dets []track.Detection) []*Object {
+	var created []*Object
+	for _, det := range dets {
+		if obj := d.match(frame, det); obj != nil {
+			obj.Sightings++
+			continue
+		}
+		obj := &Object{
+			ID:             len(d.objects),
+			Class:          det.Class,
+			Track:          d.extender.Extend(det),
+			Sightings:      1,
+			FirstDetection: det,
+		}
+		d.objects = append(d.objects, obj)
+		d.indexObject(obj)
+		created = append(created, obj)
+	}
+	return created
+}
+
+// Observe combines GetMatches and Add for the common sampler loop. d0 holds
+// the detections that created new objects; d1 holds one entry per object
+// that received its second sighting (reported as that object's discovering
+// detection — callers of Observe only use the set sizes, per Algorithm 1
+// line 11; use ObserveObjects for the full objects).
+func (d *Discriminator) Observe(frame int64, dets []track.Detection) (d0, d1 []track.Detection) {
+	newObjs, secondObjs := d.ObserveObjects(frame, dets)
+	for _, o := range newObjs {
+		d0 = append(d0, o.FirstDetection)
+	}
+	for _, o := range secondObjs {
+		d1 = append(d1, o.FirstDetection)
+	}
+	return d0, d1
+}
+
+// ObserveObjects is Observe returning the affected objects instead of the
+// raw detections: newObjs are the objects created by this frame (the d0
+// set), secondObjs are the objects that received their second sighting (the
+// d1 set). Callers implementing the technical report's cross-chunk
+// accounting need secondObjs to locate each object's home chunk.
+func (d *Discriminator) ObserveObjects(frame int64, dets []track.Detection) (newObjs, secondObjs []*Object) {
+	// Classify and register one detection at a time so that two detections
+	// of the same new object within one frame are not both counted as new.
+	for _, det := range dets {
+		obj := d.match(frame, det)
+		switch {
+		case obj == nil:
+			newObj := &Object{
+				ID:             len(d.objects),
+				Class:          det.Class,
+				Track:          d.extender.Extend(det),
+				Sightings:      1,
+				FirstDetection: det,
+			}
+			d.objects = append(d.objects, newObj)
+			d.indexObject(newObj)
+			newObjs = append(newObjs, newObj)
+		case obj.Sightings == 1:
+			secondObjs = append(secondObjs, obj)
+			obj.Sightings++
+		default:
+			obj.Sightings++
+		}
+	}
+	return newObjs, secondObjs
+}
+
+// match returns the known object whose predicted position at the frame best
+// matches the detection (same class, IoU >= threshold), or nil.
+func (d *Discriminator) match(frame int64, det track.Detection) *Object {
+	var best *Object
+	bestIoU := 0.0
+	for _, i := range d.buckets[frame/d.bucketSize] {
+		obj := d.objects[i]
+		if obj.Class != det.Class || !obj.Track.Covers(frame) {
+			continue
+		}
+		iou := geom.IoU(obj.Track.BoxAt(frame), det.Box)
+		if iou >= d.iouThresh && iou > bestIoU {
+			best = obj
+			bestIoU = iou
+		}
+	}
+	return best
+}
+
+func (d *Discriminator) indexObject(obj *Object) {
+	for b := obj.Track.Start / d.bucketSize; b <= obj.Track.End/d.bucketSize; b++ {
+		d.buckets[b] = append(d.buckets[b], obj.ID)
+	}
+}
+
+// Objects returns all discovered objects in discovery order (shared slice;
+// do not mutate).
+func (d *Discriminator) Objects() []*Object { return d.objects }
+
+// NumResults returns the number of distinct objects discovered so far.
+func (d *Discriminator) NumResults() int { return len(d.objects) }

@@ -1,0 +1,243 @@
+// Package opt solves the paper's offline optimal-allocation benchmark
+// (Eq. IV.1): given per-instance, per-chunk hit probabilities p_ij, find the
+// static chunk-weight vector w on the probability simplex maximizing the
+// expected number of distinct instances found after n samples,
+//
+//	maximize_w  Σ_i 1 − (1 − p_i·w)^n .
+//
+// The paper solves this with CVXPY; the objective is concave in w (each term
+// is a concave composition of a convex decreasing function with an affine
+// map), so projected gradient ascent with simplex projection converges to
+// the same optimum. The resulting dashed "optimal allocation" curves appear
+// in Figures 3 and 4.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/exsample/exsample/internal/track"
+	"github.com/exsample/exsample/internal/video"
+)
+
+// Problem holds the per-instance hit probability vectors. P[i][j] is the
+// probability that a frame sampled uniformly from chunk j shows instance i.
+type Problem struct {
+	P [][]float64
+	m int // number of chunks
+}
+
+// NewProblem validates and wraps a probability matrix.
+func NewProblem(p [][]float64) (*Problem, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("opt: no instances")
+	}
+	m := len(p[0])
+	if m == 0 {
+		return nil, fmt.Errorf("opt: no chunks")
+	}
+	for i, row := range p {
+		if len(row) != m {
+			return nil, fmt.Errorf("opt: row %d has %d chunks, want %d", i, len(row), m)
+		}
+		for j, v := range row {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return nil, fmt.Errorf("opt: p[%d][%d] = %v outside [0,1]", i, j, v)
+			}
+		}
+	}
+	return &Problem{P: p, m: m}, nil
+}
+
+// FromInstances builds the probability matrix from ground-truth instance
+// intervals and a chunk layout: p_ij = |frames of i inside chunk j| / |j|.
+func FromInstances(instances []track.Instance, chunks []video.Chunk) (*Problem, error) {
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("opt: no instances")
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("opt: no chunks")
+	}
+	p := make([][]float64, len(instances))
+	for i, in := range instances {
+		row := make([]float64, len(chunks))
+		for j, c := range chunks {
+			lo := in.Start
+			if c.Start > lo {
+				lo = c.Start
+			}
+			hi := in.End + 1 // instance interval is inclusive
+			if c.End < hi {
+				hi = c.End
+			}
+			if hi > lo {
+				row[j] = float64(hi-lo) / float64(c.Len())
+			}
+		}
+		p[i] = row
+	}
+	return NewProblem(p)
+}
+
+// NumChunks returns the number of chunks M.
+func (pr *Problem) NumChunks() int { return pr.m }
+
+// NumInstances returns the number of instances N.
+func (pr *Problem) NumInstances() int { return len(pr.P) }
+
+// ExpectedN returns Σ_i 1 − (1 − p_i·w)^n, the expected number of distinct
+// instances found after n samples allocated by weights w.
+func (pr *Problem) ExpectedN(w []float64, n float64) (float64, error) {
+	if len(w) != pr.m {
+		return 0, fmt.Errorf("opt: weight vector has %d entries, want %d", len(w), pr.m)
+	}
+	total := 0.0
+	for _, row := range pr.P {
+		q := dot(row, w)
+		if q > 1 {
+			q = 1
+		}
+		total += 1 - math.Pow(1-q, n)
+	}
+	return total, nil
+}
+
+// gradient writes ∂/∂w_j of the objective into grad.
+func (pr *Problem) gradient(w []float64, n float64, grad []float64) {
+	for j := range grad {
+		grad[j] = 0
+	}
+	for _, row := range pr.P {
+		q := dot(row, w)
+		if q >= 1 {
+			continue // saturated term contributes zero gradient
+		}
+		coef := n * math.Pow(1-q, n-1)
+		for j, pj := range row {
+			grad[j] += coef * pj
+		}
+	}
+}
+
+// OptimalWeights maximizes the Eq. IV.1 objective by projected gradient
+// ascent with backtracking. iters <= 0 selects 300 iterations, enough for
+// the experiment sizes in the paper.
+func (pr *Problem) OptimalWeights(n float64, iters int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("opt: sample budget n must be positive, got %v", n)
+	}
+	if iters <= 0 {
+		iters = 300
+	}
+	w := UniformWeights(pr.m)
+	grad := make([]float64, pr.m)
+	cur, err := pr.ExpectedN(w, n)
+	if err != nil {
+		return nil, err
+	}
+	step := 1.0 / (n*float64(pr.NumInstances()) + 1) * float64(pr.m)
+	if step <= 0 || math.IsInf(step, 0) {
+		step = 1e-3
+	}
+	for it := 0; it < iters; it++ {
+		pr.gradient(w, n, grad)
+		improved := false
+		for try := 0; try < 40; try++ {
+			cand := make([]float64, pr.m)
+			for j := range cand {
+				cand[j] = w[j] + step*grad[j]
+			}
+			ProjectSimplex(cand)
+			val, err := pr.ExpectedN(cand, n)
+			if err != nil {
+				return nil, err
+			}
+			if val > cur+1e-12 {
+				w, cur = cand, val
+				improved = true
+				step *= 1.3 // cautiously re-grow after successes
+				break
+			}
+			step /= 2
+		}
+		if !improved {
+			break // converged: no ascent direction at any tried step
+		}
+	}
+	return w, nil
+}
+
+// UniformWeights returns the length-m uniform weight vector (random
+// sampling's allocation).
+func UniformWeights(m int) []float64 {
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = 1 / float64(m)
+	}
+	return w
+}
+
+// ProjectSimplex projects v in place onto the probability simplex
+// {w : w_j >= 0, Σ w_j = 1} in Euclidean distance, using the sort-based
+// algorithm of Duchi et al. (2008).
+func ProjectSimplex(v []float64) {
+	n := len(v)
+	if n == 0 {
+		return
+	}
+	u := append([]float64(nil), v...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
+	var cum float64
+	var theta float64
+	for i := 0; i < n; i++ {
+		cum += u[i]
+		t := (cum - 1) / float64(i+1)
+		// At i=0 this is u[0]-(u[0]-1) = 1 > 0, so theta is always set.
+		if u[i]-t > 0 {
+			theta = t
+		}
+	}
+	for i := range v {
+		v[i] -= theta
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// ExpectedCurve evaluates ExpectedN at each sample count in ns, producing
+// the dashed optimal/random trajectories of Figures 3 and 4. When
+// reoptimize is true the weights are re-solved for every n (the paper's
+// "optimal allocation as a function of n"); otherwise the provided weights
+// are used throughout.
+func (pr *Problem) ExpectedCurve(ns []int64, w []float64, reoptimize bool) ([]float64, error) {
+	out := make([]float64, len(ns))
+	for k, n := range ns {
+		if n <= 0 {
+			return nil, fmt.Errorf("opt: non-positive sample count %d", n)
+		}
+		weights := w
+		if reoptimize {
+			var err error
+			weights, err = pr.OptimalWeights(float64(n), 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		v, err := pr.ExpectedN(weights, float64(n))
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

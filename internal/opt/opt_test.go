@@ -1,0 +1,250 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/exsample/exsample/internal/geom"
+	"github.com/exsample/exsample/internal/track"
+	"github.com/exsample/exsample/internal/video"
+)
+
+func TestProjectSimplexBasics(t *testing.T) {
+	// Already on the simplex: unchanged.
+	v := []float64{0.25, 0.75}
+	ProjectSimplex(v)
+	if math.Abs(v[0]-0.25) > 1e-12 || math.Abs(v[1]-0.75) > 1e-12 {
+		t.Fatalf("simplex point moved: %v", v)
+	}
+	// All-negative input projects onto the nearest vertex: for (-1,-2,-3)
+	// that is (1, 0, 0).
+	v = []float64{-1, -2, -3}
+	ProjectSimplex(v)
+	if math.Abs(v[0]-1) > 1e-9 || math.Abs(v[1]) > 1e-9 || math.Abs(v[2]) > 1e-9 {
+		t.Fatalf("negative input projection = %v", v)
+	}
+}
+
+func TestProjectSimplexKnownCase(t *testing.T) {
+	// Projection of (1, 1) is (0.5, 0.5); of (2, 0) is (1, 0).
+	v := []float64{1, 1}
+	ProjectSimplex(v)
+	if math.Abs(v[0]-0.5) > 1e-12 || math.Abs(v[1]-0.5) > 1e-12 {
+		t.Fatalf("project(1,1) = %v", v)
+	}
+	v = []float64{2, 0}
+	ProjectSimplex(v)
+	if math.Abs(v[0]-1) > 1e-12 || math.Abs(v[1]) > 1e-12 {
+		t.Fatalf("project(2,0) = %v", v)
+	}
+}
+
+func TestProjectSimplexProperty(t *testing.T) {
+	f := func(raw [6]int16) bool {
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			v[i] = float64(x) / 1000
+		}
+		ProjectSimplex(v)
+		sum := 0.0
+		for _, x := range v {
+			if x < -1e-12 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	if _, err := NewProblem(nil); err == nil {
+		t.Error("empty problem accepted")
+	}
+	if _, err := NewProblem([][]float64{{}}); err == nil {
+		t.Error("zero-chunk problem accepted")
+	}
+	if _, err := NewProblem([][]float64{{0.5}, {0.1, 0.2}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := NewProblem([][]float64{{1.5}}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := NewProblem([][]float64{{-0.1}}); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestExpectedNSingleInstance(t *testing.T) {
+	// One instance entirely in chunk 0 with p=0.1 under full weight.
+	pr, err := NewProblem([][]float64{{0.1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All weight on chunk 0, n=10: 1 - 0.9^10.
+	got, err := pr.ExpectedN([]float64{1, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(0.9, 10)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ExpectedN = %v, want %v", got, want)
+	}
+	// All weight on the empty chunk: zero.
+	got, err = pr.ExpectedN([]float64{0, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("ExpectedN on empty chunk = %v", got)
+	}
+}
+
+func TestExpectedNWeightLengthMismatch(t *testing.T) {
+	pr, _ := NewProblem([][]float64{{0.1, 0}})
+	if _, err := pr.ExpectedN([]float64{1}, 10); err == nil {
+		t.Error("short weight vector accepted")
+	}
+}
+
+func TestOptimalWeightsAllMassInOneChunk(t *testing.T) {
+	// Every instance lives in chunk 1: the optimum puts all weight there.
+	pr, err := NewProblem([][]float64{
+		{0, 0.05, 0}, {0, 0.08, 0}, {0, 0.02, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pr.OptimalWeights(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[1] < 0.95 {
+		t.Fatalf("optimal weights = %v, want mass on chunk 1", w)
+	}
+}
+
+func TestOptimalWeightsSymmetric(t *testing.T) {
+	// Two identical chunks: optimum is uniform (by symmetry and concavity).
+	pr, err := NewProblem([][]float64{
+		{0.1, 0}, {0, 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pr.OptimalWeights(50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-0.5) > 0.02 {
+		t.Fatalf("symmetric weights = %v, want ~(0.5, 0.5)", w)
+	}
+}
+
+func TestOptimalBeatsUniformUnderSkew(t *testing.T) {
+	// 10 instances in chunk 0, 1 instance in chunk 1, tiny probabilities:
+	// the optimum favors chunk 0 and achieves a higher objective.
+	var p [][]float64
+	for i := 0; i < 10; i++ {
+		p = append(p, []float64{0.01, 0})
+	}
+	p = append(p, []float64{0, 0.01})
+	pr, err := NewProblem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	w, err := pr.OptimalWeights(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := pr.ExpectedN(w, n)
+	unif, _ := pr.ExpectedN(UniformWeights(2), n)
+	if opt <= unif {
+		t.Fatalf("optimal %v <= uniform %v", opt, unif)
+	}
+	if w[0] <= w[1] {
+		t.Fatalf("weights %v do not favor the rich chunk", w)
+	}
+}
+
+func TestOptimalWeightsValidation(t *testing.T) {
+	pr, _ := NewProblem([][]float64{{0.1}})
+	if _, err := pr.OptimalWeights(0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := pr.OptimalWeights(-5, 0); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestFromInstances(t *testing.T) {
+	instances := []track.Instance{
+		{ID: 0, Class: "car", Start: 0, End: 49, StartBox: geom.Rect(0, 0, 1, 1), EndBox: geom.Rect(0, 0, 1, 1)},
+		{ID: 1, Class: "car", Start: 90, End: 109, StartBox: geom.Rect(0, 0, 1, 1), EndBox: geom.Rect(0, 0, 1, 1)},
+	}
+	chunks, err := video.SplitRange(0, 200, 2) // [0,100) and [100,200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := FromInstances(instances, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instance 0: 50 frames in chunk 0 of size 100.
+	if math.Abs(pr.P[0][0]-0.5) > 1e-12 || pr.P[0][1] != 0 {
+		t.Fatalf("instance 0 row = %v", pr.P[0])
+	}
+	// Instance 1 spans the boundary: frames 90..99 in chunk 0, 100..109 in 1.
+	if math.Abs(pr.P[1][0]-0.1) > 1e-12 || math.Abs(pr.P[1][1]-0.1) > 1e-12 {
+		t.Fatalf("instance 1 row = %v", pr.P[1])
+	}
+}
+
+func TestFromInstancesValidation(t *testing.T) {
+	chunks, _ := video.SplitRange(0, 100, 2)
+	if _, err := FromInstances(nil, chunks); err == nil {
+		t.Error("no instances accepted")
+	}
+	if _, err := FromInstances([]track.Instance{{ID: 0, Start: 0, End: 1}}, nil); err == nil {
+		t.Error("no chunks accepted")
+	}
+}
+
+func TestExpectedCurveMonotone(t *testing.T) {
+	pr, err := NewProblem([][]float64{{0.01, 0.001}, {0.002, 0.03}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := []int64{1, 10, 100, 1000}
+	curve, err := pr.ExpectedCurve(ns, UniformWeights(2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("curve not monotone: %v", curve)
+		}
+	}
+	// Reoptimized curve dominates the fixed-uniform curve.
+	optCurve, err := pr.ExpectedCurve(ns, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range curve {
+		if optCurve[i] < curve[i]-1e-9 {
+			t.Fatalf("optimal curve below uniform at %d: %v < %v", ns[i], optCurve[i], curve[i])
+		}
+	}
+}
+
+func TestExpectedCurveRejectsBadN(t *testing.T) {
+	pr, _ := NewProblem([][]float64{{0.1}})
+	if _, err := pr.ExpectedCurve([]int64{0}, UniformWeights(1), false); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

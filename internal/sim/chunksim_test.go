@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/exsample/exsample/internal/synth"
+	"github.com/exsample/exsample/internal/track"
+)
+
+func gridInstances(t *testing.T, skew float64, meanDur float64, numFrames int64, n int, seed uint64) []track.Instance {
+	t.Helper()
+	instances, err := synth.Generate(synth.GridSpec{
+		NumInstances: n,
+		NumFrames:    numFrames,
+		SkewFraction: skew,
+		MeanDuration: meanDur,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return instances
+}
+
+func TestRunValidation(t *testing.T) {
+	instances := gridInstances(t, 0, 10, 10000, 10, 1)
+	bad := []ChunkSimConfig{
+		{Instances: nil, NumFrames: 100, Budget: 10},
+		{Instances: instances, NumFrames: 0, Budget: 10},
+		{Instances: instances, NumFrames: 10000, Budget: 0},
+		{Instances: instances, NumFrames: 10000, Budget: 20000},
+		{Instances: instances, NumFrames: 10000, Budget: 10, Checkpoints: []int64{5, 5}},
+		{Instances: instances, NumFrames: 10000, Budget: 10, Checkpoints: []int64{0}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(MethodRandom, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Run(Method(99), ChunkSimConfig{Instances: instances, NumFrames: 10000, Budget: 10}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestTrajectoryMonotone(t *testing.T) {
+	instances := gridInstances(t, 1.0/8, 200, 1<<18, 200, 3)
+	for _, m := range []Method{MethodExSample, MethodRandom, MethodRandomPlus, MethodSequential} {
+		tr, err := Run(m, ChunkSimConfig{
+			Instances:   instances,
+			NumFrames:   1 << 18,
+			NumChunks:   16,
+			Budget:      5000,
+			Checkpoints: []int64{10, 100, 1000, 5000},
+			Seed:        5,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		prev := int64(0)
+		for k, f := range tr.Found {
+			if f < prev {
+				t.Fatalf("%v: trajectory decreases at checkpoint %d: %v", m, k, tr.Found)
+			}
+			prev = f
+		}
+		if tr.FoundAtEnd != tr.Found[len(tr.Found)-1] {
+			t.Fatalf("%v: FoundAtEnd %d != last checkpoint %d", m, tr.FoundAtEnd, tr.Found[len(tr.Found)-1])
+		}
+		if tr.FoundAtEnd > 200 {
+			t.Fatalf("%v: found %d > population", m, tr.FoundAtEnd)
+		}
+		if tr.Samples != 5000 {
+			t.Fatalf("%v: samples = %d", m, tr.Samples)
+		}
+	}
+}
+
+func TestFullBudgetFindsEverythingFindable(t *testing.T) {
+	// Sampling every frame must find every instance.
+	instances := gridInstances(t, 0, 50, 5000, 50, 7)
+	tr, err := Run(MethodRandom, ChunkSimConfig{
+		Instances: instances,
+		NumFrames: 5000,
+		Budget:    5000,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FoundAtEnd != 50 {
+		t.Fatalf("found %d of 50 after exhaustive sampling", tr.FoundAtEnd)
+	}
+}
+
+// The headline §IV result: under heavy skew ExSample finds results in fewer
+// samples than random.
+func TestExSampleBeatsRandomUnderSkew(t *testing.T) {
+	const (
+		numFrames = 1 << 21 // ~2M frames
+		budget    = 8000
+		trials    = 5
+		target    = 100
+	)
+	instances := gridInstances(t, 1.0/32, 700, numFrames, 2000, 11)
+	var exTotal, rndTotal int64
+	for trial := 0; trial < trials; trial++ {
+		cfg := ChunkSimConfig{
+			Instances: instances,
+			NumFrames: numFrames,
+			NumChunks: 128,
+			Budget:    budget,
+			Seed:      uint64(100 + trial),
+		}
+		ex, okEx, err := SamplesToReach(MethodExSample, cfg, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd, okRnd, err := SamplesToReach(MethodRandom, cfg, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okEx {
+			t.Fatalf("trial %d: exsample did not reach %d results in %d samples", trial, target, budget)
+		}
+		if !okRnd {
+			rnd = budget
+		}
+		exTotal += ex
+		rndTotal += rnd
+	}
+	if exTotal >= rndTotal {
+		t.Fatalf("exsample total samples %d >= random %d under 1/32 skew", exTotal, rndTotal)
+	}
+	savings := float64(rndTotal) / float64(exTotal)
+	if savings < 1.3 {
+		t.Fatalf("savings = %vx, want > 1.3x under heavy skew", savings)
+	}
+	t.Logf("savings to %d results: %.2fx", target, savings)
+}
+
+// Under no skew ExSample should be close to random (paper: "it never
+// performs significantly worse").
+func TestExSampleMatchesRandomWithoutSkew(t *testing.T) {
+	const (
+		numFrames = 1 << 20
+		budget    = 4000
+		target    = 100
+		trials    = 5
+	)
+	instances := gridInstances(t, 0, 700, numFrames, 2000, 13)
+	var exTotal, rndTotal int64
+	for trial := 0; trial < trials; trial++ {
+		cfg := ChunkSimConfig{
+			Instances: instances,
+			NumFrames: numFrames,
+			NumChunks: 64,
+			Budget:    budget,
+			Seed:      uint64(500 + trial),
+		}
+		ex, _, err := SamplesToReach(MethodExSample, cfg, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd, _, err := SamplesToReach(MethodRandom, cfg, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exTotal += ex
+		rndTotal += rnd
+	}
+	ratio := float64(exTotal) / float64(rndTotal)
+	if ratio > 1.6 {
+		t.Fatalf("exsample needed %.2fx the samples of random without skew; should be comparable", ratio)
+	}
+	t.Logf("no-skew ratio exsample/random = %.2f", ratio)
+}
+
+func TestSamplesToReachValidation(t *testing.T) {
+	instances := gridInstances(t, 0, 10, 10000, 10, 1)
+	cfg := ChunkSimConfig{Instances: instances, NumFrames: 10000, Budget: 100}
+	if _, _, err := SamplesToReach(MethodRandom, cfg, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, _, err := SamplesToReach(Method(99), cfg, 5); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestSamplesToReachUnreachable(t *testing.T) {
+	instances := gridInstances(t, 0, 10, 10000, 10, 1)
+	cfg := ChunkSimConfig{Instances: instances, NumFrames: 10000, Budget: 50, Seed: 3}
+	n, ok, err := SamplesToReach(MethodRandom, cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("reported reaching 1000 results from a population of 10")
+	}
+	if n != 50 {
+		t.Fatalf("samples = %d, want budget 50", n)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		MethodExSample:   "exsample",
+		MethodRandom:     "random",
+		MethodRandomPlus: "random+",
+		MethodSequential: "sequential",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if Method(42).String() == "" {
+		t.Error("unknown method String empty")
+	}
+}

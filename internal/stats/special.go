@@ -1,0 +1,188 @@
+// Package stats provides the special functions and summary statistics the
+// reproduction needs: the regularized incomplete gamma function (for
+// Gamma-distribution CDFs and quantiles used by the Bayes-UCB policy,
+// §III-C), and percentile / geometric-mean helpers used by the evaluation
+// (§V reports medians, 25–75% bands and geometric-mean savings).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GammaP returns the regularized lower incomplete gamma function P(a, x) =
+// γ(a, x) / Γ(a), the CDF of a Gamma(a, 1) random variable evaluated at x.
+// It uses the series expansion for x < a+1 and the continued fraction
+// otherwise (Numerical Recipes §6.2).
+func GammaP(a, x float64) float64 {
+	if a <= 0 {
+		panic("stats: GammaP requires a > 0")
+	}
+	if x < 0 {
+		panic("stats: GammaP requires x >= 0")
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+// GammaQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaQ(a, x float64) float64 { return 1 - GammaP(a, x) }
+
+const (
+	gammaIterMax = 500
+	gammaEps     = 3e-14
+)
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < gammaIterMax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaIterMax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// GammaQuantile returns x such that P(alpha, beta*x) = p for a
+// Gamma(alpha, beta) distribution in the shape/rate parameterization. It
+// inverts the CDF by bisection; p must be in (0, 1).
+func GammaQuantile(p, alpha, beta float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: quantile level %v outside (0,1)", p)
+	}
+	if alpha <= 0 || beta <= 0 {
+		return 0, fmt.Errorf("stats: Gamma parameters must be positive (alpha=%v beta=%v)", alpha, beta)
+	}
+	// Bracket the root in Gamma(alpha, 1) space.
+	lo, hi := 0.0, alpha+1
+	for GammaP(alpha, hi) < p {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("stats: quantile bracket overflow (p=%v alpha=%v)", p, alpha)
+		}
+	}
+	// Bisect to relative precision: quantiles at small alpha and small p can
+	// be far below 1 (e.g. ~1e-21 for alpha=0.1, p=0.01), so an absolute
+	// tolerance would stop long before the root.
+	for i := 0; i < 400; i++ {
+		mid := (lo + hi) / 2
+		if GammaP(alpha, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-14*hi {
+			break
+		}
+	}
+	return (lo + hi) / 2 / beta, nil
+}
+
+// Percentile returns the q-th percentile (q in [0, 1]) of the values using
+// linear interpolation between order statistics. The input is not modified.
+func Percentile(values []float64, q float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: percentile level %v outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func Median(values []float64) (float64, error) { return Percentile(values, 0.5) }
+
+// GeoMean returns the geometric mean of strictly positive values.
+func GeoMean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty slice")
+	}
+	sum := 0.0
+	for _, v := range values {
+		if v <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive values, got %v", v)
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(values))), nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("stats: mean of empty slice")
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values)), nil
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(values []float64) (float64, error) {
+	m, err := Mean(values)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(values))), nil
+}

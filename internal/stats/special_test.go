@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/exsample/exsample/internal/xrand"
+)
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x} (exponential CDF).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("GammaP(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(a, 0) = 0.
+	if got := GammaP(3, 0); got != 0 {
+		t.Errorf("GammaP(3, 0) = %v", got)
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaP(0.5, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("GammaP(0.5, %v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPMonotonic(t *testing.T) {
+	f := func(rawA, rawX1, rawX2 uint16) bool {
+		a := float64(rawA%1000)/100 + 0.01
+		x1 := float64(rawX1) / 100
+		x2 := float64(rawX2) / 100
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		p1, p2 := GammaP(a, x1), GammaP(a, x2)
+		return p1 <= p2+1e-12 && p1 >= 0 && p2 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	for _, c := range []struct{ a, x float64 }{{0.1, 0.5}, {2, 3}, {50, 40}, {50, 60}} {
+		if got := GammaP(c.a, c.x) + GammaQ(c.a, c.x); math.Abs(got-1) > 1e-10 {
+			t.Errorf("P+Q at (%v,%v) = %v", c.a, c.x, got)
+		}
+	}
+}
+
+func TestGammaPPanics(t *testing.T) {
+	for _, c := range []struct{ a, x float64 }{{0, 1}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GammaP(%v,%v) did not panic", c.a, c.x)
+				}
+			}()
+			GammaP(c.a, c.x)
+		}()
+	}
+}
+
+func TestGammaQuantileRoundTrip(t *testing.T) {
+	for _, c := range []struct{ alpha, beta float64 }{{0.1, 1}, {1, 1}, {5, 2}, {100, 50}} {
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+			x, err := GammaQuantile(p, c.alpha, c.beta)
+			if err != nil {
+				t.Fatalf("GammaQuantile(%v, %v, %v): %v", p, c.alpha, c.beta, err)
+			}
+			got := GammaP(c.alpha, c.beta*x)
+			if math.Abs(got-p) > 1e-8 {
+				t.Errorf("round trip (%v,%v) p=%v: CDF(quantile) = %v", c.alpha, c.beta, p, got)
+			}
+		}
+	}
+}
+
+func TestGammaQuantileMatchesSampling(t *testing.T) {
+	// The 0.9 quantile should exceed ~90% of random draws.
+	g := xrand.New(5)
+	alpha, beta := 2.5, 3.0
+	q, err := GammaQuantile(0.9, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Gamma(alpha, beta) <= q {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Fatalf("fraction below 0.9-quantile = %v", frac)
+	}
+}
+
+func TestGammaQuantileErrors(t *testing.T) {
+	for _, c := range []struct{ p, a, b float64 }{{0, 1, 1}, {1, 1, 1}, {0.5, 0, 1}, {0.5, 1, 0}} {
+		if _, err := GammaQuantile(c.p, c.a, c.b); err == nil {
+			t.Errorf("GammaQuantile(%v,%v,%v) accepted", c.p, c.a, c.b)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{3, 1, 2, 5, 4}
+	for _, c := range []struct{ q, want float64 }{{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}} {
+		got, err := Percentile(vals, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if vals[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	got, err := Percentile([]float64{0, 10}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("interpolated percentile = %v", got)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 0.5); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := Percentile([]float64{1}, -0.1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := Percentile([]float64{1}, 1.1); err == nil {
+		t.Error("level > 1 accepted")
+	}
+}
+
+func TestMedianSingleValue(t *testing.T) {
+	got, err := Median([]float64{7})
+	if err != nil || got != 7 {
+		t.Fatalf("Median([7]) = %v, %v", got, err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean(1,100) = %v", got)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("zero value accepted")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty slice accepted")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	m, err := Mean([]float64{2, 4, 6})
+	if err != nil || m != 4 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	sd, err := StdDev([]float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(8.0 / 3.0)
+	if math.Abs(sd-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", sd, want)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("Mean(nil) accepted")
+	}
+	if _, err := StdDev(nil); err == nil {
+		t.Error("StdDev(nil) accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/exsample/exsample/internal/xrand"
+)
+
+// drainOrder pulls every frame from an order and verifies the
+// without-replacement permutation property over [start, end).
+func drainOrder(t *testing.T, o FrameOrder, start, end int64) []int64 {
+	t.Helper()
+	n := end - start
+	seen := make(map[int64]bool, n)
+	var frames []int64
+	for {
+		f, ok := o.Next()
+		if !ok {
+			break
+		}
+		if f < start || f >= end {
+			t.Fatalf("frame %d outside [%d, %d)", f, start, end)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d emitted twice", f)
+		}
+		seen[f] = true
+		frames = append(frames, f)
+	}
+	if int64(len(frames)) != n {
+		t.Fatalf("emitted %d frames, want %d", len(frames), n)
+	}
+	if o.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after drain", o.Remaining())
+	}
+	return frames
+}
+
+func TestUniformOrderIsPermutation(t *testing.T) {
+	o, err := NewUniformOrder(100, 612, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainOrder(t, o, 100, 612)
+}
+
+func TestUniformOrderEmptyRange(t *testing.T) {
+	if _, err := NewUniformOrder(5, 5, xrand.New(1)); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestUniformOrderUniformity(t *testing.T) {
+	// The first draw should be uniform over the range.
+	const n = 10
+	counts := make([]int, n)
+	for trial := 0; trial < 20000; trial++ {
+		o, err := NewUniformOrder(0, n, xrand.NewFrom(9, uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := o.Next()
+		counts[f]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-2000) > 5*math.Sqrt(2000) {
+			t.Errorf("frame %d drawn %d times, want ~2000", i, c)
+		}
+	}
+}
+
+func TestUniformOrderRemaining(t *testing.T) {
+	o, _ := NewUniformOrder(0, 5, xrand.New(2))
+	if o.Remaining() != 5 {
+		t.Fatalf("Remaining = %d", o.Remaining())
+	}
+	o.Next()
+	if o.Remaining() != 4 {
+		t.Fatalf("Remaining after one draw = %d", o.Remaining())
+	}
+}
+
+func TestRandomPlusIsPermutation(t *testing.T) {
+	f := func(rawN uint16, rawSeg uint16, seed uint64) bool {
+		n := int64(rawN%2000) + 1
+		seg := int64(rawSeg%300) + 1
+		o, err := NewRandomPlusOrder(10, 10+n, seg, xrand.New(seed))
+		if err != nil {
+			return false
+		}
+		seen := make(map[int64]bool, n)
+		count := int64(0)
+		for {
+			fr, ok := o.Next()
+			if !ok {
+				break
+			}
+			if fr < 10 || fr >= 10+n || seen[fr] {
+				return false
+			}
+			seen[fr] = true
+			count++
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPlusStratification(t *testing.T) {
+	// With initial segments of 100 frames over 1000 frames, the first 10
+	// draws must land in 10 distinct segments.
+	o, err := NewRandomPlusOrder(0, 1000, 100, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make(map[int64]bool)
+	for i := 0; i < 10; i++ {
+		f, ok := o.Next()
+		if !ok {
+			t.Fatal("order exhausted early")
+		}
+		seg := f / 100
+		if segs[seg] {
+			t.Fatalf("segment %d sampled twice within first level", seg)
+		}
+		segs[seg] = true
+	}
+	// The order keeps producing at deeper levels.
+	for i := 0; i < 10; i++ {
+		if _, ok := o.Next(); !ok {
+			t.Fatal("order exhausted early at level 2")
+		}
+	}
+}
+
+func TestRandomPlusHalfSegmentProperty(t *testing.T) {
+	// After 2k draws over k initial segments, every half-segment holds at
+	// least one sample (this is the motivating property from §III-F: avoid
+	// sampling temporally close frames early).
+	const n, seg = 1024, 128 // 8 segments
+	o, err := NewRandomPlusOrder(0, n, seg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := make([]bool, n)
+	for i := 0; i < 16; i++ { // 8 full segments + 8 half segments
+		f, ok := o.Next()
+		if !ok {
+			t.Fatal("exhausted early")
+		}
+		sampled[f] = true
+	}
+	for half := int64(0); half < n/(seg/2); half++ {
+		lo, hi := half*seg/2, (half+1)*seg/2
+		found := false
+		for i := lo; i < hi; i++ {
+			if sampled[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("half-segment [%d,%d) has no sample after 2 levels", lo, hi)
+		}
+	}
+}
+
+func TestRandomPlusWholeRangeDefault(t *testing.T) {
+	// initialSegment <= 0 uses the whole range: first draw uniform.
+	o, err := NewRandomPlusOrder(0, 100, 0, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainOrder(t, o, 0, 100)
+}
+
+func TestRandomPlusSingleFrame(t *testing.T) {
+	o, err := NewRandomPlusOrder(7, 8, 1, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := o.Next()
+	if !ok || f != 7 {
+		t.Fatalf("Next = %d, %v", f, ok)
+	}
+	if _, ok := o.Next(); ok {
+		t.Fatal("second Next succeeded on single-frame range")
+	}
+}
+
+func TestSequentialOrderStride(t *testing.T) {
+	o, err := NewSequentialOrder(0, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 3, 6, 9, 1, 4, 7, 2, 5, 8}
+	for i, w := range want {
+		f, ok := o.Next()
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if f != w {
+			t.Fatalf("draw %d = %d, want %d", i, f, w)
+		}
+	}
+	if _, ok := o.Next(); ok {
+		t.Fatal("order continued past range")
+	}
+}
+
+func TestSequentialOrderIsPermutation(t *testing.T) {
+	f := func(rawN uint16, rawStride uint8) bool {
+		n := int64(rawN%500) + 1
+		stride := int64(rawStride%30) + 1
+		o, err := NewSequentialOrder(20, 20+n, stride)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int64]bool)
+		for {
+			fr, ok := o.Next()
+			if !ok {
+				break
+			}
+			if seen[fr] || fr < 20 || fr >= 20+n {
+				return false
+			}
+			seen[fr] = true
+		}
+		return int64(len(seen)) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialOrderDefaultStride(t *testing.T) {
+	o, err := NewSequentialOrder(0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		f, ok := o.Next()
+		if !ok || f != i {
+			t.Fatalf("draw %d = %d, %v", i, f, ok)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package video
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScoredOrder emits the frames of a range in descending score order. It
+// implements the paper's §VII observation that the ExSample estimates
+// (Eq. III.1) remain valid when sampling within a chunk is non-uniform but
+// score-based: the chunk-level statistics N1/n do not care how frames are
+// picked inside the chunk, so a cheap proxy can order frames *within* the
+// chunks ExSample chooses — paying the scoring cost per chunk actually
+// visited instead of the full-dataset scan that makes standalone
+// proxy systems slow on limit queries.
+type ScoredOrder struct {
+	frames []int64
+	pos    int
+}
+
+// NewScoredOrder scores every frame in [start, end) with score and prepares
+// the descending order. Ties break toward earlier frames so the order is
+// deterministic.
+func NewScoredOrder(start, end int64, score func(frame int64) float64) (*ScoredOrder, error) {
+	if end <= start {
+		return nil, fmt.Errorf("video: empty range [%d, %d)", start, end)
+	}
+	if score == nil {
+		return nil, fmt.Errorf("video: nil score function")
+	}
+	n := end - start
+	type scored struct {
+		frame int64
+		s     float64
+	}
+	all := make([]scored, n)
+	for i := int64(0); i < n; i++ {
+		f := start + i
+		all[i] = scored{frame: f, s: score(f)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].frame < all[j].frame
+	})
+	frames := make([]int64, n)
+	for i, sc := range all {
+		frames[i] = sc.frame
+	}
+	return &ScoredOrder{frames: frames}, nil
+}
+
+// Next returns the next frame in descending-score order.
+func (s *ScoredOrder) Next() (int64, bool) {
+	if s.pos >= len(s.frames) {
+		return 0, false
+	}
+	f := s.frames[s.pos]
+	s.pos++
+	return f, true
+}
+
+// Remaining returns the number of frames not yet emitted.
+func (s *ScoredOrder) Remaining() int64 { return int64(len(s.frames) - s.pos) }

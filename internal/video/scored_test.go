@@ -1,0 +1,71 @@
+package video
+
+import "testing"
+
+func TestScoredOrderDescending(t *testing.T) {
+	// Score = frame index: order must be strictly descending.
+	o, err := NewScoredOrder(10, 20, func(f int64) float64 { return float64(f) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(1 << 62)
+	count := 0
+	for {
+		f, ok := o.Next()
+		if !ok {
+			break
+		}
+		if f >= prev {
+			t.Fatalf("not descending: %d after %d", f, prev)
+		}
+		prev = f
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("emitted %d frames", count)
+	}
+}
+
+func TestScoredOrderTieBreaksAscending(t *testing.T) {
+	o, err := NewScoredOrder(0, 5, func(int64) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := int64(0); want < 5; want++ {
+		f, ok := o.Next()
+		if !ok || f != want {
+			t.Fatalf("tie order: got %d want %d", f, want)
+		}
+	}
+}
+
+func TestScoredOrderIsPermutation(t *testing.T) {
+	o, err := NewScoredOrder(100, 400, func(f int64) float64 { return float64((f * 7919) % 101) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainOrder(t, o, 100, 400)
+}
+
+func TestScoredOrderValidation(t *testing.T) {
+	if _, err := NewScoredOrder(5, 5, func(int64) float64 { return 0 }); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewScoredOrder(0, 5, nil); err == nil {
+		t.Error("nil scorer accepted")
+	}
+}
+
+func TestScoredOrderRemaining(t *testing.T) {
+	o, err := NewScoredOrder(0, 4, func(f int64) float64 { return float64(f) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Remaining() != 4 {
+		t.Fatalf("Remaining = %d", o.Remaining())
+	}
+	o.Next()
+	if o.Remaining() != 3 {
+		t.Fatalf("Remaining after draw = %d", o.Remaining())
+	}
+}

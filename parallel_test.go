@@ -1,0 +1,52 @@
+package exsample
+
+import "testing"
+
+func TestParallelBatchedSearch(t *testing.T) {
+	ds := smallDataset(t, WithPerfectDetector())
+	rep, err := ds.Search(Query{Class: "car", Limit: 30},
+		Options{BatchSize: 16, Parallelism: 8, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) < 30 {
+		t.Fatalf("parallel batched search found %d results", len(rep.Results))
+	}
+}
+
+func TestParallelMatchesSequentialExactly(t *testing.T) {
+	// The detector is deterministic and the discriminator consumes
+	// detections in pick order, so parallel inference must not change the
+	// outcome at all.
+	ds := smallDataset(t, WithPerfectDetector())
+	q := Query{Class: "car", Limit: 25}
+	seq, err := ds.Search(q, Options{BatchSize: 16, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ds.Search(q, Options{BatchSize: 16, Parallelism: 8, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.FramesProcessed != par.FramesProcessed || len(seq.Results) != len(par.Results) {
+		t.Fatalf("parallel diverged: frames %d vs %d, results %d vs %d",
+			seq.FramesProcessed, par.FramesProcessed, len(seq.Results), len(par.Results))
+	}
+	for i := range seq.Results {
+		if seq.Results[i] != par.Results[i] {
+			t.Fatalf("result %d differs between sequential and parallel", i)
+		}
+	}
+}
+
+func TestParallelismValidation(t *testing.T) {
+	if err := (Options{Parallelism: -1}).Validate(); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	if err := (Options{Parallelism: 4}).Validate(); err == nil {
+		t.Error("parallelism without batching accepted")
+	}
+	if err := (Options{Parallelism: 4, BatchSize: 8}).Validate(); err != nil {
+		t.Errorf("valid parallel options rejected: %v", err)
+	}
+}
