@@ -10,6 +10,8 @@
 package exsample_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -238,6 +240,53 @@ func BenchmarkSearchExSample(b *testing.B) {
 		if len(rep.Results) == 0 {
 			b.Fatal("no results")
 		}
+	}
+}
+
+// BenchmarkEngineThroughput measures the concurrent query engine end to
+// end: N simultaneous seeded queries over one dataset, multiplexed onto a
+// shared detector worker pool. Reported metrics are aggregate frames and
+// distinct results per benchmark iteration, the perf trajectory future
+// scaling PRs (sharding, caching, multi-backend) measure against.
+func BenchmarkEngineThroughput(b *testing.B) {
+	ds, err := exsample.OpenProfile("dashcam", 0.05, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, queries := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("%d-queries", queries), func(b *testing.B) {
+			var frames int64
+			var found int
+			for i := 0; i < b.N; i++ {
+				eng, err := exsample.NewEngine(exsample.EngineOptions{
+					Workers:        4,
+					FramesPerRound: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles := make([]*exsample.QueryHandle, queries)
+				for qi := range handles {
+					handles[qi], err = eng.Submit(context.Background(), ds,
+						exsample.Query{Class: "traffic light", Limit: 10},
+						exsample.Options{Seed: uint64(i*queries + qi + 1)})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, h := range handles {
+					rep, err := h.Wait()
+					if err != nil {
+						b.Fatal(err)
+					}
+					frames += rep.FramesProcessed
+					found += len(rep.Results)
+				}
+				eng.Close()
+			}
+			b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+			b.ReportMetric(float64(found)/float64(b.N), "results/op")
+		})
 	}
 }
 

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunConcurrentQueries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"dashcam", "bdd1k"}, 8, 5, 4, 2, 0.02, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "engine: 8 queries") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "dashcam") || !strings.Contains(out, "bdd1k") {
+		t.Fatalf("missing per-dataset rows:\n%s", out)
+	}
+	if !strings.Contains(out, "total:") {
+		t.Fatalf("missing aggregate line:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"nonexistent"}, 2, 5, 2, 1, 0.02, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run(&buf, []string{""}, 2, 5, 2, 1, 0.02, 1); err == nil {
+		t.Error("empty profile list accepted")
+	}
+	if err := run(&buf, []string{"dashcam"}, 0, 5, 2, 1, 0.02, 1); err == nil {
+		t.Error("zero queries accepted")
+	}
+	if err := run(&buf, []string{"dashcam"}, 1, 0, 2, 1, 0.02, 1); err == nil {
+		t.Error("zero limit accepted")
+	}
+}

@@ -1,0 +1,283 @@
+package exsample
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/exsample/exsample/internal/core"
+	"github.com/exsample/exsample/internal/engine"
+	"github.com/exsample/exsample/internal/track"
+)
+
+// EngineOptions configures a concurrent query engine.
+type EngineOptions struct {
+	// Workers bounds concurrent detector invocations across every query
+	// the engine is running (default GOMAXPROCS). This is the knob that
+	// models the shared GPU budget: however many queries are in flight,
+	// at most Workers frames are being inferred at once.
+	Workers int
+	// FramesPerRound is each query's detector quota per scheduling round
+	// (default 1). Every active query receives the same quota, which makes
+	// scheduling fair-share. Values above 1 trade scheduling freshness for
+	// bigger inference batches, with exactly the semantics of Search's
+	// BatchSize (§III-F): a round's picks are drawn before any of its
+	// updates are applied.
+	FramesPerRound int
+	// EventBuffer is the per-query capacity of the Events channel
+	// (default 256). When a consumer falls behind, further events are
+	// dropped (counted by QueryHandle.Dropped) rather than stalling the
+	// engine; the final Report is always complete.
+	EventBuffer int
+}
+
+func (o EngineOptions) withDefaults() EngineOptions {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.FramesPerRound == 0 {
+		o.FramesPerRound = 1
+	}
+	if o.EventBuffer == 0 {
+		o.EventBuffer = 256
+	}
+	return o
+}
+
+// Validate reports an error for out-of-range engine options.
+func (o EngineOptions) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("exsample: negative Workers %d", o.Workers)
+	}
+	if o.FramesPerRound < 0 {
+		return fmt.Errorf("exsample: negative FramesPerRound %d", o.FramesPerRound)
+	}
+	if o.EventBuffer < 0 {
+		return fmt.Errorf("exsample: negative EventBuffer %d", o.EventBuffer)
+	}
+	return nil
+}
+
+// Engine runs many distinct-object queries concurrently — across one or
+// more open Datasets — multiplexing their detector invocations onto one
+// bounded worker pool. Each query keeps its own Thompson-sampling state,
+// discriminator and report; the engine owns only scheduling: in every round
+// each active query proposes its quota of frames, the union runs on the
+// pool as one inference batch, and results are applied per query in pick
+// order on a single goroutine.
+//
+// Determinism is preserved: a query submitted with a fixed seed produces
+// exactly the same Report as Dataset.Search with the same Query and
+// Options (plus BatchSize equal to the engine's FramesPerRound), whatever
+// Workers is and whatever else the engine is running — the worker pool
+// parallelizes only the stateless detector, never the bookkeeping.
+//
+// Engine is safe for concurrent use.
+type Engine struct {
+	opts  EngineOptions
+	inner *engine.Engine
+}
+
+// NewEngine starts an engine. Callers must Close it to release the
+// scheduler and worker goroutines.
+func NewEngine(opts EngineOptions) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	return &Engine{
+		opts: opts,
+		inner: engine.New(engine.Config{
+			Workers:        opts.Workers,
+			FramesPerRound: opts.FramesPerRound,
+		}),
+	}, nil
+}
+
+// Workers returns the engine's detector concurrency bound.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Submit registers a query against a dataset and returns its handle; the
+// query starts running immediately and is scheduled fairly against every
+// other in-flight query. The context cancels the query (not the engine):
+// when ctx is done the query is finalized at the next round boundary and
+// Wait returns ctx's error alongside the partial report.
+//
+// Batching belongs to the engine, so opts.BatchSize and opts.Parallelism
+// must be unset; AutoChunk and the proxy training phase are Search-only
+// features.
+func (e *Engine) Submit(ctx context.Context, d *Dataset, q Query, opts Options) (*QueryHandle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BatchSize > 1 || opts.Parallelism > 1 {
+		return nil, fmt.Errorf("exsample: the engine schedules batching itself; set EngineOptions.FramesPerRound instead of BatchSize/Parallelism")
+	}
+	if opts.AutoChunk {
+		return nil, fmt.Errorf("exsample: engine queries do not support AutoChunk")
+	}
+	if opts.ProxyTrainPositives > 0 {
+		return nil, fmt.Errorf("exsample: engine queries do not support the proxy training phase")
+	}
+	run, err := d.newQueryRun(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	h := &QueryHandle{
+		run:    run,
+		ctx:    ctx,
+		events: make(chan QueryEvent, e.opts.EventBuffer),
+	}
+	inner, err := e.inner.Submit(&engineQuery{run: run, ctx: ctx, handle: h})
+	if err != nil {
+		return nil, err
+	}
+	h.inner = inner
+	return h, nil
+}
+
+// Close cancels every in-flight query and shuts the engine down, blocking
+// until all queries are finalized. Pending Wait calls return. Close is
+// idempotent; Submit after Close fails.
+func (e *Engine) Close() { e.inner.Close() }
+
+// QueryEvent is one streamed increment of a running engine query — the
+// Engine counterpart of Session's StepInfo, extended with running totals.
+type QueryEvent struct {
+	// Frame is the frame that was processed.
+	Frame int64
+	// Chunk is the chunk it came from (-1 for non-chunked strategies).
+	Chunk int
+	// New lists the distinct objects this frame discovered (often empty).
+	New []Result
+	// SecondSightings counts objects re-confirmed by this frame.
+	SecondSightings int
+	// FramesProcessed and Found are the query's running totals after this
+	// frame.
+	FramesProcessed int64
+	Found           int
+	// Seconds is the charged query time so far, including any scan.
+	Seconds float64
+}
+
+// QueryHandle tracks one submitted query.
+type QueryHandle struct {
+	run     *queryRun
+	ctx     context.Context
+	inner   *engine.Handle
+	events  chan QueryEvent
+	dropped atomic.Int64
+}
+
+// Events streams one QueryEvent per processed frame. The channel is closed
+// when the query finishes (for any reason); consumers that fall behind the
+// EventBuffer lose intermediate events (see Dropped) but never stall the
+// engine.
+func (h *QueryHandle) Events() <-chan QueryEvent { return h.events }
+
+// Dropped returns how many events were discarded because the Events
+// consumer fell behind.
+func (h *QueryHandle) Dropped() int64 { return h.dropped.Load() }
+
+// Cancel stops the query at the next round boundary. Wait returns
+// context.Canceled with the partial report.
+func (h *QueryHandle) Cancel() { h.inner.Cancel() }
+
+// Wait blocks until the query finishes and returns its report. The report
+// is complete on success and partial (but internally consistent) when the
+// query was cancelled or failed; err is nil on success, the context's error
+// for a cancellation, or the underlying pipeline error.
+func (h *QueryHandle) Wait() (*Report, error) {
+	if err := h.inner.Wait(); err != nil {
+		return h.run.rep, err
+	}
+	switch h.inner.Reason() {
+	case engine.ReasonCancelled:
+		if err := h.ctx.Err(); err != nil {
+			return h.run.rep, err
+		}
+		return h.run.rep, context.Canceled
+	case engine.ReasonDone:
+		// Done can mean the budget was reached or the context fired
+		// between rounds; report the latter as a cancellation.
+		if !h.run.done() {
+			if err := h.ctx.Err(); err != nil {
+				return h.run.rep, err
+			}
+		}
+	}
+	return h.run.rep, nil
+}
+
+// emit publishes one event without ever blocking the scheduler.
+func (h *QueryHandle) emit(info StepInfo) {
+	ev := QueryEvent{
+		Frame:           info.Frame,
+		Chunk:           info.Chunk,
+		New:             info.New,
+		SecondSightings: info.SecondSightings,
+		FramesProcessed: h.run.rep.FramesProcessed,
+		Found:           len(h.run.rep.Results),
+		Seconds:         h.run.rep.TotalSeconds(),
+	}
+	select {
+	case h.events <- ev:
+	default:
+		h.dropped.Add(1)
+	}
+}
+
+// engineQuery adapts a queryRun to the internal scheduler's Query
+// interface. Propose/Apply/Done/Finalize run on the scheduler goroutine;
+// Detect runs on pool workers.
+type engineQuery struct {
+	run     *queryRun
+	ctx     context.Context
+	handle  *QueryHandle
+	pending []core.Pick // picks proposed this round, consumed by Apply in order
+}
+
+func (q *engineQuery) Done() bool {
+	return q.ctx.Err() != nil || q.run.done()
+}
+
+func (q *engineQuery) Propose(max int) []int64 {
+	q.pending = q.pending[:0]
+	frames := make([]int64, 0, max)
+	for len(frames) < max {
+		p, ok := q.run.next()
+		if !ok {
+			break
+		}
+		q.pending = append(q.pending, p)
+		frames = append(frames, p.Frame)
+	}
+	return frames
+}
+
+func (q *engineQuery) Detect(frame int64) any {
+	return q.run.detect(frame)
+}
+
+func (q *engineQuery) Apply(frame int64, dets any) (bool, error) {
+	p := q.pending[0]
+	q.pending = q.pending[1:]
+	if p.Frame != frame {
+		return false, fmt.Errorf("exsample: engine applied frame %d out of order (expected %d)", frame, p.Frame)
+	}
+	info, err := q.run.apply(p, dets.([]track.Detection))
+	if err != nil {
+		return false, err
+	}
+	q.handle.emit(info)
+	return q.run.done(), nil
+}
+
+func (q *engineQuery) Finalize() { close(q.handle.events) }

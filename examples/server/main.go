@@ -1,0 +1,75 @@
+// Server: run many distinct-object queries concurrently with the Engine —
+// the multi-tenant shape of ExSample, where one bounded detector worker
+// pool (the shared GPU budget) serves every client's query at once while
+// each query keeps its own Thompson-sampling state.
+//
+// Three clients search the same dashcam archive for different classes; we
+// stream each query's incremental results as they arrive and print the
+// final reports. Note the per-query charged seconds: fair-share scheduling
+// means no query monopolizes the detector even though their difficulties
+// differ wildly.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	exsample "github.com/exsample/exsample"
+)
+
+func main() {
+	ds, err := exsample.OpenProfile("dashcam", 0.05, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := exsample.NewEngine(exsample.EngineOptions{
+		Workers:        4, // at most 4 detector invocations in flight, total
+		FramesPerRound: 2, // each query proposes 2 frames per scheduling round
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	classes := []string{"traffic light", "bicycle", "bus"}
+	handles := make([]*exsample.QueryHandle, len(classes))
+	for i, class := range classes {
+		handles[i], err = eng.Submit(context.Background(), ds,
+			exsample.Query{Class: class, Limit: 8},
+			exsample.Options{Seed: uint64(i + 1)})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Stream incremental results from all three queries as they happen.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *exsample.QueryHandle) {
+			defer wg.Done()
+			for ev := range h.Events() {
+				for _, r := range ev.New {
+					fmt.Printf("[%6.1fms] %-14s object %2d at frame %d\n",
+						float64(time.Since(start).Microseconds())/1000,
+						classes[i], r.ObjectID, r.Frame)
+				}
+			}
+		}(i, h)
+	}
+
+	for i, h := range handles {
+		rep, err := h.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s done: %d distinct objects, %d frames, %.1fs charged detector time\n",
+			classes[i], len(rep.Results), rep.FramesProcessed, rep.TotalSeconds())
+	}
+	wg.Wait()
+}

@@ -24,6 +24,33 @@
 //		fmt.Printf("object %d at frame %d\n", r.ObjectID, r.Frame)
 //	}
 //
+// # Concurrent queries
+//
+// Engine serves many simultaneous queries — across one or more open
+// Datasets — over one bounded detector worker pool, scheduling rounds
+// fair-share across queries while Thompson sampling still decides the
+// frame within each query:
+//
+//	eng, err := exsample.NewEngine(exsample.EngineOptions{Workers: 4})
+//	if err != nil { ... }
+//	defer eng.Close()
+//	h, err := eng.Submit(ctx, ds,
+//		exsample.Query{Class: "traffic light", Limit: 20},
+//		exsample.Options{Seed: 42},
+//	)
+//	for ev := range h.Events() { // streamed incremental results
+//		for _, r := range ev.New {
+//			fmt.Printf("object %d at frame %d\n", r.ObjectID, r.Frame)
+//		}
+//	}
+//	report, err := h.Wait()
+//
+// Each query gets a handle with context cancellation, an event stream and
+// a final Report. A seeded query through the Engine is byte-identical to
+// Dataset.Search with the same options: the pool parallelizes only the
+// stateless detector, never the sampler or discriminator bookkeeping.
+// Session exposes the same step loop for single-query incremental use.
+//
 // The package ships six synthetic dataset profiles mirroring the paper's
 // evaluation datasets, a simulated object detector and SORT-style
 // discriminator (real video and DNN inference are out of scope — the

@@ -1,0 +1,3 @@
+module github.com/exsample/exsample
+
+go 1.22

@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Query is one schedulable unit of work: a distinct-object query whose
+// expensive detector calls the engine wants to batch with everybody else's.
+// All methods except Detect are called only from the engine's scheduler
+// goroutine; Detect runs on pool workers and must be safe for concurrent
+// use (the paper's stateless black-box detector contract).
+type Query interface {
+	// Done reports whether the query wants to stop (budget reached,
+	// context cancelled). The engine checks it at every round boundary.
+	Done() bool
+	// Propose returns up to max frames to run the detector on this round,
+	// drawn by the query's own sampling strategy. Returning an empty slice
+	// means the repository is exhausted and the query is finalized.
+	Propose(max int) []int64
+	// Detect runs the detector on one proposed frame and returns an opaque
+	// result. It must be concurrency-safe and deterministic per frame.
+	Detect(frame int64) any
+	// Apply consumes one frame's detector output. Calls arrive in propose
+	// order on the scheduler goroutine, so the query's discriminator and
+	// sampler bookkeeping see exactly the sequence a standalone run would.
+	// Returning done stops the query; remaining results from the same
+	// round are discarded unapplied (their cost is never charged).
+	Apply(frame int64, dets any) (done bool, err error)
+	// Finalize is called exactly once when the engine stops scheduling the
+	// query, whatever the reason.
+	Finalize()
+}
+
+// Reason records why a query left the engine.
+type Reason int
+
+const (
+	// ReasonNone means the query is still scheduled.
+	ReasonNone Reason = iota
+	// ReasonDone means Done() reported true or Apply returned done.
+	ReasonDone
+	// ReasonExhausted means Propose ran out of frames.
+	ReasonExhausted
+	// ReasonCancelled means Cancel was called on the handle.
+	ReasonCancelled
+	// ReasonError means Apply returned an error.
+	ReasonError
+)
+
+// String returns the reason name.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonDone:
+		return "done"
+	case ReasonExhausted:
+		return "exhausted"
+	case ReasonCancelled:
+		return "cancelled"
+	case ReasonError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers bounds concurrent Detect calls across all queries
+	// (default 1).
+	Workers int
+	// FramesPerRound is each query's per-round detector quota (default 1).
+	// Every active query gets the same quota, which is what makes
+	// scheduling fair-share: no query can starve another however greedy
+	// its sampler is.
+	FramesPerRound int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.FramesPerRound < 1 {
+		c.FramesPerRound = 1
+	}
+	return c
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Engine multiplexes queries onto a shared detector worker pool in
+// lock-step scheduling rounds: every active query proposes up to
+// FramesPerRound frames, all proposals run on the pool as one batch, and
+// results are applied per query in propose order.
+type Engine struct {
+	cfg  Config
+	pool *Pool
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active []*Handle
+	closed bool
+
+	loopDone chan struct{}
+}
+
+// New starts an engine and its scheduler goroutine.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		cfg:      cfg.withDefaults(),
+		loopDone: make(chan struct{}),
+	}
+	e.pool = NewPool(e.cfg.Workers)
+	e.cond = sync.NewCond(&e.mu)
+	go e.loop()
+	return e
+}
+
+// Workers returns the detector concurrency bound.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Submit registers a query and returns its handle. The query starts
+// participating in the next scheduling round.
+func (e *Engine) Submit(q Query) (*Handle, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	h := &Handle{q: q, done: make(chan struct{})}
+	e.active = append(e.active, h)
+	e.cond.Signal()
+	return h, nil
+}
+
+// Close cancels all in-flight queries, stops the scheduler and shuts the
+// pool down. It blocks until every query has been finalized and is safe to
+// call more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		for _, h := range e.active {
+			h.cancelled.Store(true)
+		}
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+	<-e.loopDone
+	e.pool.Close()
+}
+
+// loop is the scheduler: it runs rounds while queries are active and parks
+// when the engine is idle.
+func (e *Engine) loop() {
+	defer close(e.loopDone)
+	for {
+		e.mu.Lock()
+		for len(e.active) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.active) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		round := append([]*Handle(nil), e.active...)
+		e.mu.Unlock()
+		e.runRound(round)
+	}
+}
+
+// runRound executes one scheduling round over a snapshot of the active
+// queries: propose, batch-detect on the pool, apply in order.
+func (e *Engine) runRound(round []*Handle) {
+	type job struct {
+		h      *Handle
+		frames []int64
+		dets   []any
+	}
+	var jobs []job
+	for _, h := range round {
+		if h.cancelled.Load() {
+			e.finalize(h, ReasonCancelled, nil)
+			continue
+		}
+		if h.q.Done() {
+			e.finalize(h, ReasonDone, nil)
+			continue
+		}
+		frames := h.q.Propose(e.cfg.FramesPerRound)
+		if len(frames) == 0 {
+			e.finalize(h, ReasonExhausted, nil)
+			continue
+		}
+		jobs = append(jobs, job{h: h, frames: frames, dets: make([]any, len(frames))})
+	}
+
+	var tasks []func()
+	for ji := range jobs {
+		j := &jobs[ji]
+		for i, frame := range j.frames {
+			i, frame, q, dets := i, frame, j.h.q, j.dets
+			tasks = append(tasks, func() { dets[i] = q.Detect(frame) })
+		}
+	}
+	e.pool.Do(tasks)
+
+	for ji := range jobs {
+		j := &jobs[ji]
+		if j.h.cancelled.Load() {
+			e.finalize(j.h, ReasonCancelled, nil)
+			continue
+		}
+		for i, frame := range j.frames {
+			done, err := j.h.q.Apply(frame, j.dets[i])
+			if err != nil {
+				e.finalize(j.h, ReasonError, err)
+				break
+			}
+			if done {
+				e.finalize(j.h, ReasonDone, nil)
+				break
+			}
+		}
+	}
+}
+
+// finalize removes a handle from the schedule and publishes its outcome.
+func (e *Engine) finalize(h *Handle, reason Reason, err error) {
+	e.mu.Lock()
+	for i, a := range e.active {
+		if a == h {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			break
+		}
+	}
+	e.mu.Unlock()
+	h.reason, h.err = reason, err
+	h.q.Finalize()
+	close(h.done)
+}
+
+// Handle tracks one submitted query.
+type Handle struct {
+	q         Query
+	cancelled atomic.Bool
+	done      chan struct{}
+	reason    Reason
+	err       error
+}
+
+// Cancel asks the engine to stop the query. The cancellation takes effect
+// at the next round boundary; in-flight detector calls complete but their
+// results are discarded unapplied.
+func (h *Handle) Cancel() { h.cancelled.Store(true) }
+
+// Wait blocks until the query is finalized and returns the Apply error, if
+// any.
+func (h *Handle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+// Reason reports why the query was finalized. It is only meaningful after
+// Wait returns.
+func (h *Handle) Reason() Reason { return h.reason }

@@ -1,0 +1,79 @@
+// Package engine provides the concurrency machinery behind the public
+// exsample.Engine: a bounded worker pool for black-box detector invocations
+// and a fair-share round scheduler that multiplexes many simultaneous
+// distinct-object queries onto that pool.
+//
+// The package is deliberately ignorant of datasets, samplers and reports —
+// queries are an interface, detector outputs are opaque. The scheduling
+// contract is the one the paper's cost model demands: detector calls are the
+// expensive part and may run concurrently (the detector is a stateless
+// black box, §II-A); everything that touches per-query state (Thompson
+// bookkeeping, the discriminator, report accumulation) runs on the single
+// scheduler goroutine, in propose order, so a query behaves exactly as if it
+// were running alone.
+package engine
+
+import "sync"
+
+// Pool is a bounded pool of persistent workers executing opaque tasks. It
+// generalizes the per-batch semaphore that parallel batched Search used: one
+// pool is shared by every query of an Engine (or by every batch of a single
+// Search), bounding total detector concurrency no matter how many queries
+// are in flight.
+type Pool struct {
+	tasks   chan func()
+	workers int
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		tasks:   make(chan func()),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Do runs every task on the pool and returns when all have completed. At
+// most Workers tasks run at any moment; excess tasks queue. Do may be called
+// from multiple goroutines, but the usual caller is a single scheduler loop
+// issuing one batch per scheduling round.
+func (p *Pool) Do(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, task := range tasks {
+		task := task
+		p.tasks <- func() {
+			defer wg.Done()
+			task()
+		}
+	}
+	wg.Wait()
+}
+
+// Close shuts the workers down. It must not be called concurrently with Do;
+// it is idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}

@@ -1,0 +1,287 @@
+package exsample
+
+import (
+	"fmt"
+
+	"github.com/exsample/exsample/internal/baseline"
+	"github.com/exsample/exsample/internal/core"
+	"github.com/exsample/exsample/internal/detect"
+	"github.com/exsample/exsample/internal/discrim"
+	"github.com/exsample/exsample/internal/metrics"
+	"github.com/exsample/exsample/internal/track"
+	"github.com/exsample/exsample/internal/video"
+	"github.com/exsample/exsample/internal/xrand"
+)
+
+// queryRun is the incremental step state machine behind both Session and
+// Engine: pick a frame (next), run the detector (detect — the only
+// concurrency-safe method), and feed the detections through the
+// discriminator, cost accounting and sampler bookkeeping (apply). Driving
+// next/detect/apply in a loop reproduces Dataset.Search exactly for the
+// same seed, which is what keeps Session ≡ Search and Engine ≡ Search.
+//
+// Only apply mutates state, and callers must invoke it in pick order from a
+// single goroutine; detect may be fanned out across workers between a batch
+// of next calls and their applies, exactly like batched Search (§III-F).
+type queryRun struct {
+	dataset  *Dataset
+	query    Query
+	opts     Options
+	detector detect.Detector
+	dis      *discrim.Discriminator
+	curve    *metrics.RecallCurve
+
+	sampler *core.Sampler    // StrategyExSample
+	order   video.FrameOrder // other strategies
+	home    map[int]int      // HomeChunkAccounting: object id -> discovering chunk
+
+	rep       *Report
+	maxFrames int64
+	exhausted bool
+}
+
+// newQueryRun builds the full per-query pipeline: simulated detector,
+// SORT-style discriminator, recall curve, report, and the strategy's
+// sampling state. Callers are responsible for validating q and opts first
+// (Session deliberately accepts queries without a stopping condition).
+func (d *Dataset) newQueryRun(q Query, opts Options) (*queryRun, error) {
+	total, err := d.GroundTruthCount(q.Class)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := detect.NewSim(d.inner.Index, d.seed^0xdecade,
+		detect.WithClass(q.Class),
+		detect.WithNoise(d.noise),
+		detect.WithCost(1/d.cost.DetectFPS),
+	)
+	if err != nil {
+		return nil, err
+	}
+	var detector detect.Detector = sim
+	if d.failAfter > 0 {
+		detector = &detect.FailAfter{Inner: sim, Limit: d.failAfter}
+	}
+	coverage := opts.TrackerCoverage
+	if coverage == 0 {
+		coverage = 1
+	}
+	extender, err := discrim.NewTruthExtender(d.inner.Index, coverage)
+	if err != nil {
+		return nil, err
+	}
+	dis, err := discrim.New(extender, opts.IoUThreshold)
+	if err != nil {
+		return nil, err
+	}
+	curve, err := metrics.NewRecallCurve(total)
+	if err != nil {
+		return nil, err
+	}
+	maxFrames := opts.MaxFrames
+	if maxFrames == 0 || maxFrames > d.NumFrames() {
+		maxFrames = d.NumFrames()
+	}
+	r := &queryRun{
+		dataset:   d,
+		query:     q,
+		opts:      opts,
+		detector:  detector,
+		dis:       dis,
+		curve:     curve,
+		rep:       &Report{Strategy: opts.Strategy},
+		maxFrames: maxFrames,
+	}
+	if err := r.initStrategy(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// initStrategy builds the frame-picking state for the configured strategy.
+func (r *queryRun) initStrategy() error {
+	d := r.dataset
+	opts := r.opts
+	switch opts.Strategy {
+	case StrategyExSample:
+		chunks := d.inner.Chunks
+		if opts.NumChunks > 0 {
+			var err error
+			chunks, err = video.SplitRange(0, d.NumFrames(), opts.NumChunks)
+			if err != nil {
+				return err
+			}
+		}
+		sampler, err := d.newExSampler(r.query, opts, r.rep, chunks, opts.Seed)
+		if err != nil {
+			return err
+		}
+		r.sampler = sampler
+		if opts.HomeChunkAccounting {
+			r.home = make(map[int]int)
+		}
+	case StrategyRandom:
+		order, err := video.NewUniformOrder(0, d.NumFrames(), xrand.New(opts.Seed))
+		if err != nil {
+			return err
+		}
+		r.order = order
+	case StrategyRandomPlus:
+		hour := int64(d.inner.Profile.FPS * 3600)
+		order, err := video.NewRandomPlusOrder(0, d.NumFrames(), hour, xrand.New(opts.Seed))
+		if err != nil {
+			return err
+		}
+		r.order = order
+	case StrategySequential:
+		order, err := video.NewSequentialOrder(0, d.NumFrames(), 1)
+		if err != nil {
+			return err
+		}
+		r.order = order
+	case StrategyProxy:
+		quality := opts.ProxyQuality
+		if quality == 0 {
+			quality = 1
+		}
+		scorer, err := baseline.NewProxyScorer(d.inner.Index, r.query.Class, quality, opts.Seed^0xbead)
+		if err != nil {
+			return err
+		}
+		order, err := baseline.NewProxyOrder(scorer, 0, d.NumFrames(), opts.ProxyDupRadius)
+		if err != nil {
+			return err
+		}
+		// The scoring scan is paid upfront (§II-B); the proxy training
+		// phase is a Search-only feature.
+		r.rep.ScanSeconds = d.cost.ScanSeconds(order.ScannedFrames)
+		r.order = order
+	default:
+		return fmt.Errorf("exsample: step loop does not support strategy %v", opts.Strategy)
+	}
+	return nil
+}
+
+// next draws the next frame from the strategy's order. Chunk is -1 for
+// non-chunked strategies. ok is false when the repository is exhausted;
+// once false, it stays false.
+func (r *queryRun) next() (pick core.Pick, ok bool) {
+	if r.exhausted {
+		return core.Pick{}, false
+	}
+	if r.sampler != nil {
+		p, sok := r.sampler.Next()
+		if !sok {
+			r.exhausted = true
+			return core.Pick{}, false
+		}
+		return p, true
+	}
+	frame, ook := r.order.Next()
+	if !ook {
+		r.exhausted = true
+		return core.Pick{}, false
+	}
+	return core.Pick{Frame: frame, Chunk: -1}, true
+}
+
+// detect runs the detector on one frame. It is safe to call concurrently
+// for different frames of the same run (the simulated detector is
+// stateless and hash-deterministic per frame).
+func (r *queryRun) detect(frame int64) []track.Detection {
+	return r.detector.Detect(frame)
+}
+
+// apply charges the frame's decode and inference cost, feeds the detections
+// through the discriminator, grows the report and recall curve, and updates
+// the sampler's chunk statistics. It must be called in pick order from a
+// single goroutine.
+func (r *queryRun) apply(p core.Pick, dets []track.Detection) (StepInfo, error) {
+	rep := r.rep
+	rep.DecodeSeconds += r.dataset.dec.Cost(p.Frame)
+	rep.DetectSeconds += r.detector.CostSeconds()
+	rep.FramesProcessed++
+	newObjs, secondObjs := r.dis.ObserveObjects(p.Frame, dets)
+
+	info := StepInfo{Frame: p.Frame, Chunk: p.Chunk, SecondSightings: len(secondObjs)}
+	var truthIDs []int
+	for _, obj := range newObjs {
+		det := obj.FirstDetection
+		res := Result{
+			ObjectID: len(rep.Results),
+			Frame:    det.Frame,
+			Class:    det.Class,
+			Box:      Box{det.Box.X1, det.Box.Y1, det.Box.X2, det.Box.Y2},
+			Score:    det.Score,
+		}
+		rep.Results = append(rep.Results, res)
+		info.New = append(info.New, res)
+		truthIDs = append(truthIDs, det.TruthID)
+	}
+	r.curve.Observe(rep.FramesProcessed, rep.TotalSeconds(), truthIDs)
+	if len(truthIDs) > 0 {
+		rep.CurveSamples = append(rep.CurveSamples, rep.FramesProcessed)
+		rep.CurveSeconds = append(rep.CurveSeconds, rep.TotalSeconds())
+		rep.CurveFound = append(rep.CurveFound, r.curve.DistinctFound())
+	}
+	rep.Recall = r.curve.Recall()
+
+	if r.sampler != nil {
+		if err := r.feedback(p.Chunk, newObjs, secondObjs); err != nil {
+			return StepInfo{}, err
+		}
+	}
+	return info, nil
+}
+
+// feedback applies the (d0, d1) split to the sampler, using the technical
+// report's cross-chunk accounting when enabled: the -1 of a second sighting
+// is charged to the chunk where the object was discovered.
+func (r *queryRun) feedback(chunk int, newObjs, secondObjs []*discrim.Object) error {
+	if r.home == nil {
+		return r.sampler.Update(chunk, len(newObjs), len(secondObjs))
+	}
+	for _, o := range newObjs {
+		r.home[o.ID] = chunk
+	}
+	if err := r.sampler.Update(chunk, len(newObjs), 0); err != nil {
+		return err
+	}
+	for _, o := range secondObjs {
+		hc, ok := r.home[o.ID]
+		if !ok {
+			hc = chunk
+		}
+		if err := r.sampler.Adjust(hc, -1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stopRequested reports whether the query's own stopping condition (Limit
+// and/or RecallTarget) is satisfied — Session's advisory Done.
+func (r *queryRun) stopRequested() bool {
+	if r.query.Limit > 0 && len(r.rep.Results) >= r.query.Limit {
+		return true
+	}
+	if r.query.RecallTarget > 0 && r.curve.Recall() >= r.query.RecallTarget {
+		return true
+	}
+	return false
+}
+
+// done is the full Search stopping condition: query satisfaction plus the
+// frame and charged-time budgets. The Engine finalizes a query when this
+// reports true.
+func (r *queryRun) done() bool {
+	if r.stopRequested() {
+		return true
+	}
+	if r.rep.FramesProcessed >= r.maxFrames {
+		return true
+	}
+	if r.opts.MaxSeconds > 0 && r.rep.TotalSeconds() >= r.opts.MaxSeconds {
+		return true
+	}
+	return false
+}

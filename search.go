@@ -2,12 +2,12 @@ package exsample
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/exsample/exsample/internal/baseline"
 	"github.com/exsample/exsample/internal/core"
 	"github.com/exsample/exsample/internal/detect"
 	"github.com/exsample/exsample/internal/discrim"
+	"github.com/exsample/exsample/internal/engine"
 	"github.com/exsample/exsample/internal/metrics"
 	"github.com/exsample/exsample/internal/track"
 	"github.com/exsample/exsample/internal/video"
@@ -128,6 +128,13 @@ func (d *Dataset) Search(q Query, opts Options) (*Report, error) {
 	}
 
 	pipe := framePipeline{detect: detector.Detect, apply: applyDets, process: processFrame}
+	// Only the batched ExSample loop fans inference out; don't spin up
+	// workers on paths that never use them.
+	if opts.Parallelism > 1 && opts.Strategy == StrategyExSample && !opts.AutoChunk {
+		pool := engine.NewPool(opts.Parallelism)
+		defer pool.Close()
+		pipe.pool = pool
+	}
 	switch opts.Strategy {
 	case StrategyExSample:
 		err = d.runExSample(q, opts, rep, pipe, done)
@@ -144,11 +151,13 @@ func (d *Dataset) Search(q Query, opts Options) (*Report, error) {
 }
 
 // framePipeline splits frame processing into the parallelizable detector
-// call and the order-sensitive discriminator/accounting step.
+// call and the order-sensitive discriminator/accounting step. pool, when
+// set, fans batch inference out over a bounded worker pool.
 type framePipeline struct {
 	detect  func(int64) []track.Detection
 	apply   func(int64, []track.Detection) ([]*discrim.Object, []*discrim.Object)
 	process func(int64) ([]*discrim.Object, []*discrim.Object)
+	pool    *engine.Pool
 }
 
 // newExSampler builds a core sampler over the given chunks with the
@@ -264,8 +273,8 @@ func (d *Dataset) runExSample(q Query, opts Options, rep *Report,
 			break
 		}
 		var detsList [][]track.Detection
-		if opts.Parallelism > 1 {
-			detsList = parallelDetect(pipe.detect, picks, opts.Parallelism)
+		if pipe.pool != nil {
+			detsList = parallelDetect(pipe.pool, pipe.detect, picks)
 		}
 		updates := make([]upd, 0, len(picks))
 		for i, p := range picks {
@@ -391,20 +400,15 @@ func adaptiveChunks(pilot *core.Sampler, coarse []video.Chunk, budget int) []vid
 // parallelDetect runs detector inference for a batch of picks across a
 // bounded worker pool. Results are indexed by pick so the discriminator can
 // consume them in order; the detector contract requires concurrency safety.
-func parallelDetect(detect func(int64) []track.Detection, picks []core.Pick, workers int) [][]track.Detection {
+// The same pool type backs the Engine's cross-query batching.
+func parallelDetect(pool *engine.Pool, detect func(int64) []track.Detection, picks []core.Pick) [][]track.Detection {
 	out := make([][]track.Detection, len(picks))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
+	tasks := make([]func(), len(picks))
 	for i, p := range picks {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, frame int64) {
-			defer wg.Done()
-			out[i] = detect(frame)
-			<-sem
-		}(i, p.Frame)
+		i, frame := i, p.Frame
+		tasks[i] = func() { out[i] = detect(frame) }
 	}
-	wg.Wait()
+	pool.Do(tasks)
 	return out
 }
 

@@ -1,16 +1,6 @@
 package exsample
 
-import (
-	"fmt"
-
-	"github.com/exsample/exsample/internal/baseline"
-	"github.com/exsample/exsample/internal/core"
-	"github.com/exsample/exsample/internal/detect"
-	"github.com/exsample/exsample/internal/discrim"
-	"github.com/exsample/exsample/internal/metrics"
-	"github.com/exsample/exsample/internal/video"
-	"github.com/exsample/exsample/internal/xrand"
-)
+import "fmt"
 
 // Session is the incremental counterpart to Search: the caller drives the
 // loop one frame at a time and observes results as they stream in. This is
@@ -20,26 +10,11 @@ import (
 //
 // A Session never stops on its own: Step processes one frame and reports
 // what it found; the caller decides when to stop. Sessions are not safe for
-// concurrent use.
+// concurrent use. To run many queries concurrently over a shared detector
+// worker pool, use Engine — Session and Engine drive the same underlying
+// step loop, so both reproduce Search exactly for the same seed.
 type Session struct {
-	dataset  *Dataset
-	query    Query
-	opts     Options
-	detector detect.Detector
-	dis      *discrim.Discriminator
-	curve    *metrics.RecallCurve
-
-	sampler *core.Sampler    // StrategyExSample
-	order   video.FrameOrder // other strategies
-	home    map[int]int      // HomeChunkAccounting
-
-	results     []Result
-	frames      int64
-	detectSecs  float64
-	decodeSecs  float64
-	scanSecs    float64
-	exhausted   bool
-	totalTruths int
+	run *queryRun
 }
 
 // StepInfo reports what one Step did.
@@ -68,249 +43,57 @@ func (d *Dataset) NewSession(q Query, opts Options) (*Session, error) {
 	if opts.BatchSize > 1 || opts.Parallelism > 1 {
 		return nil, fmt.Errorf("exsample: sessions are single-frame; use Search for batching")
 	}
-	total, err := d.GroundTruthCount(q.Class)
+	run, err := d.newQueryRun(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := detect.NewSim(d.inner.Index, d.seed^0xdecade,
-		detect.WithClass(q.Class),
-		detect.WithNoise(d.noise),
-		detect.WithCost(1/d.cost.DetectFPS),
-	)
-	if err != nil {
-		return nil, err
-	}
-	var detector detect.Detector = sim
-	if d.failAfter > 0 {
-		detector = &detect.FailAfter{Inner: sim, Limit: d.failAfter}
-	}
-	coverage := opts.TrackerCoverage
-	if coverage == 0 {
-		coverage = 1
-	}
-	extender, err := discrim.NewTruthExtender(d.inner.Index, coverage)
-	if err != nil {
-		return nil, err
-	}
-	dis, err := discrim.New(extender, opts.IoUThreshold)
-	if err != nil {
-		return nil, err
-	}
-	curve, err := metrics.NewRecallCurve(total)
-	if err != nil {
-		return nil, err
-	}
-	s := &Session{
-		dataset:     d,
-		query:       q,
-		opts:        opts,
-		detector:    detector,
-		dis:         dis,
-		curve:       curve,
-		totalTruths: total,
-	}
-	if err := s.initStrategy(); err != nil {
-		return nil, err
-	}
-	return s, nil
-}
-
-func (s *Session) initStrategy() error {
-	d := s.dataset
-	opts := s.opts
-	switch opts.Strategy {
-	case StrategyExSample:
-		chunks := d.inner.Chunks
-		if opts.NumChunks > 0 {
-			var err error
-			chunks, err = video.SplitRange(0, d.NumFrames(), opts.NumChunks)
-			if err != nil {
-				return err
-			}
-		}
-		cfg := core.Config{
-			Alpha0: opts.Alpha0,
-			Beta0:  opts.Beta0,
-			Policy: opts.Policy.toCore(),
-			Within: core.WithinRandomPlus,
-			Seed:   opts.Seed,
-		}
-		if opts.UniformWithinChunk {
-			cfg.Within = core.WithinUniform
-		}
-		if opts.FuseProxyWithinChunk {
-			quality := opts.ProxyQuality
-			if quality == 0 {
-				quality = 1
-			}
-			scorer, err := baseline.NewProxyScorer(d.inner.Index, s.query.Class, quality, opts.Seed^0xbead)
-			if err != nil {
-				return err
-			}
-			cfg.Within = core.WithinScored
-			cfg.Scorer = scorer.Score
-			cfg.OnChunkOpen = func(j int) {
-				s.scanSecs += d.cost.ScanSeconds(chunks[j].Len())
-			}
-		}
-		sampler, err := core.New(chunks, cfg)
-		if err != nil {
-			return err
-		}
-		s.sampler = sampler
-		if opts.HomeChunkAccounting {
-			s.home = make(map[int]int)
-		}
-	case StrategyRandom:
-		order, err := video.NewUniformOrder(0, d.NumFrames(), xrand.New(opts.Seed))
-		if err != nil {
-			return err
-		}
-		s.order = order
-	case StrategyRandomPlus:
-		hour := int64(d.inner.Profile.FPS * 3600)
-		order, err := video.NewRandomPlusOrder(0, d.NumFrames(), hour, xrand.New(opts.Seed))
-		if err != nil {
-			return err
-		}
-		s.order = order
-	case StrategySequential:
-		order, err := video.NewSequentialOrder(0, d.NumFrames(), 1)
-		if err != nil {
-			return err
-		}
-		s.order = order
-	case StrategyProxy:
-		quality := opts.ProxyQuality
-		if quality == 0 {
-			quality = 1
-		}
-		scorer, err := baseline.NewProxyScorer(d.inner.Index, s.query.Class, quality, opts.Seed^0xbead)
-		if err != nil {
-			return err
-		}
-		order, err := baseline.NewProxyOrder(scorer, 0, d.NumFrames(), opts.ProxyDupRadius)
-		if err != nil {
-			return err
-		}
-		s.scanSecs = d.cost.ScanSeconds(order.ScannedFrames)
-		s.order = order
-	default:
-		return fmt.Errorf("exsample: session does not support strategy %v", opts.Strategy)
-	}
-	return nil
+	return &Session{run: run}, nil
 }
 
 // Step processes one frame. ok is false when the repository is exhausted.
 func (s *Session) Step() (info StepInfo, ok bool, err error) {
-	if s.exhausted {
+	p, ok := s.run.next()
+	if !ok {
 		return StepInfo{}, false, nil
 	}
-	var frame int64
-	chunk := -1
-	if s.sampler != nil {
-		p, sok := s.sampler.Next()
-		if !sok {
-			s.exhausted = true
-			return StepInfo{}, false, nil
-		}
-		frame, chunk = p.Frame, p.Chunk
-	} else {
-		f, ook := s.order.Next()
-		if !ook {
-			s.exhausted = true
-			return StepInfo{}, false, nil
-		}
-		frame = f
-	}
-
-	s.decodeSecs += s.dataset.dec.Cost(frame)
-	s.detectSecs += s.detector.CostSeconds()
-	s.frames++
-	dets := s.detector.Detect(frame)
-	newObjs, secondObjs := s.dis.ObserveObjects(frame, dets)
-
-	info = StepInfo{Frame: frame, Chunk: chunk, SecondSightings: len(secondObjs)}
-	var truthIDs []int
-	for _, obj := range newObjs {
-		det := obj.FirstDetection
-		r := Result{
-			ObjectID: len(s.results),
-			Frame:    det.Frame,
-			Class:    det.Class,
-			Box:      Box{det.Box.X1, det.Box.Y1, det.Box.X2, det.Box.Y2},
-			Score:    det.Score,
-		}
-		s.results = append(s.results, r)
-		info.New = append(info.New, r)
-		truthIDs = append(truthIDs, det.TruthID)
-	}
-	s.curve.Observe(s.frames, s.Seconds(), truthIDs)
-
-	if s.sampler != nil {
-		if s.home == nil {
-			err = s.sampler.Update(chunk, len(newObjs), len(secondObjs))
-		} else {
-			for _, o := range newObjs {
-				s.home[o.ID] = chunk
-			}
-			err = s.sampler.Update(chunk, len(newObjs), 0)
-			for _, o := range secondObjs {
-				if err != nil {
-					break
-				}
-				hc, okh := s.home[o.ID]
-				if !okh {
-					hc = chunk
-				}
-				err = s.sampler.Adjust(hc, -1)
-			}
-		}
-		if err != nil {
-			return StepInfo{}, false, err
-		}
+	info, err = s.run.apply(p, s.run.detect(p.Frame))
+	if err != nil {
+		return StepInfo{}, false, err
 	}
 	return info, true, nil
 }
 
 // Done reports whether the query's stopping condition (Limit and/or
 // RecallTarget) is satisfied.
-func (s *Session) Done() bool {
-	if s.query.Limit > 0 && len(s.results) >= s.query.Limit {
-		return true
-	}
-	if s.query.RecallTarget > 0 && s.curve.Recall() >= s.query.RecallTarget {
-		return true
-	}
-	return false
-}
+func (s *Session) Done() bool { return s.run.stopRequested() }
 
 // Results returns all distinct objects found so far (shared slice; do not
 // mutate).
-func (s *Session) Results() []Result { return s.results }
+func (s *Session) Results() []Result { return s.run.rep.Results }
 
 // Recall returns the fraction of ground-truth instances found so far.
-func (s *Session) Recall() float64 { return s.curve.Recall() }
+func (s *Session) Recall() float64 { return s.run.curve.Recall() }
 
 // Frames returns the number of frames processed.
-func (s *Session) Frames() int64 { return s.frames }
+func (s *Session) Frames() int64 { return s.run.rep.FramesProcessed }
 
 // Seconds returns the charged query time so far, including any scan.
-func (s *Session) Seconds() float64 { return s.detectSecs + s.decodeSecs + s.scanSecs }
+func (s *Session) Seconds() float64 { return s.run.rep.TotalSeconds() }
 
 // ChunkStats exposes the live per-chunk sampler statistics (N1, n) for
 // StrategyExSample sessions; it returns nil for other strategies. Useful for
 // visualizing how the sampler's attention shifts.
 func (s *Session) ChunkStats() []ChunkStat {
-	if s.sampler == nil {
+	sampler := s.run.sampler
+	if sampler == nil {
 		return nil
 	}
-	out := make([]ChunkStat, s.sampler.NumChunks())
+	out := make([]ChunkStat, sampler.NumChunks())
 	for j := range out {
-		n1, n := s.sampler.Stats(j)
-		c := s.sampler.Chunks()[j]
+		n1, n := sampler.Stats(j)
+		c := sampler.Chunks()[j]
 		out[j] = ChunkStat{Chunk: j, Start: c.Start, End: c.End, N1: n1, N: n,
-			Estimate: s.sampler.PointEstimate(j)}
+			Estimate: sampler.PointEstimate(j)}
 	}
 	return out
 }
