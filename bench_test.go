@@ -320,3 +320,107 @@ func BenchmarkSamplerDecision(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShardedThroughput measures the shard fan-out path: the same
+// total repository split over 1, 2 or 4 shards, searched by 4 concurrent
+// engine queries. The decision loop is identical across arms, so the spread
+// isolates the cost of global-space remapping and per-shard routing.
+func BenchmarkShardedThroughput(b *testing.B) {
+	const totalFrames = 160_000
+	for _, nShards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%d-shards", nShards), func(b *testing.B) {
+			shards := make([]*exsample.Dataset, nShards)
+			for i := range shards {
+				ds, err := exsample.Synthesize(exsample.SynthSpec{
+					NumFrames:    totalFrames / int64(nShards),
+					NumInstances: 200 / nShards,
+					Class:        "car",
+					MeanDuration: 120,
+					SkewFraction: 1.0 / 8,
+					ChunkFrames:  2000,
+					Seed:         uint64(40 + i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				shards[i] = ds
+			}
+			src, err := exsample.NewShardedSource("bench", shards...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var frames int64
+			for i := 0; i < b.N; i++ {
+				eng, err := exsample.NewEngine(exsample.EngineOptions{
+					Workers:        4,
+					FramesPerRound: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles := make([]*exsample.QueryHandle, 4)
+				for qi := range handles {
+					handles[qi], err = eng.Submit(context.Background(), src,
+						exsample.Query{Class: "car", Limit: 10},
+						exsample.Options{Seed: uint64(i*4 + qi + 1)})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, h := range handles {
+					rep, err := h.Wait()
+					if err != nil {
+						b.Fatal(err)
+					}
+					frames += rep.FramesProcessed
+				}
+				eng.Close()
+			}
+			b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+		})
+	}
+}
+
+// BenchmarkCacheHitRate measures the detector memo cache: 8 same-seeded
+// queries run back to back on one engine, so all but the first hit the
+// cache for every frame. Reported metrics are the aggregate hit rate and
+// the charged-seconds saving over the uncached equivalent.
+func BenchmarkCacheHitRate(b *testing.B) {
+	ds, err := exsample.OpenProfile("dashcam", 0.05, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hitRate, saved float64
+	for i := 0; i < b.N; i++ {
+		eng, err := exsample.NewEngine(exsample.EngineOptions{
+			Workers:      4,
+			CacheEntries: 1 << 17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cold, warm float64
+		for qi := 0; qi < 8; qi++ {
+			h, err := eng.Submit(context.Background(), ds,
+				exsample.Query{Class: "traffic light", Limit: 10},
+				exsample.Options{Seed: 11})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := h.Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if qi == 0 {
+				cold = rep.TotalSeconds()
+			} else {
+				warm += rep.TotalSeconds()
+			}
+		}
+		hitRate += eng.CacheStats().HitRate()
+		saved += 1 - warm/(7*cold)
+		eng.Close()
+	}
+	b.ReportMetric(hitRate/float64(b.N), "hitrate")
+	b.ReportMetric(saved/float64(b.N), "charged-s-saved")
+}

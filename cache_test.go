@@ -1,0 +1,189 @@
+package exsample
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// Tests for the Engine's cross-query detector memo cache.
+
+func TestCachedRunByteIdenticalResults(t *testing.T) {
+	// A warm-cache run must return byte-identical Results to a cold run
+	// for the same seed: the cache changes charged costs, never behavior.
+	ds := smallDataset(t)
+	q := Query{Class: "car", Limit: 20}
+	opts := Options{Seed: 101}
+
+	cold, err := ds.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, EngineOptions{Workers: 2, CacheEntries: 1 << 16})
+	first, err := e.Submit(context.Background(), ds, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstRep, err := first.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Submit(context.Background(), ds, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondRep, err := second.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(cold.Results, firstRep.Results) ||
+		!reflect.DeepEqual(cold.Results, secondRep.Results) {
+		t.Fatal("cached runs diverged from the uncached run's Results")
+	}
+	if firstRep.CacheMisses != firstRep.FramesProcessed || firstRep.CacheHits != 0 {
+		t.Fatalf("cold engine run: hits=%d misses=%d over %d frames",
+			firstRep.CacheHits, firstRep.CacheMisses, firstRep.FramesProcessed)
+	}
+	if secondRep.CacheHits != secondRep.FramesProcessed {
+		t.Fatalf("warm run hit %d of %d frames", secondRep.CacheHits, secondRep.FramesProcessed)
+	}
+	// Hits are charged decode-only: the warm run pays no detector time
+	// but the same decode time.
+	if secondRep.DetectSeconds != 0 {
+		t.Fatalf("warm run charged %v detector seconds", secondRep.DetectSeconds)
+	}
+	if secondRep.DecodeSeconds != firstRep.DecodeSeconds {
+		t.Fatalf("warm run decode %v, cold run %v", secondRep.DecodeSeconds, firstRep.DecodeSeconds)
+	}
+	if firstRep.DetectSeconds != cold.DetectSeconds {
+		t.Fatalf("cold engine run charged %v detector seconds, Search charged %v",
+			firstRep.DetectSeconds, cold.DetectSeconds)
+	}
+	st := e.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("cache stats %+v", st)
+	}
+	if st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Fatalf("hit rate %v", st.HitRate())
+	}
+}
+
+func TestCacheDisabledEngineReportsNoCacheCounters(t *testing.T) {
+	ds := smallDataset(t)
+	e := newTestEngine(t, EngineOptions{Workers: 2})
+	h, err := e.Submit(context.Background(), ds, Query{Class: "car", Limit: 5}, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits != 0 || rep.CacheMisses != 0 {
+		t.Fatalf("cacheless engine recorded hits=%d misses=%d", rep.CacheHits, rep.CacheMisses)
+	}
+	if st := e.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("disabled cache stats %+v", st)
+	}
+}
+
+func TestConcurrentCachedQueriesRaceClean(t *testing.T) {
+	// Many concurrent queries sharing one cache across two sources; run
+	// under -race this is the memo cache's concurrency suite. Every
+	// query's outcome must equal its standalone Search.
+	ds1 := smallDataset(t, WithPerfectDetector())
+	ds2 := smallDataset(t) // same content, noisy detector, distinct source id
+	// FramesPerRound 1 so every query is comparable to unbatched Search.
+	e := newTestEngine(t, EngineOptions{Workers: 4, FramesPerRound: 1, CacheEntries: 1 << 16})
+
+	type spec struct {
+		src  *Dataset
+		seed uint64
+	}
+	var specs []spec
+	for i := 0; i < 4; i++ {
+		specs = append(specs, spec{ds1, uint64(300 + i%2)}) // overlapping seeds → shared frames
+		specs = append(specs, spec{ds2, uint64(400 + i%2)})
+	}
+	q := Query{Class: "car", Limit: 15}
+	want := make([]*Report, len(specs))
+	for i, sp := range specs {
+		rep, err := sp.src.Search(q, Options{Seed: sp.seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+	handles := make([]*QueryHandle, len(specs))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		h, err := e.Submit(context.Background(), sp.src, q, Options{Seed: sp.seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+		wg.Add(1)
+		go func(h *QueryHandle) {
+			defer wg.Done()
+			for range h.Events() {
+			}
+		}(h)
+	}
+	for i, h := range handles {
+		rep, err := h.Wait()
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(rep.Results, want[i].Results) {
+			t.Errorf("query %d diverged under shared cache (results %d vs %d)",
+				i, len(rep.Results), len(want[i].Results))
+		}
+	}
+	wg.Wait()
+	st := e.CacheStats()
+	if st.Hits == 0 {
+		t.Error("duplicate seeded queries produced no cache hits")
+	}
+}
+
+func TestCacheSharedAcrossQueriesOnShardedSource(t *testing.T) {
+	shards := shardDatasets(t, 2, 20_000, WithPerfectDetector())
+	ss, err := NewShardedSource("fleet", shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, EngineOptions{Workers: 4, CacheEntries: 1 << 16})
+	q := Query{Class: "car", Limit: 20}
+	h1, err := e.Submit(context.Background(), ss, q, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := h1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.Submit(context.Background(), ss, q, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := h2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1.Results, rep2.Results) {
+		t.Fatal("same-seed sharded queries diverged")
+	}
+	if rep2.CacheHits != rep2.FramesProcessed {
+		t.Fatalf("second sharded query hit %d of %d frames", rep2.CacheHits, rep2.FramesProcessed)
+	}
+	// Cache hits never reach a shard: detect traffic counts only misses.
+	var detects int64
+	for _, st := range ss.ShardStats() {
+		detects += st.DetectCalls
+	}
+	if detects != rep1.FramesProcessed {
+		t.Fatalf("shards saw %d detector calls for %d cold frames", detects, rep1.FramesProcessed)
+	}
+}

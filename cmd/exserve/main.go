@@ -1,13 +1,19 @@
 // Command exserve exercises the concurrent query engine: it opens one or
-// more dataset profiles, submits many simultaneous distinct-object queries
-// (spread round-robin over the datasets' classes), multiplexes their
-// detector calls onto a shared bounded worker pool, and prints per-query
-// and aggregate throughput.
+// more dataset profiles (optionally sharding each into an N-way
+// ShardedSource), submits many simultaneous distinct-object queries
+// (spread round-robin over the sources' classes), multiplexes their
+// detector calls onto a shared bounded worker pool — grouped by shard —
+// and prints per-query, per-shard and cache statistics.
 //
 // Usage:
 //
 //	exserve -datasets dashcam,bdd1k -queries 8 -limit 10
 //	        [-workers 4] [-round 4] [-scale 0.05] [-seed 1]
+//	        [-shards 1] [-cache 0]
+//
+// -shards N composes each profile from N independently generated shards
+// (one logical repository, N machines' worth of chunks); -cache N enables
+// an N-entry detector memo cache shared by every query on the engine.
 package main
 
 import (
@@ -24,48 +30,90 @@ import (
 )
 
 func main() {
-	var (
-		datasets = flag.String("datasets", "dashcam,bdd1k", "comma-separated profile names")
-		queries  = flag.Int("queries", 8, "number of concurrent queries")
-		limit    = flag.Int("limit", 10, "distinct objects per query")
-		workers  = flag.Int("workers", 4, "shared detector worker pool size")
-		round    = flag.Int("round", 4, "frames per query per scheduling round")
-		scale    = flag.Float64("scale", 0.05, "dataset scale (1 = paper size)")
-		seed     = flag.Uint64("seed", 1, "base random seed")
-	)
+	var cfg config
+	flag.StringVar(&cfg.datasets, "datasets", "dashcam,bdd1k", "comma-separated profile names")
+	flag.IntVar(&cfg.queries, "queries", 8, "number of concurrent queries")
+	flag.IntVar(&cfg.limit, "limit", 10, "distinct objects per query")
+	flag.IntVar(&cfg.workers, "workers", 4, "shared detector worker pool size")
+	flag.IntVar(&cfg.round, "round", 4, "frames per query per scheduling round")
+	flag.Float64Var(&cfg.scale, "scale", 0.05, "dataset scale (1 = paper size)")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "base random seed")
+	flag.IntVar(&cfg.shards, "shards", 1, "shards per profile (>1 composes a ShardedSource)")
+	flag.IntVar(&cfg.cache, "cache", 0, "detector memo cache entries (0 = disabled)")
 	flag.Parse()
+	cfg.profiles = strings.Split(cfg.datasets, ",")
 
-	if err := run(os.Stdout, strings.Split(*datasets, ","), *queries, *limit, *workers, *round, *scale, *seed); err != nil {
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "exserve:", err)
 		os.Exit(1)
 	}
 }
 
-// run opens the profiles, fans the queries out over the engine and renders
-// the throughput table.
-func run(w io.Writer, profiles []string, queries, limit, workers, round int, scale float64, seed uint64) error {
-	if queries < 1 {
-		return fmt.Errorf("need at least one query, got %d", queries)
+// config collects the run parameters.
+type config struct {
+	datasets string
+	profiles []string
+	queries  int
+	limit    int
+	workers  int
+	round    int
+	scale    float64
+	seed     uint64
+	shards   int
+	cache    int
+}
+
+// openSource opens one profile as a plain dataset or an N-way sharded
+// composition of independently generated datasets.
+func openSource(name string, cfg config) (exsample.Source, *exsample.ShardedSource, error) {
+	if cfg.shards <= 1 {
+		ds, err := exsample.OpenProfile(name, cfg.scale, cfg.seed)
+		return ds, nil, err
 	}
-	if limit < 1 {
-		return fmt.Errorf("need a positive per-query limit, got %d", limit)
+	shards := make([]*exsample.Dataset, cfg.shards)
+	for i := range shards {
+		ds, err := exsample.OpenProfile(name, cfg.scale, cfg.seed+uint64(i)*1000)
+		if err != nil {
+			return nil, nil, err
+		}
+		shards[i] = ds
+	}
+	ss, err := exsample.NewShardedSource(name, shards...)
+	return ss, ss, err
+}
+
+// run opens the sources, fans the queries out over the engine and renders
+// the throughput, shard and cache tables.
+func run(w io.Writer, cfg config) error {
+	if cfg.queries < 1 {
+		return fmt.Errorf("need at least one query, got %d", cfg.queries)
+	}
+	if cfg.limit < 1 {
+		return fmt.Errorf("need a positive per-query limit, got %d", cfg.limit)
+	}
+	if cfg.shards < 1 {
+		return fmt.Errorf("need at least one shard per profile, got %d", cfg.shards)
 	}
 	type target struct {
-		ds    *exsample.Dataset
+		src   exsample.Source
 		class string
 	}
 	var targets []target
-	for _, name := range profiles {
+	var sharded []*exsample.ShardedSource
+	for _, name := range cfg.profiles {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		ds, err := exsample.OpenProfile(name, scale, seed)
+		src, ss, err := openSource(name, cfg)
 		if err != nil {
 			return err
 		}
-		for _, class := range ds.Classes() {
-			targets = append(targets, target{ds: ds, class: class})
+		if ss != nil {
+			sharded = append(sharded, ss)
+		}
+		for _, class := range src.Classes() {
+			targets = append(targets, target{src: src, class: class})
 		}
 	}
 	if len(targets) == 0 {
@@ -73,8 +121,9 @@ func run(w io.Writer, profiles []string, queries, limit, workers, round int, sca
 	}
 
 	eng, err := exsample.NewEngine(exsample.EngineOptions{
-		Workers:        workers,
-		FramesPerRound: round,
+		Workers:        cfg.workers,
+		FramesPerRound: cfg.round,
+		CacheEntries:   cfg.cache,
 	})
 	if err != nil {
 		return err
@@ -82,13 +131,13 @@ func run(w io.Writer, profiles []string, queries, limit, workers, round int, sca
 	defer eng.Close()
 
 	start := time.Now()
-	handles := make([]*exsample.QueryHandle, queries)
-	specs := make([]target, queries)
-	for i := 0; i < queries; i++ {
+	handles := make([]*exsample.QueryHandle, cfg.queries)
+	specs := make([]target, cfg.queries)
+	for i := 0; i < cfg.queries; i++ {
 		specs[i] = targets[i%len(targets)]
-		handles[i], err = eng.Submit(context.Background(), specs[i].ds,
-			exsample.Query{Class: specs[i].class, Limit: limit},
-			exsample.Options{Seed: seed + uint64(i)})
+		handles[i], err = eng.Submit(context.Background(), specs[i].src,
+			exsample.Query{Class: specs[i].class, Limit: cfg.limit},
+			exsample.Options{Seed: cfg.seed + uint64(i)})
 		if err != nil {
 			return err
 		}
@@ -101,7 +150,7 @@ func run(w io.Writer, profiles []string, queries, limit, workers, round int, sca
 		err     error
 		elapsed time.Duration
 	}
-	outcomes := make([]outcome, queries)
+	outcomes := make([]outcome, cfg.queries)
 	var wg sync.WaitGroup
 	for i, h := range handles {
 		wg.Add(1)
@@ -113,25 +162,39 @@ func run(w io.Writer, profiles []string, queries, limit, workers, round int, sca
 	}
 	wg.Wait()
 
-	fmt.Fprintf(w, "engine: %d queries, %d workers, %d frames/round\n\n", queries, workers, round)
-	fmt.Fprintf(w, "%-3s %-12s %-14s %8s %8s %10s %10s\n",
-		"#", "dataset", "class", "found", "frames", "charged-s", "frames/s")
+	fmt.Fprintf(w, "engine: %d queries, %d workers, %d frames/round, %d shard(s)/profile\n\n",
+		cfg.queries, cfg.workers, cfg.round, cfg.shards)
+	fmt.Fprintf(w, "%-3s %-12s %-14s %8s %8s %8s %10s %10s\n",
+		"#", "dataset", "class", "found", "frames", "hits", "charged-s", "frames/s")
 	var totalFrames int64
 	for i, o := range outcomes {
 		if o.err != nil {
-			return fmt.Errorf("query %d (%s/%s): %w", i, specs[i].ds.Name(), specs[i].class, o.err)
+			return fmt.Errorf("query %d (%s/%s): %w", i, specs[i].src.Name(), specs[i].class, o.err)
 		}
 		totalFrames += o.rep.FramesProcessed
 		perSec := 0.0
 		if secs := o.elapsed.Seconds(); secs > 0 {
 			perSec = float64(o.rep.FramesProcessed) / secs
 		}
-		fmt.Fprintf(w, "%-3d %-12s %-14s %8d %8d %10.1f %10.1f\n",
-			i, specs[i].ds.Name(), specs[i].class, len(o.rep.Results),
-			o.rep.FramesProcessed, o.rep.TotalSeconds(), perSec)
+		fmt.Fprintf(w, "%-3d %-12s %-14s %8d %8d %8d %10.1f %10.1f\n",
+			i, specs[i].src.Name(), specs[i].class, len(o.rep.Results),
+			o.rep.FramesProcessed, o.rep.CacheHits, o.rep.TotalSeconds(), perSec)
 	}
 	wall := time.Since(start)
 	fmt.Fprintf(w, "\ntotal: %d detector frames in %v wall (%.0f frames/s aggregate)\n",
 		totalFrames, wall.Round(time.Millisecond), float64(totalFrames)/wall.Seconds())
+
+	for _, ss := range sharded {
+		fmt.Fprintf(w, "\nshards of %s:\n", ss.Name())
+		fmt.Fprintf(w, "%-3s %8s %10s\n", "#", "frames", "detects")
+		for _, st := range ss.ShardStats() {
+			fmt.Fprintf(w, "%-3d %8d %10d\n", st.Shard, st.NumFrames, st.DetectCalls)
+		}
+	}
+	if cfg.cache > 0 {
+		st := eng.CacheStats()
+		fmt.Fprintf(w, "\ncache: %d entries, %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
+			st.Entries, st.Hits, st.Misses, st.HitRate()*100, st.Evictions)
+	}
 	return nil
 }

@@ -6,9 +6,22 @@ import (
 	"testing"
 )
 
+func testConfig(profiles []string, queries, limit int) config {
+	return config{
+		profiles: profiles,
+		queries:  queries,
+		limit:    limit,
+		workers:  4,
+		round:    2,
+		scale:    0.02,
+		seed:     3,
+		shards:   1,
+	}
+}
+
 func TestRunConcurrentQueries(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, []string{"dashcam", "bdd1k"}, 8, 5, 4, 2, 0.02, 3); err != nil {
+	if err := run(&buf, testConfig([]string{"dashcam", "bdd1k"}, 8, 5)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -23,18 +36,43 @@ func TestRunConcurrentQueries(t *testing.T) {
 	}
 }
 
+func TestRunShardedWithCache(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig([]string{"dashcam"}, 6, 5)
+	cfg.shards = 2
+	cfg.cache = 1 << 14
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 shard(s)/profile") {
+		t.Fatalf("missing shard header:\n%s", out)
+	}
+	if !strings.Contains(out, "shards of dashcam:") {
+		t.Fatalf("missing per-shard table:\n%s", out)
+	}
+	if !strings.Contains(out, "cache:") || !strings.Contains(out, "hit rate") {
+		t.Fatalf("missing cache stats:\n%s", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, []string{"nonexistent"}, 2, 5, 2, 1, 0.02, 1); err == nil {
+	if err := run(&buf, testConfig([]string{"nonexistent"}, 2, 5)); err == nil {
 		t.Error("unknown profile accepted")
 	}
-	if err := run(&buf, []string{""}, 2, 5, 2, 1, 0.02, 1); err == nil {
+	if err := run(&buf, testConfig([]string{""}, 2, 5)); err == nil {
 		t.Error("empty profile list accepted")
 	}
-	if err := run(&buf, []string{"dashcam"}, 0, 5, 2, 1, 0.02, 1); err == nil {
+	if err := run(&buf, testConfig([]string{"dashcam"}, 0, 5)); err == nil {
 		t.Error("zero queries accepted")
 	}
-	if err := run(&buf, []string{"dashcam"}, 1, 0, 2, 1, 0.02, 1); err == nil {
+	if err := run(&buf, testConfig([]string{"dashcam"}, 1, 0)); err == nil {
 		t.Error("zero limit accepted")
+	}
+	bad := testConfig([]string{"dashcam"}, 1, 5)
+	bad.shards = 0
+	if err := run(&buf, bad); err == nil {
+		t.Error("zero shards accepted")
 	}
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/exsample/exsample/internal/baseline"
 	"github.com/exsample/exsample/internal/costmodel"
 	"github.com/exsample/exsample/internal/datasets"
 	"github.com/exsample/exsample/internal/detect"
+	"github.com/exsample/exsample/internal/discrim"
 	"github.com/exsample/exsample/internal/synth"
 	"github.com/exsample/exsample/internal/track"
 	"github.com/exsample/exsample/internal/video"
@@ -28,6 +30,9 @@ type Dataset struct {
 	// failAfter > 0 injects a detector outage after that many calls per
 	// search (failure-injection testing).
 	failAfter int64
+	// qs is the dataset's query-pipeline plumbing, built after options are
+	// applied (see Source).
+	qs *querySource
 }
 
 // NoiseConfig exposes the simulated detector's imperfections.
@@ -123,7 +128,50 @@ func newDataset(inner *datasets.Dataset, seed uint64, opts ...DatasetOption) *Da
 	for _, o := range opts {
 		o(d)
 	}
+	d.qs = &querySource{
+		id:          sourceIDs.Add(1),
+		name:        inner.Profile.Name,
+		numFrames:   inner.Repo.NumFrames(),
+		fps:         inner.Profile.FPS,
+		chunks:      inner.Chunks,
+		numShards:   1,
+		cacheable:   d.failAfter == 0,
+		decodeCost:  d.dec.Cost,
+		scanSeconds: func(start, end int64) float64 { return d.cost.ScanSeconds(end - start) },
+		groundTruth: d.GroundTruthCount,
+		newDetector: func(class string) (detect.Detector, error) {
+			return d.newDetector(Query{Class: class})
+		},
+		newExtender: func(coverage float64) (discrim.Extender, error) {
+			return discrim.NewTruthExtender(d.inner.Index, coverage)
+		},
+		newScorer: func(class string, quality float64, seed uint64) (func(int64) float64, error) {
+			scorer, err := baseline.NewProxyScorer(d.inner.Index, class, quality, seed)
+			if err != nil {
+				return nil, err
+			}
+			return scorer.Score, nil
+		},
+	}
 	return d
+}
+
+// newDetector builds the per-query simulated detector — the single
+// construction point shared by Search, Session, Engine and NewDetector —
+// applying the failure-injection wrapper when configured.
+func (d *Dataset) newDetector(q Query) (detect.Detector, error) {
+	sim, err := detect.NewSim(d.inner.Index, d.seed^0xdecade,
+		detect.WithClass(q.Class),
+		detect.WithNoise(d.noise),
+		detect.WithCost(1/d.cost.DetectFPS),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if d.failAfter > 0 {
+		return &detect.FailAfter{Inner: sim, Limit: d.failAfter}, nil
+	}
+	return sim, nil
 }
 
 // SynthSpec describes a custom single-class synthetic dataset.
@@ -244,3 +292,51 @@ func (d *Dataset) GroundTruthCount(class string) (int, error) {
 func (d *Dataset) ScanSeconds() float64 {
 	return d.cost.ScanSeconds(d.NumFrames())
 }
+
+// NumShards implements Source: a local dataset is a single shard.
+func (d *Dataset) NumShards() int { return 1 }
+
+// querySource implements Source.
+func (d *Dataset) querySource() *querySource { return d.qs }
+
+// compile-time check that the simulated detector satisfies the public
+// Detector contract via the adapter below.
+var _ Detector = (*simDetectorAdapter)(nil)
+
+// simDetectorAdapter exposes an internal detector through the public
+// Detector interface (used by examples that want direct detector access).
+type simDetectorAdapter struct {
+	inner detect.Detector
+}
+
+// NewDetector returns a standalone simulated detector for the dataset,
+// restricted to one class. It is the same detector Search uses internally,
+// including any configured failure injection.
+func (d *Dataset) NewDetector(class string) (Detector, error) {
+	if _, err := d.GroundTruthCount(class); err != nil {
+		return nil, err
+	}
+	inner, err := d.newDetector(Query{Class: class})
+	if err != nil {
+		return nil, err
+	}
+	return &simDetectorAdapter{inner: inner}, nil
+}
+
+// Detect implements Detector.
+func (a *simDetectorAdapter) Detect(frame int64) []Detection {
+	dets := a.inner.Detect(frame)
+	out := make([]Detection, len(dets))
+	for i, det := range dets {
+		out[i] = Detection{
+			Frame: det.Frame,
+			Class: det.Class,
+			Box:   Box{det.Box.X1, det.Box.Y1, det.Box.X2, det.Box.Y2},
+			Score: det.Score,
+		}
+	}
+	return out
+}
+
+// CostSeconds implements Detector.
+func (a *simDetectorAdapter) CostSeconds() float64 { return a.inner.CostSeconds() }

@@ -6,9 +6,9 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"github.com/exsample/exsample/internal/cache"
 	"github.com/exsample/exsample/internal/core"
 	"github.com/exsample/exsample/internal/engine"
-	"github.com/exsample/exsample/internal/track"
 )
 
 // EngineOptions configures a concurrent query engine.
@@ -30,6 +30,14 @@ type EngineOptions struct {
 	// dropped (counted by QueryHandle.Dropped) rather than stalling the
 	// engine; the final Report is always complete.
 	EventBuffer int
+	// CacheEntries, when positive, enables a bounded cross-query memo
+	// cache of roughly this many detector outputs keyed by (source,
+	// class, frame). Overlapping queries stop paying for duplicate
+	// inference: a hit is charged decode-only cost. Results stay
+	// byte-identical to an uncached run for the same seed — only charged
+	// costs change (and, for MaxSeconds-budgeted queries, how many frames
+	// the budget buys). Sources under failure injection bypass the cache.
+	CacheEntries int
 }
 
 func (o EngineOptions) withDefaults() EngineOptions {
@@ -56,6 +64,9 @@ func (o EngineOptions) Validate() error {
 	if o.EventBuffer < 0 {
 		return fmt.Errorf("exsample: negative EventBuffer %d", o.EventBuffer)
 	}
+	if o.CacheEntries < 0 {
+		return fmt.Errorf("exsample: negative CacheEntries %d", o.CacheEntries)
+	}
 	return nil
 }
 
@@ -77,6 +88,7 @@ func (o EngineOptions) Validate() error {
 type Engine struct {
 	opts  EngineOptions
 	inner *engine.Engine
+	memo  *cache.Cache
 }
 
 // NewEngine starts an engine. Callers must Close it to release the
@@ -86,28 +98,80 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults()
-	return &Engine{
+	e := &Engine{
 		opts: opts,
 		inner: engine.New(engine.Config{
 			Workers:        opts.Workers,
 			FramesPerRound: opts.FramesPerRound,
 		}),
-	}, nil
+	}
+	if opts.CacheEntries > 0 {
+		e.memo = cache.New(opts.CacheEntries)
+	}
+	return e, nil
 }
 
 // Workers returns the engine's detector concurrency bound.
 func (e *Engine) Workers() int { return e.opts.Workers }
 
-// Submit registers a query against a dataset and returns its handle; the
-// query starts running immediately and is scheduled fairly against every
-// other in-flight query. The context cancels the query (not the engine):
-// when ctx is done the query is finalized at the next round boundary and
-// Wait returns ctx's error alongside the partial report.
+// CacheStats reports the shared memo cache's counters; the zero value is
+// returned when the cache is disabled.
+type CacheStats struct {
+	// Hits and Misses count memoized-lookup outcomes across all queries.
+	Hits, Misses int64
+	// Evictions counts entries displaced by capacity pressure.
+	Evictions int64
+	// Entries is the current resident entry count.
+	Entries int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStats snapshots the engine's shared detector memo cache.
+func (e *Engine) CacheStats() CacheStats {
+	if e.memo == nil {
+		return CacheStats{}
+	}
+	st := e.memo.Stats()
+	return CacheStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries}
+}
+
+// EngineStats reports aggregate scheduler counters.
+type EngineStats struct {
+	// Rounds is the number of completed scheduling rounds.
+	Rounds int64
+	// DetectCalls is the number of detector tasks dispatched to the pool
+	// (memo-cache hits included — the scheduler dispatches them the same;
+	// the hit is resolved inside the task).
+	DetectCalls int64
+}
+
+// Stats snapshots the engine's scheduler counters.
+func (e *Engine) Stats() EngineStats {
+	rounds, detects := e.inner.Counters()
+	return EngineStats{Rounds: rounds, DetectCalls: detects}
+}
+
+// Submit registers a query against a source — a local Dataset or a
+// ShardedSource — and returns its handle; the query starts running
+// immediately and is scheduled fairly against every other in-flight query.
+// Queries over a ShardedSource fan their detector calls out across every
+// shard, and the scheduler groups each round's inference batch by shard
+// (see internal/engine's affinity grouping). The context cancels the query
+// (not the engine): when ctx is done the query is finalized at the next
+// round boundary and Wait returns ctx's error alongside the partial report.
 //
 // Batching belongs to the engine, so opts.BatchSize and opts.Parallelism
 // must be unset; AutoChunk and the proxy training phase are Search-only
 // features.
-func (e *Engine) Submit(ctx context.Context, d *Dataset, q Query, opts Options) (*QueryHandle, error) {
+func (e *Engine) Submit(ctx context.Context, src Source, q Query, opts Options) (*QueryHandle, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -126,7 +190,7 @@ func (e *Engine) Submit(ctx context.Context, d *Dataset, q Query, opts Options) 
 	if opts.ProxyTrainPositives > 0 {
 		return nil, fmt.Errorf("exsample: engine queries do not support the proxy training phase")
 	}
-	run, err := d.newQueryRun(q, opts)
+	run, err := newQueryRun(src, q, opts, e.memo)
 	if err != nil {
 		return nil, err
 	}
@@ -266,13 +330,23 @@ func (q *engineQuery) Detect(frame int64) any {
 	return q.run.detect(frame)
 }
 
+// AffinityKey implements engine.Affine: frames of the same (source, shard)
+// share a key, so the scheduler can group a round's detect batch by shard.
+func (q *engineQuery) AffinityKey(frame int64) uint64 {
+	src := q.run.src
+	if src.shardOf == nil {
+		return src.id << 16
+	}
+	return src.id<<16 | uint64(src.shardOf(frame))&0xffff
+}
+
 func (q *engineQuery) Apply(frame int64, dets any) (bool, error) {
 	p := q.pending[0]
 	q.pending = q.pending[1:]
 	if p.Frame != frame {
 		return false, fmt.Errorf("exsample: engine applied frame %d out of order (expected %d)", frame, p.Frame)
 	}
-	info, err := q.run.apply(p, dets.([]track.Detection))
+	info, err := q.run.apply(p, dets.(frameResult))
 	if err != nil {
 		return false, err
 	}

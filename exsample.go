@@ -51,6 +51,33 @@
 // stateless detector, never the sampler or discriminator bookkeeping.
 // Session exposes the same step loop for single-query incremental use.
 //
+// # Sources, sharding and caching
+//
+// Search, Session and Engine all run against a Source — the seam between
+// the query pipeline and a repository. A Source is either a single local
+// Dataset or a ShardedSource composing N datasets into one global frame
+// space:
+//
+//	shards := []*exsample.Dataset{day1, day2, day3}
+//	archive, err := exsample.NewShardedSource("archive", shards...)
+//	if err != nil { ... }
+//	rep, err := archive.Search(
+//		exsample.Query{Class: "truck", Limit: 40},
+//		exsample.Options{Seed: 7},
+//	)
+//
+// Shard chunk ids are remapped into one sampler space, so a query's
+// Thompson sampler treats every shard's chunks as arms of the same bandit
+// while detector calls route back to the owning shard (the Engine groups
+// each scheduling round's inference batch by shard). A seeded query over a
+// 1-shard source is byte-identical to Dataset.Search on the underlying
+// dataset.
+//
+// EngineOptions.CacheEntries enables a bounded cross-query memo cache of
+// detector outputs keyed by (source, class, frame): overlapping concurrent
+// queries stop paying for duplicate inference, with hits charged
+// decode-only cost and Results unchanged from an uncached run.
+//
 // The package ships six synthetic dataset profiles mirroring the paper's
 // evaluation datasets, a simulated object detector and SORT-style
 // discriminator (real video and DNN inference are out of scope — the
@@ -374,6 +401,10 @@ type Report struct {
 	// Recall is the fraction of ground-truth distinct instances found
 	// (synthetic datasets only).
 	Recall float64
+	// CacheHits and CacheMisses count memo-cache outcomes for the query's
+	// frames when an Engine-level detector cache is enabled (both zero
+	// otherwise). Hits are charged decode-only cost.
+	CacheHits, CacheMisses int64
 	// CurveSamples/CurveSeconds/CurveFound trace discovery progress: after
 	// CurveSamples[i] frames (CurveSeconds[i] charged seconds, including
 	// any scan), CurveFound[i] distinct true instances had been found.

@@ -93,6 +93,16 @@ func NewProxyOrder(scorer *ProxyScorer, start, end, dupRadius int64) (*ProxyOrde
 	if scorer == nil {
 		return nil, fmt.Errorf("baseline: nil scorer")
 	}
+	return NewProxyOrderFunc(scorer.Score, start, end, dupRadius)
+}
+
+// NewProxyOrderFunc is NewProxyOrder over an arbitrary scoring function —
+// the shape sharded sources provide, where per-frame scores route to the
+// owning shard's scorer.
+func NewProxyOrderFunc(score func(frame int64) float64, start, end, dupRadius int64) (*ProxyOrder, error) {
+	if score == nil {
+		return nil, fmt.Errorf("baseline: nil scorer")
+	}
 	if end <= start {
 		return nil, fmt.Errorf("baseline: empty range [%d, %d)", start, end)
 	}
@@ -104,7 +114,7 @@ func NewProxyOrder(scorer *ProxyScorer, start, end, dupRadius int64) (*ProxyOrde
 	all := make([]scored, n)
 	for i := int64(0); i < n; i++ {
 		f := start + i
-		all[i] = scored{frame: f, score: scorer.Score(f)}
+		all[i] = scored{frame: f, score: score(f)}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].score != all[j].score {

@@ -1,0 +1,165 @@
+// Package cache memoizes detector outputs across queries.
+//
+// The simulated (and any stateless real) detector is deterministic per
+// (source, class, frame), so when overlapping queries sample the same frame
+// the second inference is pure waste — the paper's cost model charges it
+// all the same. This package provides a bounded, sharded LRU keyed by
+// exactly that triple: concurrent queries Get before running the detector
+// and Put after, and a hit is charged decode-only cost by the caller.
+//
+// The cache holds detector output verbatim. Cached slices are shared
+// between queries and MUST be treated as immutable by callers; the
+// discriminator consumes detections by value, so the query pipeline
+// satisfies this naturally.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"github.com/exsample/exsample/internal/track"
+)
+
+// Key identifies one detector invocation. Source disambiguates repositories
+// (every open source gets a unique id), Class the per-query detector head.
+type Key struct {
+	Source uint64
+	Class  string
+	Frame  int64
+}
+
+// numShards is the lock-striping factor. 16 keeps contention negligible for
+// worker pools an order of magnitude larger while wasting at most 15 spare
+// entries of capacity.
+const numShards = 16
+
+// Cache is a bounded, sharded LRU. All methods are safe for concurrent use.
+type Cache struct {
+	shards    [numShards]lruShard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type lruShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	idx map[Key]*list.Element
+}
+
+type entry struct {
+	key  Key
+	dets []track.Detection
+}
+
+// New creates a cache bounding the total entry count to roughly capacity
+// (capacity is split evenly across the lock shards, rounding up).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	per := (capacity + numShards - 1) / numShards
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].ll = list.New()
+		c.shards[i].idx = make(map[Key]*list.Element)
+	}
+	return c
+}
+
+// shard picks the lock shard for a key by hashing all three components.
+func (c *Cache) shard(k Key) *lruShard {
+	h := k.Source*0x9e3779b97f4a7c15 ^ uint64(k.Frame)*0xbf58476d1ce4e5b9
+	for i := 0; i < len(k.Class); i++ {
+		h = (h ^ uint64(k.Class[i])) * 0x100000001b3
+	}
+	h ^= h >> 29
+	return &c.shards[h%numShards]
+}
+
+// Get returns the memoized detections for a key. The returned slice is
+// shared — callers must not mutate it. A nil slice with ok true is a valid
+// memoized "no detections" result.
+func (c *Cache) Get(k Key) (dets []track.Detection, ok bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.idx[k]
+	if ok {
+		s.ll.MoveToFront(el)
+		dets = el.Value.(*entry).dets
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return dets, ok
+}
+
+// Put memoizes detections for a key, evicting the least recently used entry
+// of the key's shard when full. Re-putting an existing key refreshes its
+// recency (the value is identical by construction — detectors are
+// deterministic).
+func (c *Cache) Put(k Key, dets []track.Detection) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.idx[k]; ok {
+		s.ll.MoveToFront(el)
+		el.Value.(*entry).dets = dets
+		s.mu.Unlock()
+		return
+	}
+	evicted := false
+	if s.ll.Len() >= s.cap {
+		back := s.ll.Back()
+		if back != nil {
+			delete(s.idx, back.Value.(*entry).key)
+			s.ll.Remove(back)
+			evicted = true
+		}
+	}
+	s.idx[k] = s.ll.PushFront(&entry{key: k, dets: dets})
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Stats is a snapshot of the cache's aggregate counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes since construction.
+	Hits, Misses int64
+	// Evictions counts entries displaced by capacity pressure.
+	Evictions int64
+	// Entries is the current resident entry count.
+	Entries int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.idx)
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -307,26 +307,6 @@ func (s *Sampler) Next() (Pick, bool) {
 	return Pick{}, false
 }
 
-// NextBatch fills dst with up to b picks drawn by the batched variant
-// (§III-F): b independent belief samples per chunk, each producing one
-// arg-max pick. Chunks can repeat within a batch. The caller should process
-// the whole batch and then apply updates; N1/n updates are additive and
-// commute, so batching does not change the statistics.
-func (s *Sampler) NextBatch(b int) []Pick {
-	if b <= 0 {
-		return nil
-	}
-	picks := make([]Pick, 0, b)
-	for i := 0; i < b; i++ {
-		p, ok := s.Next()
-		if !ok {
-			break
-		}
-		picks = append(picks, p)
-	}
-	return picks
-}
-
 // Update feeds back the discriminator's classification of the detections
 // found in a frame sampled from the given chunk: d0 = detections that
 // matched no previous result (new objects), d1 = detections whose object had

@@ -294,39 +294,27 @@ func TestNegativeN1IsHandled(t *testing.T) {
 	}
 }
 
-func TestNextBatch(t *testing.T) {
+func TestBatchedDrawsDoNotRepeatFrames(t *testing.T) {
+	// The batched §III-F loop draws repeated Next picks; the
+	// without-replacement within-chunk orders guarantee no frame repeats
+	// however the draws are grouped into batches.
 	s, err := New(mkChunks(t, 1000, 4), Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	picks := s.NextBatch(16)
-	if len(picks) != 16 {
-		t.Fatalf("batch size = %d", len(picks))
-	}
 	seen := make(map[int64]bool)
-	for _, p := range picks {
+	for i := 0; i < 16; i++ {
+		p, ok := s.Next()
+		if !ok {
+			t.Fatalf("sampler exhausted after %d of 16 draws", i)
+		}
 		if seen[p.Frame] {
 			t.Fatalf("frame %d repeated within batch", p.Frame)
 		}
 		seen[p.Frame] = true
-		s.Update(p.Chunk, 0, 0)
-	}
-	if got := s.NextBatch(0); got != nil {
-		t.Fatalf("NextBatch(0) = %v", got)
-	}
-	if got := s.NextBatch(-3); got != nil {
-		t.Fatalf("NextBatch(-3) = %v", got)
-	}
-}
-
-func TestNextBatchNearExhaustion(t *testing.T) {
-	s, err := New(mkChunks(t, 10, 2), Config{Seed: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	picks := s.NextBatch(100)
-	if len(picks) != 10 {
-		t.Fatalf("batch = %d picks, want 10 (whole repo)", len(picks))
+		if err := s.Update(p.Chunk, 0, 0); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -31,6 +32,21 @@ type Query interface {
 	// Finalize is called exactly once when the engine stops scheduling the
 	// query, whatever the reason.
 	Finalize()
+}
+
+// Affine is an optional Query refinement for sharded sources: frames that
+// live on the same shard report the same affinity key, and the scheduler
+// stably groups each round's detect batch by key so one shard's frames run
+// adjacently on the pool — the access pattern a real per-shard batch
+// endpoint wants. Grouping only reorders work *within* a round (every
+// proposed frame still runs that round, and results are still applied in
+// propose order), so it cannot starve a shard or a query, and it never
+// affects query results.
+type Affine interface {
+	// AffinityKey returns the grouping key for a frame. Keys are opaque;
+	// only equality matters, but implementations should make keys unique
+	// across sources so two sources' shard 0 do not interleave.
+	AffinityKey(frame int64) uint64
 }
 
 // Reason records why a query left the engine.
@@ -105,6 +121,9 @@ type Engine struct {
 	active []*Handle
 	closed bool
 
+	rounds  atomic.Int64
+	detects atomic.Int64
+
 	loopDone chan struct{}
 }
 
@@ -122,6 +141,12 @@ func New(cfg Config) *Engine {
 
 // Workers returns the detector concurrency bound.
 func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Counters returns the number of completed scheduling rounds and detector
+// tasks dispatched so far.
+func (e *Engine) Counters() (rounds, detects int64) {
+	return e.rounds.Load(), e.detects.Load()
+}
 
 // Submit registers a query and returns its handle. The query starts
 // participating in the next scheduling round.
@@ -199,15 +224,45 @@ func (e *Engine) runRound(round []*Handle) {
 		jobs = append(jobs, job{h: h, frames: frames, dets: make([]any, len(frames))})
 	}
 
+	// Build the round's inference batch, grouping by shard-affinity key
+	// when queries expose one: a stable sort keeps propose order within a
+	// key (and between non-affine queries, which all share key 0), so
+	// grouping reorders execution but never results. Rounds whose tasks
+	// all share one key — the common single-source case — skip the sort.
 	var tasks []func()
+	var keys []uint64
+	grouped := false
 	for ji := range jobs {
 		j := &jobs[ji]
+		aff, ok := j.h.q.(Affine)
 		for i, frame := range j.frames {
 			i, frame, q, dets := i, frame, j.h.q, j.dets
+			var key uint64
+			if ok {
+				key = aff.AffinityKey(frame)
+			}
+			if len(keys) > 0 && key != keys[len(keys)-1] {
+				grouped = true
+			}
 			tasks = append(tasks, func() { dets[i] = q.Detect(frame) })
+			keys = append(keys, key)
 		}
 	}
+	if grouped {
+		idx := make([]int, len(tasks))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		ordered := make([]func(), len(tasks))
+		for i, t := range idx {
+			ordered[i] = tasks[t]
+		}
+		tasks = ordered
+	}
 	e.pool.Do(tasks)
+	e.rounds.Add(1)
+	e.detects.Add(int64(len(tasks)))
 
 	for ji := range jobs {
 		j := &jobs[ji]

@@ -1,0 +1,135 @@
+// Package shard remaps the frame, chunk and ground-truth id spaces of N
+// independent datasets into one global address space, so a single sampler
+// can treat a fleet of shards as one repository.
+//
+// The remapping is purely arithmetic and loss-free: shard i's frames
+// [0, n_i) occupy the global range [offset_i, offset_i+n_i), its chunks are
+// translated by the same offset and renumbered globally in shard order, and
+// its ground-truth instance ids are lifted by a per-shard base so instances
+// from different shards never collide. This is the property that makes a
+// shard "just another source of Propose/Detect work": the Thompson sampler
+// and the discriminator operate on global coordinates and never learn that
+// the repository is distributed, while detector calls route back to the
+// owning shard's local coordinates.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/exsample/exsample/internal/video"
+)
+
+// Part describes one shard's local spaces.
+type Part struct {
+	// NumFrames is the shard's repository size.
+	NumFrames int64
+	// Chunks is the shard's native chunk layout in local coordinates.
+	Chunks []video.Chunk
+	// TruthIDBound is an exclusive upper bound on the shard's ground-truth
+	// instance ids (0 when the shard has none). Negative detector ids
+	// (false positives) are outside every bound and survive remapping
+	// unchanged.
+	TruthIDBound int
+}
+
+// Map is the computed remapping for a fixed list of shards.
+type Map struct {
+	offsets   []int64 // offsets[i] = first global frame of shard i
+	sizes     []int64
+	total     int64
+	chunks    []video.Chunk // concatenated global chunk layout
+	chunkOf   []int         // global chunk id -> owning shard
+	truthBase []int
+}
+
+// New builds a Map over the given parts, in order.
+func New(parts []Part) (*Map, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("shard: no parts")
+	}
+	m := &Map{}
+	var frameOff int64
+	truthOff := 0
+	for i, p := range parts {
+		if p.NumFrames <= 0 {
+			return nil, fmt.Errorf("shard: part %d has %d frames", i, p.NumFrames)
+		}
+		if p.TruthIDBound < 0 {
+			return nil, fmt.Errorf("shard: part %d has negative TruthIDBound %d", i, p.TruthIDBound)
+		}
+		m.offsets = append(m.offsets, frameOff)
+		m.sizes = append(m.sizes, p.NumFrames)
+		m.truthBase = append(m.truthBase, truthOff)
+		for _, c := range p.Chunks {
+			if c.Start < 0 || c.End > p.NumFrames || c.Len() <= 0 {
+				return nil, fmt.Errorf("shard: part %d chunk [%d, %d) outside [0, %d)",
+					i, c.Start, c.End, p.NumFrames)
+			}
+			m.chunks = append(m.chunks, video.Chunk{
+				ID:    len(m.chunks),
+				Start: c.Start + frameOff,
+				End:   c.End + frameOff,
+			})
+			m.chunkOf = append(m.chunkOf, i)
+		}
+		frameOff += p.NumFrames
+		truthOff += p.TruthIDBound
+	}
+	m.total = frameOff
+	return m, nil
+}
+
+// NumShards returns the number of composed shards.
+func (m *Map) NumShards() int { return len(m.offsets) }
+
+// NumFrames returns the total global frame count.
+func (m *Map) NumFrames() int64 { return m.total }
+
+// ShardFrames returns shard i's local frame count.
+func (m *Map) ShardFrames(i int) int64 { return m.sizes[i] }
+
+// Offset returns shard i's first global frame.
+func (m *Map) Offset(i int) int64 { return m.offsets[i] }
+
+// Chunks returns the concatenated global chunk layout (shared slice; do not
+// mutate).
+func (m *Map) Chunks() []video.Chunk { return m.chunks }
+
+// ChunkShard returns the shard owning a global chunk id.
+func (m *Map) ChunkShard(chunk int) int { return m.chunkOf[chunk] }
+
+// Locate maps a global frame to its owning shard and local frame.
+func (m *Map) Locate(global int64) (shard int, local int64) {
+	// First shard whose end exceeds the frame.
+	i := sort.Search(len(m.offsets), func(i int) bool {
+		return m.offsets[i]+m.sizes[i] > global
+	})
+	if i == len(m.offsets) || global < 0 {
+		// Out of range; clamp to the last shard so callers fail on the
+		// shard's own bounds checks rather than panicking here.
+		i = len(m.offsets) - 1
+	}
+	return i, global - m.offsets[i]
+}
+
+// Global maps a shard-local frame to its global index.
+func (m *Map) Global(shard int, local int64) int64 { return m.offsets[shard] + local }
+
+// GlobalTruthID lifts a shard-local ground-truth id into the global id
+// space. Negative ids (false positives) pass through unchanged.
+func (m *Map) GlobalTruthID(shard, local int) int {
+	if local < 0 {
+		return local
+	}
+	return m.truthBase[shard] + local
+}
+
+// LocalTruthID is the inverse of GlobalTruthID for ids belonging to the
+// given shard. Negative ids pass through unchanged.
+func (m *Map) LocalTruthID(shard, global int) int {
+	if global < 0 {
+		return global
+	}
+	return global - m.truthBase[shard]
+}

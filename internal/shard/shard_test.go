@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/exsample/exsample/internal/video"
+)
+
+func testMap(t *testing.T) *Map {
+	t.Helper()
+	m, err := New([]Part{
+		{NumFrames: 100, Chunks: []video.Chunk{{ID: 0, Start: 0, End: 50}, {ID: 1, Start: 50, End: 100}}, TruthIDBound: 10},
+		{NumFrames: 40, Chunks: []video.Chunk{{ID: 0, Start: 0, End: 40}}, TruthIDBound: 3},
+		{NumFrames: 200, Chunks: []video.Chunk{{ID: 0, Start: 0, End: 200}}, TruthIDBound: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMapFrameRoundTrip(t *testing.T) {
+	m := testMap(t)
+	if m.NumShards() != 3 || m.NumFrames() != 340 {
+		t.Fatalf("got %d shards, %d frames", m.NumShards(), m.NumFrames())
+	}
+	for global := int64(0); global < m.NumFrames(); global++ {
+		sh, local := m.Locate(global)
+		if local < 0 || local >= m.ShardFrames(sh) {
+			t.Fatalf("frame %d located at shard %d local %d, outside [0, %d)",
+				global, sh, local, m.ShardFrames(sh))
+		}
+		if back := m.Global(sh, local); back != global {
+			t.Fatalf("frame %d round-tripped to %d", global, back)
+		}
+	}
+	// Boundary spot checks.
+	if sh, local := m.Locate(99); sh != 0 || local != 99 {
+		t.Fatalf("Locate(99) = (%d, %d)", sh, local)
+	}
+	if sh, local := m.Locate(100); sh != 1 || local != 0 {
+		t.Fatalf("Locate(100) = (%d, %d)", sh, local)
+	}
+	if sh, local := m.Locate(140); sh != 2 || local != 0 {
+		t.Fatalf("Locate(140) = (%d, %d)", sh, local)
+	}
+}
+
+func TestMapChunkRemap(t *testing.T) {
+	m := testMap(t)
+	chunks := m.Chunks()
+	if len(chunks) != 4 {
+		t.Fatalf("got %d global chunks", len(chunks))
+	}
+	wantShard := []int{0, 0, 1, 2}
+	var prevEnd int64
+	for i, c := range chunks {
+		if c.ID != i {
+			t.Errorf("chunk %d has ID %d", i, c.ID)
+		}
+		if c.Start != prevEnd {
+			t.Errorf("chunk %d starts at %d, want %d (contiguous layout)", i, c.Start, prevEnd)
+		}
+		prevEnd = c.End
+		if m.ChunkShard(i) != wantShard[i] {
+			t.Errorf("chunk %d owned by shard %d, want %d", i, m.ChunkShard(i), wantShard[i])
+		}
+	}
+	if prevEnd != m.NumFrames() {
+		t.Errorf("chunks cover [0, %d), want [0, %d)", prevEnd, m.NumFrames())
+	}
+}
+
+func TestMapTruthIDRemap(t *testing.T) {
+	m := testMap(t)
+	seen := map[int]bool{}
+	for sh, bound := range []int{10, 3, 0} {
+		for local := 0; local < bound; local++ {
+			g := m.GlobalTruthID(sh, local)
+			if seen[g] {
+				t.Fatalf("global truth id %d assigned twice", g)
+			}
+			seen[g] = true
+			if back := m.LocalTruthID(sh, g); back != local {
+				t.Fatalf("truth id (%d, %d) round-tripped to %d", sh, local, back)
+			}
+		}
+	}
+	if len(seen) != 13 {
+		t.Fatalf("expected 13 distinct global ids, got %d", len(seen))
+	}
+	// False positives pass through on both directions.
+	if m.GlobalTruthID(1, -1) != -1 || m.LocalTruthID(1, -1) != -1 {
+		t.Fatal("negative ids must pass through unchanged")
+	}
+}
+
+func TestMapSingleShardIsIdentity(t *testing.T) {
+	chunks := []video.Chunk{{ID: 0, Start: 0, End: 30}, {ID: 1, Start: 30, End: 64}}
+	m, err := New([]Part{{NumFrames: 64, Chunks: chunks, TruthIDBound: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := int64(0); f < 64; f++ {
+		if sh, local := m.Locate(f); sh != 0 || local != f {
+			t.Fatalf("Locate(%d) = (%d, %d), want identity", f, sh, local)
+		}
+	}
+	for i, c := range m.Chunks() {
+		if c != chunks[i] {
+			t.Fatalf("chunk %d changed: %+v vs %+v", i, c, chunks[i])
+		}
+	}
+	if m.GlobalTruthID(0, 3) != 3 {
+		t.Fatal("single-shard truth ids must be identity")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty part list accepted")
+	}
+	if _, err := New([]Part{{NumFrames: 0}}); err == nil {
+		t.Error("empty shard accepted")
+	}
+	if _, err := New([]Part{{NumFrames: 10, TruthIDBound: -1}}); err == nil {
+		t.Error("negative truth bound accepted")
+	}
+	if _, err := New([]Part{{NumFrames: 10, Chunks: []video.Chunk{{Start: 5, End: 15}}}}); err == nil {
+		t.Error("chunk outside the shard accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/exsample/exsample/internal/baseline"
+	"github.com/exsample/exsample/internal/cache"
 	"github.com/exsample/exsample/internal/core"
 	"github.com/exsample/exsample/internal/detect"
 	"github.com/exsample/exsample/internal/discrim"
@@ -13,59 +14,100 @@ import (
 	"github.com/exsample/exsample/internal/xrand"
 )
 
-// queryRun is the incremental step state machine behind both Session and
+// queryRun is the incremental step state machine behind Search, Session and
 // Engine: pick a frame (next), run the detector (detect — the only
 // concurrency-safe method), and feed the detections through the
 // discriminator, cost accounting and sampler bookkeeping (apply). Driving
-// next/detect/apply in a loop reproduces Dataset.Search exactly for the
-// same seed, which is what keeps Session ≡ Search and Engine ≡ Search.
+// next/detect/apply in a loop IS Algorithm 1 — there is exactly one
+// implementation of the pipeline, and every entry point delegates to it,
+// which is what keeps Search ≡ Session ≡ Engine for the same seed.
+//
+// queryRun works over any Source (a local Dataset or a ShardedSource); the
+// step machine never learns whether its frames live on one shard or many.
+// It also carries the §VII auto-chunking pilot and the BlazeIt-style proxy
+// training phase as explicit states, so batching drivers need no special
+// cases.
 //
 // Only apply mutates state, and callers must invoke it in pick order from a
 // single goroutine; detect may be fanned out across workers between a batch
 // of next calls and their applies, exactly like batched Search (§III-F).
 type queryRun struct {
-	dataset  *Dataset
+	src      *querySource
 	query    Query
 	opts     Options
 	detector detect.Detector
-	dis      *discrim.Discriminator
-	curve    *metrics.RecallCurve
+	// costOf is the per-frame inference cost (frame-dependent for sharded
+	// sources with heterogeneous shards).
+	costOf func(frame int64) float64
+	dis    *discrim.Discriminator
+	curve  *metrics.RecallCurve
+	// memo, when non-nil, memoizes detector output across queries; hits
+	// are charged decode-only cost.
+	memo *cache.Cache
 
 	sampler *core.Sampler    // StrategyExSample
 	order   video.FrameOrder // other strategies
 	home    map[int]int      // HomeChunkAccounting: object id -> discovering chunk
 
+	// AutoChunk (§VII) pilot state: coarse is non-nil while the pilot
+	// phase is sampling the coarse layout; once pilotBudget frames have
+	// been processed the sampler is rebuilt on the adaptive layout.
+	coarse      []video.Chunk
+	pilotBudget int64
+
+	// Proxy training (§II-B) state: while training is true, frames come
+	// from trainOrder and every frame discovering a new object counts as
+	// a collected label. The phase resolves into the scored scan order
+	// (enough labels) or the random fallback (budget exhausted).
+	training    bool
+	trainNeed   int
+	trainBudget int64
+	trainSpent  int64
+	trainOrder  *video.UniformOrder
+
 	rep       *Report
 	maxFrames int64
 	exhausted bool
+	// err records a mid-run pipeline rebuild failure (re-chunk, scorer);
+	// surfaced by the next apply and by Search's driver.
+	err error
 }
 
-// newQueryRun builds the full per-query pipeline: simulated detector,
+// frameResult carries one frame's detector output plus the inference cost
+// actually incurred — zero on a memo-cache hit, where the query pays
+// decode-only cost.
+type frameResult struct {
+	dets   []track.Detection
+	cost   float64
+	cached bool
+}
+
+// newQueryRun builds the full per-query pipeline over a Source: detector,
 // SORT-style discriminator, recall curve, report, and the strategy's
-// sampling state. Callers are responsible for validating q and opts first
+// sampling state. memo, when non-nil, memoizes detector output across
+// queries sharing the cache (it is ignored for sources whose detector
+// output is not a pure function of the frame, e.g. under failure
+// injection). Callers are responsible for validating q and opts first
 // (Session deliberately accepts queries without a stopping condition).
-func (d *Dataset) newQueryRun(q Query, opts Options) (*queryRun, error) {
-	total, err := d.GroundTruthCount(q.Class)
+func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun, error) {
+	src := s.querySource()
+	total, err := src.groundTruth(q.Class)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := detect.NewSim(d.inner.Index, d.seed^0xdecade,
-		detect.WithClass(q.Class),
-		detect.WithNoise(d.noise),
-		detect.WithCost(1/d.cost.DetectFPS),
-	)
+	detector, err := src.newDetector(q.Class)
 	if err != nil {
 		return nil, err
 	}
-	var detector detect.Detector = sim
-	if d.failAfter > 0 {
-		detector = &detect.FailAfter{Inner: sim, Limit: d.failAfter}
+	costOf := func(int64) float64 { return detector.CostSeconds() }
+	if fc, ok := detector.(frameCoster); ok {
+		costOf = fc.FrameCost
 	}
 	coverage := opts.TrackerCoverage
 	if coverage == 0 {
 		coverage = 1
 	}
-	extender, err := discrim.NewTruthExtender(d.inner.Index, coverage)
+	extender, err := src.newExtender(coverage)
 	if err != nil {
 		return nil, err
 	}
@@ -78,16 +120,21 @@ func (d *Dataset) newQueryRun(q Query, opts Options) (*queryRun, error) {
 		return nil, err
 	}
 	maxFrames := opts.MaxFrames
-	if maxFrames == 0 || maxFrames > d.NumFrames() {
-		maxFrames = d.NumFrames()
+	if maxFrames == 0 || maxFrames > src.numFrames {
+		maxFrames = src.numFrames
+	}
+	if memo != nil && !src.cacheable {
+		memo = nil
 	}
 	r := &queryRun{
-		dataset:   d,
+		src:       src,
 		query:     q,
 		opts:      opts,
 		detector:  detector,
+		costOf:    costOf,
 		dis:       dis,
 		curve:     curve,
+		memo:      memo,
 		rep:       &Report{Strategy: opts.Strategy},
 		maxFrames: maxFrames,
 	}
@@ -97,21 +144,58 @@ func (d *Dataset) newQueryRun(q Query, opts Options) (*queryRun, error) {
 	return r, nil
 }
 
+// newSampler builds a core sampler over the given chunks with the
+// configured policy, within-chunk order and optional §VII fusion (scoring
+// charged per chunk on first visit into rep.ScanSeconds).
+func (r *queryRun) newSampler(chunks []video.Chunk, seed uint64) (*core.Sampler, error) {
+	cfg := core.Config{
+		Alpha0: r.opts.Alpha0,
+		Beta0:  r.opts.Beta0,
+		Policy: r.opts.Policy.toCore(),
+		Within: core.WithinRandomPlus,
+		Seed:   seed,
+	}
+	if r.opts.UniformWithinChunk {
+		cfg.Within = core.WithinUniform
+	}
+	if r.opts.FuseProxyWithinChunk {
+		quality := r.opts.ProxyQuality
+		if quality == 0 {
+			quality = 1
+		}
+		score, err := r.src.newScorer(r.query.Class, quality, r.opts.Seed^0xbead)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Within = core.WithinScored
+		cfg.Scorer = score
+		// Per-chunk scoring is charged on first visit — the fusion's whole
+		// point is avoiding the full-dataset scan.
+		cfg.OnChunkOpen = func(j int) {
+			r.rep.ScanSeconds += r.src.scanSeconds(chunks[j].Start, chunks[j].End)
+		}
+	}
+	return core.New(chunks, cfg)
+}
+
 // initStrategy builds the frame-picking state for the configured strategy.
 func (r *queryRun) initStrategy() error {
-	d := r.dataset
+	src := r.src
 	opts := r.opts
 	switch opts.Strategy {
 	case StrategyExSample:
-		chunks := d.inner.Chunks
+		if opts.AutoChunk {
+			return r.initAutoChunk()
+		}
+		chunks := src.chunks
 		if opts.NumChunks > 0 {
 			var err error
-			chunks, err = video.SplitRange(0, d.NumFrames(), opts.NumChunks)
+			chunks, err = video.SplitRange(0, src.numFrames, opts.NumChunks)
 			if err != nil {
 				return err
 			}
 		}
-		sampler, err := d.newExSampler(r.query, opts, r.rep, chunks, opts.Seed)
+		sampler, err := r.newSampler(chunks, opts.Seed)
 		if err != nil {
 			return err
 		}
@@ -120,44 +204,158 @@ func (r *queryRun) initStrategy() error {
 			r.home = make(map[int]int)
 		}
 	case StrategyRandom:
-		order, err := video.NewUniformOrder(0, d.NumFrames(), xrand.New(opts.Seed))
+		order, err := video.NewUniformOrder(0, src.numFrames, xrand.New(opts.Seed))
 		if err != nil {
 			return err
 		}
 		r.order = order
 	case StrategyRandomPlus:
-		hour := int64(d.inner.Profile.FPS * 3600)
-		order, err := video.NewRandomPlusOrder(0, d.NumFrames(), hour, xrand.New(opts.Seed))
+		hour := int64(src.fps * 3600)
+		order, err := video.NewRandomPlusOrder(0, src.numFrames, hour, xrand.New(opts.Seed))
 		if err != nil {
 			return err
 		}
 		r.order = order
 	case StrategySequential:
-		order, err := video.NewSequentialOrder(0, d.NumFrames(), 1)
+		order, err := video.NewSequentialOrder(0, src.numFrames, 1)
 		if err != nil {
 			return err
 		}
 		r.order = order
 	case StrategyProxy:
-		quality := opts.ProxyQuality
-		if quality == 0 {
-			quality = 1
+		if opts.ProxyTrainPositives > 0 {
+			return r.initProxyTraining()
 		}
-		scorer, err := baseline.NewProxyScorer(d.inner.Index, r.query.Class, quality, opts.Seed^0xbead)
-		if err != nil {
-			return err
-		}
-		order, err := baseline.NewProxyOrder(scorer, 0, d.NumFrames(), opts.ProxyDupRadius)
-		if err != nil {
-			return err
-		}
-		// The scoring scan is paid upfront (§II-B); the proxy training
-		// phase is a Search-only feature.
-		r.rep.ScanSeconds = d.cost.ScanSeconds(order.ScannedFrames)
-		r.order = order
+		return r.enterProxyScan()
 	default:
 		return fmt.Errorf("exsample: step loop does not support strategy %v", opts.Strategy)
 	}
+	return nil
+}
+
+// initAutoChunk starts the §VII "automating chunking" pilot: a coarse
+// layout whose statistics decide the adaptive re-chunking.
+func (r *queryRun) initAutoChunk() error {
+	numFrames := r.src.numFrames
+	coarseM := 16
+	if numFrames < int64(coarseM)*4 {
+		coarseM = 1
+	}
+	coarse, err := video.SplitRange(0, numFrames, coarseM)
+	if err != nil {
+		return err
+	}
+	sampler, err := r.newSampler(coarse, r.opts.Seed)
+	if err != nil {
+		return err
+	}
+	// The pilot needs enough samples to rank coarse chunks but should stay
+	// a small fraction of the work.
+	pilot := int64(12 * coarseM)
+	if pilot > numFrames/4 {
+		pilot = numFrames / 4
+	}
+	if pilot < 1 {
+		pilot = 1
+	}
+	r.sampler = sampler
+	r.coarse = coarse
+	r.pilotBudget = pilot
+	return nil
+}
+
+// rechunk ends the pilot: each coarse chunk is re-split proportionally to
+// its pilot point estimate and the search resumes on the adaptive layout
+// with a fresh sampler. The discriminator and report persist across the
+// transition, so objects found during the pilot are never double-counted.
+func (r *queryRun) rechunk() error {
+	fine := adaptiveChunks(r.sampler, r.coarse, 128)
+	sampler, err := r.newSampler(fine, r.opts.Seed+0x5eed)
+	if err != nil {
+		return err
+	}
+	r.sampler = sampler
+	r.coarse = nil
+	return nil
+}
+
+// adaptiveChunks splits each coarse chunk into a number of sub-chunks
+// proportional to its pilot point estimate, spending ~budget chunks total.
+// Every coarse chunk keeps at least one sub-chunk so no region becomes
+// unreachable.
+func adaptiveChunks(pilot *core.Sampler, coarse []video.Chunk, budget int) []video.Chunk {
+	weights := make([]float64, len(coarse))
+	var total float64
+	for j := range coarse {
+		weights[j] = pilot.PointEstimate(j)
+		total += weights[j]
+	}
+	var out []video.Chunk
+	for j, c := range coarse {
+		k := 1
+		if total > 0 {
+			k = int(float64(budget)*weights[j]/total + 0.5)
+		}
+		if k < 1 {
+			k = 1
+		}
+		if int64(k) > c.Len() {
+			k = int(c.Len())
+		}
+		subs, err := video.SplitRange(c.Start, c.End, k)
+		if err != nil {
+			// Cannot happen for k in [1, len]; keep the coarse chunk.
+			subs = []video.Chunk{c}
+		}
+		out = append(out, subs...)
+	}
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}
+
+// initProxyTraining starts the BlazeIt-style label-collection phase
+// (§II-B): random frames run the real detector until enough positives are
+// found or the budget runs out.
+func (r *queryRun) initProxyTraining() error {
+	budget := r.opts.ProxyTrainBudget
+	if budget == 0 {
+		budget = r.src.numFrames / 50
+		if budget < int64(r.opts.ProxyTrainPositives) {
+			budget = int64(r.opts.ProxyTrainPositives)
+		}
+	}
+	order, err := video.NewUniformOrder(0, r.src.numFrames, xrand.New(r.opts.Seed^0x7ea1))
+	if err != nil {
+		return err
+	}
+	r.training = true
+	r.trainNeed = r.opts.ProxyTrainPositives
+	r.trainBudget = budget
+	r.trainOrder = order
+	return nil
+}
+
+// enterProxyScan resolves the proxy strategy into its scored scan order,
+// charging the full upfront scoring pass (§II-B).
+func (r *queryRun) enterProxyScan() error {
+	quality := r.opts.ProxyQuality
+	if quality == 0 {
+		quality = 1
+	}
+	score, err := r.src.newScorer(r.query.Class, quality, r.opts.Seed^0xbead)
+	if err != nil {
+		return err
+	}
+	order, err := baseline.NewProxyOrderFunc(score, 0, r.src.numFrames, r.opts.ProxyDupRadius)
+	if err != nil {
+		return err
+	}
+	// The scan is paid in full before the first post-scan detector call.
+	r.rep.ScanSeconds = r.src.scanSeconds(0, r.src.numFrames)
+	r.order = order
+	r.training = false
 	return nil
 }
 
@@ -165,12 +363,46 @@ func (r *queryRun) initStrategy() error {
 // non-chunked strategies. ok is false when the repository is exhausted;
 // once false, it stays false.
 func (r *queryRun) next() (pick core.Pick, ok bool) {
-	if r.exhausted {
+	if r.exhausted || r.err != nil {
 		return core.Pick{}, false
 	}
+	if r.training {
+		if r.trainNeed > 0 && r.trainSpent < r.trainBudget {
+			frame, ook := r.trainOrder.Next()
+			if !ook {
+				// The whole repository was consumed as training frames.
+				r.exhausted = true
+				return core.Pick{}, false
+			}
+			r.trainSpent++
+			return core.Pick{Frame: frame, Chunk: -1}, true
+		}
+		// Budget exhausted without enough labels: degrade to plain random
+		// sampling, continuing the training order so frames do not repeat
+		// (BlazeIt's rare-class fallback, §II-B). No scan is charged.
+		r.training = false
+		r.order = r.trainOrder
+	}
 	if r.sampler != nil {
+		if r.coarse != nil && r.rep.FramesProcessed >= r.pilotBudget {
+			if err := r.rechunk(); err != nil {
+				r.err = err
+				return core.Pick{}, false
+			}
+		}
 		p, sok := r.sampler.Next()
 		if !sok {
+			// A pilot sampler can exhaust before its budget on tiny
+			// repositories; resume on the adaptive layout.
+			if r.coarse != nil {
+				if err := r.rechunk(); err != nil {
+					r.err = err
+					return core.Pick{}, false
+				}
+				if p, sok = r.sampler.Next(); sok {
+					return p, true
+				}
+			}
 			r.exhausted = true
 			return core.Pick{}, false
 		}
@@ -184,23 +416,43 @@ func (r *queryRun) next() (pick core.Pick, ok bool) {
 	return core.Pick{Frame: frame, Chunk: -1}, true
 }
 
-// detect runs the detector on one frame. It is safe to call concurrently
-// for different frames of the same run (the simulated detector is
-// stateless and hash-deterministic per frame).
-func (r *queryRun) detect(frame int64) []track.Detection {
-	return r.detector.Detect(frame)
+// detect runs the detector on one frame, consulting the cross-query memo
+// cache first when enabled. It is safe to call concurrently for different
+// frames of the same run (the detector contract requires concurrency
+// safety; the cache is lock-striped).
+func (r *queryRun) detect(frame int64) frameResult {
+	if r.memo != nil {
+		key := cache.Key{Source: r.src.id, Class: r.query.Class, Frame: frame}
+		if dets, ok := r.memo.Get(key); ok {
+			return frameResult{dets: dets, cached: true}
+		}
+		dets := r.detector.Detect(frame)
+		r.memo.Put(key, dets)
+		return frameResult{dets: dets, cost: r.costOf(frame)}
+	}
+	return frameResult{dets: r.detector.Detect(frame), cost: r.costOf(frame)}
 }
 
 // apply charges the frame's decode and inference cost, feeds the detections
 // through the discriminator, grows the report and recall curve, and updates
 // the sampler's chunk statistics. It must be called in pick order from a
 // single goroutine.
-func (r *queryRun) apply(p core.Pick, dets []track.Detection) (StepInfo, error) {
+func (r *queryRun) apply(p core.Pick, fr frameResult) (StepInfo, error) {
+	if r.err != nil {
+		return StepInfo{}, r.err
+	}
 	rep := r.rep
-	rep.DecodeSeconds += r.dataset.dec.Cost(p.Frame)
-	rep.DetectSeconds += r.detector.CostSeconds()
+	rep.DecodeSeconds += r.src.decodeCost(p.Frame)
+	rep.DetectSeconds += fr.cost
+	if r.memo != nil {
+		if fr.cached {
+			rep.CacheHits++
+		} else {
+			rep.CacheMisses++
+		}
+	}
 	rep.FramesProcessed++
-	newObjs, secondObjs := r.dis.ObserveObjects(p.Frame, dets)
+	newObjs, secondObjs := r.dis.ObserveObjects(p.Frame, fr.dets)
 
 	info := StepInfo{Frame: p.Frame, Chunk: p.Chunk, SecondSightings: len(secondObjs)}
 	var truthIDs []int
@@ -224,6 +476,19 @@ func (r *queryRun) apply(p core.Pick, dets []track.Detection) (StepInfo, error) 
 		rep.CurveFound = append(rep.CurveFound, r.curve.DistinctFound())
 	}
 	rep.Recall = r.curve.Recall()
+
+	if r.training && len(newObjs) > 0 {
+		// A frame containing the class is one collected label; enough
+		// labels resolve the phase into the scored scan immediately (the
+		// scan is charged even if the query is already satisfied, exactly
+		// like the monolithic pipeline did).
+		r.trainNeed--
+		if r.trainNeed <= 0 {
+			if err := r.enterProxyScan(); err != nil {
+				return StepInfo{}, err
+			}
+		}
+	}
 
 	if r.sampler != nil {
 		if err := r.feedback(p.Chunk, newObjs, secondObjs); err != nil {

@@ -1,17 +1,8 @@
 package exsample
 
 import (
-	"fmt"
-
-	"github.com/exsample/exsample/internal/baseline"
 	"github.com/exsample/exsample/internal/core"
-	"github.com/exsample/exsample/internal/detect"
-	"github.com/exsample/exsample/internal/discrim"
 	"github.com/exsample/exsample/internal/engine"
-	"github.com/exsample/exsample/internal/metrics"
-	"github.com/exsample/exsample/internal/track"
-	"github.com/exsample/exsample/internal/video"
-	"github.com/exsample/exsample/internal/xrand"
 )
 
 // Search runs a distinct-object query against the dataset and returns a
@@ -20,551 +11,103 @@ import (
 // run the object detector (charged per frame), pass detections through the
 // SORT-style discriminator, and — for ExSample — feed the (d0, d1) split
 // back into the per-chunk statistics.
+//
+// Search delegates to the same queryRun step loop that drives Session and
+// Engine, so all three produce byte-identical reports for the same seed.
 func (d *Dataset) Search(q Query, opts Options) (*Report, error) {
+	return SearchSource(d, q, opts)
+}
+
+// SearchSource is Search over any Source — a local Dataset or a
+// ShardedSource. The pipeline is identical; only frame routing differs.
+func SearchSource(src Source, q Query, opts Options) (*Report, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	total, err := d.GroundTruthCount(q.Class)
+	run, err := newQueryRun(src, q, opts, nil)
 	if err != nil {
 		return nil, err
 	}
-
-	var detector detect.Detector
-	sim, err := detect.NewSim(d.inner.Index, d.seed^0xdecade,
-		detect.WithClass(q.Class),
-		detect.WithNoise(d.noise),
-		detect.WithCost(1/d.cost.DetectFPS),
-	)
+	// Only the batched ExSample loop (§III-F) defers updates and fans
+	// inference out; every other strategy steps one frame at a time.
+	if opts.Strategy == StrategyExSample && !opts.AutoChunk && opts.BatchSize > 1 {
+		err = runBatched(run, opts.BatchSize, opts.Parallelism)
+	} else {
+		err = runSequential(run)
+	}
 	if err != nil {
 		return nil, err
 	}
-	detector = sim
-	if d.failAfter > 0 {
-		detector = &detect.FailAfter{Inner: sim, Limit: d.failAfter}
+	if run.err != nil {
+		return nil, run.err
 	}
-	coverage := opts.TrackerCoverage
-	if coverage == 0 {
-		coverage = 1
-	}
-	extender, err := discrim.NewTruthExtender(d.inner.Index, coverage)
-	if err != nil {
-		return nil, err
-	}
-	dis, err := discrim.New(extender, opts.IoUThreshold)
-	if err != nil {
-		return nil, err
-	}
-	curve, err := metrics.NewRecallCurve(total)
-	if err != nil {
-		return nil, err
-	}
+	run.rep.Recall = run.curve.Recall()
+	return run.rep, nil
+}
 
-	rep := &Report{Strategy: opts.Strategy}
-	numFrames := d.NumFrames()
-	maxFrames := opts.MaxFrames
-	if maxFrames == 0 || maxFrames > numFrames {
-		maxFrames = numFrames
+// runSequential drives the step loop one frame at a time until the query's
+// stopping condition fires or the repository is exhausted.
+func runSequential(run *queryRun) error {
+	for !run.done() {
+		p, ok := run.next()
+		if !ok {
+			break
+		}
+		if _, err := run.apply(p, run.detect(p.Frame)); err != nil {
+			return err
+		}
 	}
+	return nil
+}
 
-	// applyDets charges costs and runs the discriminator on pre-computed
-	// detections, returning the created objects (the d0 set) and the
-	// objects second-sighted (the d1 set). It also grows the report's
-	// result list and recall curve. It must run in pick order, single
-	// goroutine — only detector inference may be parallelized.
-	applyDets := func(frame int64, dets []track.Detection) (newObjs, secondObjs []*discrim.Object) {
-		rep.DecodeSeconds += d.dec.Cost(frame)
-		rep.DetectSeconds += detector.CostSeconds()
-		rep.FramesProcessed++
-		newObjs, secondObjs = dis.ObserveObjects(frame, dets)
-		var truthIDs []int
-		for _, obj := range newObjs {
-			det := obj.FirstDetection
-			rep.Results = append(rep.Results, Result{
-				ObjectID: len(rep.Results),
-				Frame:    det.Frame,
-				Class:    det.Class,
-				Box:      Box{det.Box.X1, det.Box.Y1, det.Box.X2, det.Box.Y2},
-				Score:    det.Score,
-			})
-			truthIDs = append(truthIDs, det.TruthID)
-		}
-		curve.Observe(rep.FramesProcessed, rep.TotalSeconds(), truthIDs)
-		if len(truthIDs) > 0 {
-			rep.CurveSamples = append(rep.CurveSamples, rep.FramesProcessed)
-			rep.CurveSeconds = append(rep.CurveSeconds, rep.TotalSeconds())
-			rep.CurveFound = append(rep.CurveFound, curve.DistinctFound())
-		}
-		return newObjs, secondObjs
-	}
-
-	// processFrame is the sequential detect-then-apply path.
-	processFrame := func(frame int64) (newObjs, secondObjs []*discrim.Object) {
-		return applyDets(frame, detector.Detect(frame))
-	}
-
-	done := func() bool {
-		if q.Limit > 0 && len(rep.Results) >= q.Limit {
-			return true
-		}
-		if q.RecallTarget > 0 && curve.Recall() >= q.RecallTarget {
-			return true
-		}
-		if rep.FramesProcessed >= maxFrames {
-			return true
-		}
-		if opts.MaxSeconds > 0 && rep.TotalSeconds() >= opts.MaxSeconds {
-			return true
-		}
-		return false
-	}
-
-	// Order-driven strategies only need the set sizes.
-	processCounts := func(frame int64) (d0, d1 int) {
-		n, s := processFrame(frame)
-		return len(n), len(s)
-	}
-
-	pipe := framePipeline{detect: detector.Detect, apply: applyDets, process: processFrame}
-	// Only the batched ExSample loop fans inference out; don't spin up
-	// workers on paths that never use them.
-	if opts.Parallelism > 1 && opts.Strategy == StrategyExSample && !opts.AutoChunk {
-		pool := engine.NewPool(opts.Parallelism)
+// runBatched is the §III-F batched loop: draw a whole batch of picks before
+// any of their updates apply, run inference (optionally fanned out over a
+// bounded worker pool — the same pool type that backs the Engine's
+// cross-query batching), then feed the discriminator in pick order.
+func runBatched(run *queryRun, batch, parallelism int) error {
+	var pool *engine.Pool
+	if parallelism > 1 {
+		pool = engine.NewPool(parallelism)
 		defer pool.Close()
-		pipe.pool = pool
 	}
-	switch opts.Strategy {
-	case StrategyExSample:
-		err = d.runExSample(q, opts, rep, pipe, done)
-	case StrategyRandom, StrategyRandomPlus, StrategySequential:
-		err = d.runOrder(opts, processCounts, done)
-	case StrategyProxy:
-		err = d.runProxy(q, opts, rep, processCounts, done)
-	}
-	if err != nil {
-		return nil, err
-	}
-	rep.Recall = curve.Recall()
-	return rep, nil
-}
-
-// framePipeline splits frame processing into the parallelizable detector
-// call and the order-sensitive discriminator/accounting step. pool, when
-// set, fans batch inference out over a bounded worker pool.
-type framePipeline struct {
-	detect  func(int64) []track.Detection
-	apply   func(int64, []track.Detection) ([]*discrim.Object, []*discrim.Object)
-	process func(int64) ([]*discrim.Object, []*discrim.Object)
-	pool    *engine.Pool
-}
-
-// newExSampler builds a core sampler over the given chunks with the
-// configured policy, within-chunk order and optional §VII fusion (scoring
-// charged per chunk on first visit into rep.ScanSeconds).
-func (d *Dataset) newExSampler(q Query, opts Options, rep *Report, chunks []video.Chunk, seed uint64) (*core.Sampler, error) {
-	cfg := core.Config{
-		Alpha0: opts.Alpha0,
-		Beta0:  opts.Beta0,
-		Policy: opts.Policy.toCore(),
-		Within: core.WithinRandomPlus,
-		Seed:   seed,
-	}
-	if opts.UniformWithinChunk {
-		cfg.Within = core.WithinUniform
-	}
-	if opts.FuseProxyWithinChunk {
-		quality := opts.ProxyQuality
-		if quality == 0 {
-			quality = 1
-		}
-		scorer, err := baseline.NewProxyScorer(d.inner.Index, q.Class, quality, opts.Seed^0xbead)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Within = core.WithinScored
-		cfg.Scorer = scorer.Score
-		// Per-chunk scoring is charged on first visit — the fusion's whole
-		// point is avoiding the full-dataset scan.
-		cfg.OnChunkOpen = func(j int) {
-			rep.ScanSeconds += d.cost.ScanSeconds(chunks[j].Len())
-		}
-	}
-	return core.New(chunks, cfg)
-}
-
-// runExSample is the Algorithm 1 loop, optionally batched (§III-F) with
-// parallel inference, optionally with proxy-scored within-chunk order (§VII
-// fusion), automated re-chunking (§VII) and the technical report's
-// cross-chunk N1 accounting.
-func (d *Dataset) runExSample(q Query, opts Options, rep *Report,
-	pipe framePipeline, done func() bool) error {
-
-	if opts.AutoChunk {
-		return d.runAutoChunk(q, opts, rep, pipe, done)
-	}
-	chunks := d.inner.Chunks
-	if opts.NumChunks > 0 {
-		var err error
-		chunks, err = video.SplitRange(0, d.NumFrames(), opts.NumChunks)
-		if err != nil {
-			return err
-		}
-	}
-	sampler, err := d.newExSampler(q, opts, rep, chunks, opts.Seed)
-	if err != nil {
-		return err
-	}
-
-	// homeChunk maps discriminator object id -> discovering chunk, for the
-	// cross-chunk accounting mode.
-	var homeChunk map[int]int
-	if opts.HomeChunkAccounting {
-		homeChunk = make(map[int]int)
-	}
-	apply := func(chunk int, newObjs, secondObjs []*discrim.Object) error {
-		if homeChunk == nil {
-			return sampler.Update(chunk, len(newObjs), len(secondObjs))
-		}
-		for _, o := range newObjs {
-			homeChunk[o.ID] = chunk
-		}
-		if err := sampler.Update(chunk, len(newObjs), 0); err != nil {
-			return err
-		}
-		for _, o := range secondObjs {
-			hc, ok := homeChunk[o.ID]
-			if !ok {
-				hc = chunk
-			}
-			if err := sampler.Adjust(hc, -1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	batch := opts.BatchSize
-	if batch <= 1 {
-		for !done() {
-			p, ok := sampler.Next()
+	for !run.done() {
+		picks := make([]core.Pick, 0, batch)
+		for len(picks) < batch {
+			p, ok := run.next()
 			if !ok {
 				break
 			}
-			newObjs, secondObjs := pipe.process(p.Frame)
-			if err := apply(p.Chunk, newObjs, secondObjs); err != nil {
-				return err
-			}
+			picks = append(picks, p)
 		}
-		return nil
-	}
-	// Batched: draw a whole batch, run inference (optionally in parallel),
-	// feed the discriminator in pick order, then apply the (additive,
-	// commutative) sampler updates.
-	type upd struct {
-		chunk      int
-		newObjs    []*discrim.Object
-		secondObjs []*discrim.Object
-	}
-	for !done() {
-		picks := sampler.NextBatch(batch)
 		if len(picks) == 0 {
 			break
 		}
-		var detsList [][]track.Detection
-		if pipe.pool != nil {
-			detsList = parallelDetect(pipe.pool, pipe.detect, picks)
+		results := make([]frameResult, len(picks))
+		if pool != nil {
+			tasks := make([]func(), len(picks))
+			for i, p := range picks {
+				i, frame := i, p.Frame
+				tasks[i] = func() { results[i] = run.detect(frame) }
+			}
+			pool.Do(tasks)
+		} else {
+			for i, p := range picks {
+				results[i] = run.detect(p.Frame)
+			}
 		}
-		updates := make([]upd, 0, len(picks))
 		for i, p := range picks {
-			var newObjs, secondObjs []*discrim.Object
-			if detsList != nil {
-				newObjs, secondObjs = pipe.apply(p.Frame, detsList[i])
-			} else {
-				newObjs, secondObjs = pipe.process(p.Frame)
-			}
-			updates = append(updates, upd{p.Chunk, newObjs, secondObjs})
-			if done() {
-				break
-			}
-		}
-		for _, u := range updates {
-			if err := apply(u.chunk, u.newObjs, u.secondObjs); err != nil {
+			if _, err := run.apply(p, results[i]); err != nil {
 				return err
 			}
-		}
-	}
-	return nil
-}
-
-// runAutoChunk implements §VII's "automating chunking": a coarse pilot
-// phase discovers where results live, then the repository is re-chunked —
-// proportionally finer where the pilot found more — and the search resumes
-// on the adaptive layout. The discriminator persists across phases, so
-// objects found during the pilot are never double-counted.
-func (d *Dataset) runAutoChunk(q Query, opts Options, rep *Report,
-	pipe framePipeline, done func() bool) error {
-
-	numFrames := d.NumFrames()
-	coarseM := 16
-	if numFrames < int64(coarseM)*4 {
-		coarseM = 1
-	}
-	coarse, err := video.SplitRange(0, numFrames, coarseM)
-	if err != nil {
-		return err
-	}
-	pilotSampler, err := d.newExSampler(q, opts, rep, coarse, opts.Seed)
-	if err != nil {
-		return err
-	}
-	// The pilot needs enough samples to rank coarse chunks but should stay
-	// a small fraction of the work.
-	pilot := int64(12 * coarseM)
-	if pilot > numFrames/4 {
-		pilot = numFrames / 4
-	}
-	if pilot < 1 {
-		pilot = 1
-	}
-	start := rep.FramesProcessed
-	for !done() && rep.FramesProcessed-start < pilot {
-		p, ok := pilotSampler.Next()
-		if !ok {
-			break
-		}
-		newObjs, secondObjs := pipe.process(p.Frame)
-		if err := pilotSampler.Update(p.Chunk, len(newObjs), len(secondObjs)); err != nil {
-			return err
-		}
-	}
-	if done() {
-		return nil
-	}
-
-	fine := adaptiveChunks(pilotSampler, coarse, 128)
-	sampler, err := d.newExSampler(q, opts, rep, fine, opts.Seed+0x5eed)
-	if err != nil {
-		return err
-	}
-	for !done() {
-		p, ok := sampler.Next()
-		if !ok {
-			break
-		}
-		newObjs, secondObjs := pipe.process(p.Frame)
-		if err := sampler.Update(p.Chunk, len(newObjs), len(secondObjs)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// adaptiveChunks splits each coarse chunk into a number of sub-chunks
-// proportional to its pilot point estimate, spending ~budget chunks total.
-// Every coarse chunk keeps at least one sub-chunk so no region becomes
-// unreachable.
-func adaptiveChunks(pilot *core.Sampler, coarse []video.Chunk, budget int) []video.Chunk {
-	weights := make([]float64, len(coarse))
-	var total float64
-	for j := range coarse {
-		weights[j] = pilot.PointEstimate(j)
-		total += weights[j]
-	}
-	var out []video.Chunk
-	for j, c := range coarse {
-		k := 1
-		if total > 0 {
-			k = int(float64(budget)*weights[j]/total + 0.5)
-		}
-		if k < 1 {
-			k = 1
-		}
-		if int64(k) > c.Len() {
-			k = int(c.Len())
-		}
-		subs, err := video.SplitRange(c.Start, c.End, k)
-		if err != nil {
-			// Cannot happen for k in [1, len]; keep the coarse chunk.
-			subs = []video.Chunk{c}
-		}
-		out = append(out, subs...)
-	}
-	for i := range out {
-		out[i].ID = i
-	}
-	return out
-}
-
-// parallelDetect runs detector inference for a batch of picks across a
-// bounded worker pool. Results are indexed by pick so the discriminator can
-// consume them in order; the detector contract requires concurrency safety.
-// The same pool type backs the Engine's cross-query batching.
-func parallelDetect(pool *engine.Pool, detect func(int64) []track.Detection, picks []core.Pick) [][]track.Detection {
-	out := make([][]track.Detection, len(picks))
-	tasks := make([]func(), len(picks))
-	for i, p := range picks {
-		i, frame := i, p.Frame
-		tasks[i] = func() { out[i] = detect(frame) }
-	}
-	pool.Do(tasks)
-	return out
-}
-
-// runOrder runs the order-driven baselines (random, random+, sequential).
-func (d *Dataset) runOrder(opts Options, processFrame func(int64) (int, int), done func() bool) error {
-	var (
-		order video.FrameOrder
-		err   error
-	)
-	rng := xrand.New(opts.Seed)
-	switch opts.Strategy {
-	case StrategyRandom:
-		order, err = video.NewUniformOrder(0, d.NumFrames(), rng)
-	case StrategyRandomPlus:
-		// Stratify first at one-hour granularity, the paper's example.
-		hour := int64(d.inner.Profile.FPS * 3600)
-		order, err = video.NewRandomPlusOrder(0, d.NumFrames(), hour, rng)
-	case StrategySequential:
-		order, err = video.NewSequentialOrder(0, d.NumFrames(), 1)
-	default:
-		return fmt.Errorf("exsample: runOrder got strategy %v", opts.Strategy)
-	}
-	if err != nil {
-		return err
-	}
-	for !done() {
-		frame, ok := order.Next()
-		if !ok {
-			break
-		}
-		processFrame(frame)
-	}
-	return nil
-}
-
-// runProxy implements the BlazeIt-style baseline: optionally a training
-// phase collecting positive labels by random sampling, then an upfront
-// scoring scan of every frame (charged at scan throughput before any result
-// can be produced), then detector processing in descending score order. If
-// training cannot find enough positives, the method degrades to plain
-// random sampling, as BlazeIt does for rare classes (§II-B).
-func (d *Dataset) runProxy(q Query, opts Options, rep *Report, processFrame func(int64) (int, int), done func() bool) error {
-	trained := true
-	var trainOrder *video.UniformOrder
-	if opts.ProxyTrainPositives > 0 {
-		budget := opts.ProxyTrainBudget
-		if budget == 0 {
-			budget = d.NumFrames() / 50
-			if budget < int64(opts.ProxyTrainPositives) {
-				budget = int64(opts.ProxyTrainPositives)
-			}
-		}
-		var err error
-		trainOrder, err = video.NewUniformOrder(0, d.NumFrames(), xrand.New(opts.Seed^0x7ea1))
-		if err != nil {
-			return err
-		}
-		positives := 0
-		var spent int64
-		for positives < opts.ProxyTrainPositives && spent < budget && !done() {
-			frame, ok := trainOrder.Next()
-			if !ok {
+			if run.done() {
+				// Remaining picks of the round are discarded unapplied;
+				// their cost is never charged.
 				break
 			}
-			spent++
-			// Training frames run the real detector; any results they
-			// surface are real results (BlazeIt's labels come from exactly
-			// such detector calls).
-			d0, _ := processFrame(frame)
-			if d0 > 0 {
-				positives++
-			}
 		}
-		trained = positives >= opts.ProxyTrainPositives
-	}
-
-	if !trained {
-		// Too few labels to train a proxy: continue with random sampling
-		// (reusing the training order so frames are not repeated).
-		for !done() {
-			frame, ok := trainOrder.Next()
-			if !ok {
-				break
-			}
-			processFrame(frame)
-		}
-		return nil
-	}
-
-	quality := opts.ProxyQuality
-	if quality == 0 {
-		quality = 1
-	}
-	scorer, err := baseline.NewProxyScorer(d.inner.Index, q.Class, quality, opts.Seed^0xbead)
-	if err != nil {
-		return err
-	}
-	order, err := baseline.NewProxyOrder(scorer, 0, d.NumFrames(), opts.ProxyDupRadius)
-	if err != nil {
-		return err
-	}
-	// The scan is paid in full before the first post-scan detector call
-	// (§II-B).
-	rep.ScanSeconds = d.cost.ScanSeconds(order.ScannedFrames)
-	for !done() {
-		frame, ok := order.Next()
-		if !ok {
-			break
-		}
-		processFrame(frame)
 	}
 	return nil
 }
-
-// compile-time check that the simulated detector satisfies the public
-// Detector contract via the adapter below.
-var _ Detector = (*simDetectorAdapter)(nil)
-
-// simDetectorAdapter exposes an internal simulated detector through the
-// public Detector interface (used by examples that want direct detector
-// access).
-type simDetectorAdapter struct {
-	inner *detect.Sim
-}
-
-// NewDetector returns a standalone simulated detector for the dataset,
-// restricted to one class. It is the same detector Search uses internally.
-func (d *Dataset) NewDetector(class string) (Detector, error) {
-	if _, err := d.GroundTruthCount(class); err != nil {
-		return nil, err
-	}
-	inner, err := detect.NewSim(d.inner.Index, d.seed^0xdecade,
-		detect.WithClass(class),
-		detect.WithNoise(d.noise),
-		detect.WithCost(1/d.cost.DetectFPS),
-	)
-	if err != nil {
-		return nil, err
-	}
-	return &simDetectorAdapter{inner: inner}, nil
-}
-
-// Detect implements Detector.
-func (a *simDetectorAdapter) Detect(frame int64) []Detection {
-	dets := a.inner.Detect(frame)
-	out := make([]Detection, len(dets))
-	for i, det := range dets {
-		out[i] = Detection{
-			Frame: det.Frame,
-			Class: det.Class,
-			Box:   Box{det.Box.X1, det.Box.Y1, det.Box.X2, det.Box.Y2},
-			Score: det.Score,
-		}
-	}
-	return out
-}
-
-// CostSeconds implements Detector.
-func (a *simDetectorAdapter) CostSeconds() float64 { return a.inner.CostSeconds() }

@@ -30,10 +30,11 @@ type StepInfo struct {
 	SecondSightings int
 }
 
-// NewSession prepares an incremental search. The query's Limit/RecallTarget
-// are advisory for Session (exposed via Done) — Step keeps working as long
-// as frames remain.
-func (d *Dataset) NewSession(q Query, opts Options) (*Session, error) {
+// NewSession prepares an incremental search over any Source — a local
+// Dataset or a ShardedSource. The query's Limit/RecallTarget are advisory
+// for Session (exposed via Done) — Step keeps working as long as frames
+// remain.
+func NewSession(src Source, q Query, opts Options) (*Session, error) {
 	if q.Class == "" {
 		return nil, fmt.Errorf("exsample: session needs a class")
 	}
@@ -43,11 +44,16 @@ func (d *Dataset) NewSession(q Query, opts Options) (*Session, error) {
 	if opts.BatchSize > 1 || opts.Parallelism > 1 {
 		return nil, fmt.Errorf("exsample: sessions are single-frame; use Search for batching")
 	}
-	run, err := d.newQueryRun(q, opts)
+	run, err := newQueryRun(src, q, opts, nil)
 	if err != nil {
 		return nil, err
 	}
 	return &Session{run: run}, nil
+}
+
+// NewSession prepares an incremental search against the dataset.
+func (d *Dataset) NewSession(q Query, opts Options) (*Session, error) {
+	return NewSession(d, q, opts)
 }
 
 // Step processes one frame. ok is false when the repository is exhausted.

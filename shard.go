@@ -1,0 +1,318 @@
+package exsample
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"github.com/exsample/exsample/internal/detect"
+	"github.com/exsample/exsample/internal/discrim"
+	"github.com/exsample/exsample/internal/shard"
+	"github.com/exsample/exsample/internal/track"
+)
+
+// ShardedSource composes N datasets into one logical repository: shard i's
+// frames, chunks and ground-truth ids are remapped into a shared global
+// space, so one query's Thompson sampler treats every shard's chunks as
+// arms of a single bandit while detector calls route back to the owning
+// shard. This is the paper's observation taken to production scale — a
+// chunk is "just another source of Propose/Detect work", so a shard (a
+// machine's worth of chunks) is too.
+//
+// Determinism is unchanged: a seeded query over a 1-shard source is
+// byte-identical to Dataset.Search on the underlying dataset, and a
+// multi-shard query is reproducible for a fixed seed and shard order.
+// Objects never span shards (frame ranges are disjoint), so the
+// discriminator's distinct-object guarantee is preserved; ground-truth
+// populations simply add.
+//
+// ShardedSource is safe for concurrent use by any number of queries.
+type ShardedSource struct {
+	name    string
+	shards  []*Dataset
+	m       *shard.Map
+	counts  map[string]int
+	detects []atomic.Int64 // per-shard detector invocations (cache hits excluded)
+	qs      *querySource
+}
+
+// NewShardedSource composes the given datasets, in order, into one
+// searchable source. Every dataset keeps its own detector, noise model and
+// cost model; frames are charged at their owning shard's rates. One global
+// property is taken from shard 0: the recording rate used for random+'s
+// hour-granularity stratification — compose shards of equal FPS when that
+// baseline's stratum boundaries matter.
+func NewShardedSource(name string, shards ...*Dataset) (*ShardedSource, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("exsample: sharded source needs at least one shard")
+	}
+	parts := make([]shard.Part, len(shards))
+	counts := make(map[string]int)
+	for i, d := range shards {
+		if d == nil {
+			return nil, fmt.Errorf("exsample: shard %d is nil", i)
+		}
+		bound := 0
+		for _, in := range d.inner.Instances {
+			if in.ID+1 > bound {
+				bound = in.ID + 1
+			}
+		}
+		parts[i] = shard.Part{
+			NumFrames:    d.NumFrames(),
+			Chunks:       d.inner.Chunks,
+			TruthIDBound: bound,
+		}
+		for class, n := range d.inner.CountByClass {
+			counts[class] += n
+		}
+	}
+	m, err := shard.New(parts)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedSource{
+		name:    name,
+		shards:  append([]*Dataset(nil), shards...),
+		m:       m,
+		counts:  counts,
+		detects: make([]atomic.Int64, len(shards)),
+	}
+	cacheable := true
+	for _, d := range shards {
+		if d.failAfter > 0 {
+			cacheable = false
+		}
+	}
+	s.qs = &querySource{
+		id:        sourceIDs.Add(1),
+		name:      name,
+		numFrames: m.NumFrames(),
+		fps:       shards[0].inner.Profile.FPS,
+		chunks:    m.Chunks(),
+		numShards: len(shards),
+		cacheable: cacheable,
+		shardOf: func(frame int64) int {
+			sh, _ := m.Locate(frame)
+			return sh
+		},
+		decodeCost: func(frame int64) float64 {
+			sh, local := m.Locate(frame)
+			return s.shards[sh].dec.Cost(local)
+		},
+		scanSeconds: s.scanSeconds,
+		groundTruth: s.GroundTruthCount,
+		newDetector: s.newDetector,
+		newExtender: s.newExtender,
+		newScorer:   s.newScorer,
+	}
+	return s, nil
+}
+
+// Name returns the composed source's name.
+func (s *ShardedSource) Name() string { return s.name }
+
+// NumFrames returns the total frame count across shards.
+func (s *ShardedSource) NumFrames() int64 { return s.m.NumFrames() }
+
+// NumChunks returns the total native chunk count across shards.
+func (s *ShardedSource) NumChunks() int { return len(s.m.Chunks()) }
+
+// NumShards returns the number of composed shards.
+func (s *ShardedSource) NumShards() int { return len(s.shards) }
+
+// Shard returns the i-th underlying dataset.
+func (s *ShardedSource) Shard(i int) *Dataset { return s.shards[i] }
+
+// Hours returns the repository length in hours of video across shards.
+func (s *ShardedSource) Hours() float64 {
+	var h float64
+	for _, d := range s.shards {
+		h += d.Hours()
+	}
+	return h
+}
+
+// Classes lists the union of the shards' searchable classes, sorted.
+func (s *ShardedSource) Classes() []string {
+	out := make([]string, 0, len(s.counts))
+	for c := range s.counts {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroundTruthCount returns the summed distinct-instance population of a
+// class across shards.
+func (s *ShardedSource) GroundTruthCount(class string) (int, error) {
+	n, ok := s.counts[class]
+	if !ok {
+		return 0, fmt.Errorf("exsample: sharded source %q has no class %q", s.name, class)
+	}
+	return n, nil
+}
+
+// Search runs a query against the composed repository; see Dataset.Search.
+func (s *ShardedSource) Search(q Query, opts Options) (*Report, error) {
+	return SearchSource(s, q, opts)
+}
+
+// NewSession prepares an incremental search over the composed repository.
+func (s *ShardedSource) NewSession(q Query, opts Options) (*Session, error) {
+	return NewSession(s, q, opts)
+}
+
+// querySource implements Source.
+func (s *ShardedSource) querySource() *querySource { return s.qs }
+
+// ShardStat is one shard's contribution to the queries run so far.
+type ShardStat struct {
+	// Shard is the shard index in composition order.
+	Shard int
+	// Name is the underlying dataset's profile name.
+	Name string
+	// NumFrames is the shard's repository size.
+	NumFrames int64
+	// DetectCalls counts detector invocations routed to the shard across
+	// all queries on this source (memo-cache hits never reach a shard and
+	// are not counted).
+	DetectCalls int64
+}
+
+// ShardStats snapshots the per-shard detector traffic — the fan-out
+// visibility knob for dashboards and the fairness tests.
+func (s *ShardedSource) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, d := range s.shards {
+		out[i] = ShardStat{
+			Shard:       i,
+			Name:        d.Name(),
+			NumFrames:   d.NumFrames(),
+			DetectCalls: s.detects[i].Load(),
+		}
+	}
+	return out
+}
+
+// scanSeconds charges a proxy-scoring pass over a global frame range at
+// each overlapped shard's own scan throughput.
+func (s *ShardedSource) scanSeconds(start, end int64) float64 {
+	var total float64
+	for i, d := range s.shards {
+		off := s.m.Offset(i)
+		lo, hi := max(start, off), min(end, off+s.m.ShardFrames(i))
+		if hi > lo {
+			total += d.cost.ScanSeconds(hi - lo)
+		}
+	}
+	return total
+}
+
+// newDetector builds the fan-out detector: frames route to the owning
+// shard's simulated detector (with that shard's noise, cost and failure
+// injection) and detections come back remapped into global coordinates.
+func (s *ShardedSource) newDetector(class string) (detect.Detector, error) {
+	dets := make([]detect.Detector, len(s.shards))
+	costs := make([]float64, len(s.shards))
+	for i, d := range s.shards {
+		det, err := d.newDetector(Query{Class: class})
+		if err != nil {
+			return nil, err
+		}
+		dets[i] = det
+		costs[i] = det.CostSeconds()
+	}
+	return &shardedDetector{m: s.m, dets: dets, costs: costs, counts: s.detects}, nil
+}
+
+// newExtender builds the discriminator's tracker model: a detection is
+// extended by its owning shard's ground-truth tracker and the predicted
+// track is translated back to global frames.
+func (s *ShardedSource) newExtender(coverage float64) (discrim.Extender, error) {
+	exts := make([]discrim.Extender, len(s.shards))
+	for i, d := range s.shards {
+		ext, err := discrim.NewTruthExtender(d.inner.Index, coverage)
+		if err != nil {
+			return nil, err
+		}
+		exts[i] = ext
+	}
+	return &shardedExtender{m: s.m, exts: exts}, nil
+}
+
+// newScorer builds the routed proxy scorer. Shard 0 keeps the caller's
+// seed unchanged so a 1-shard source scores byte-identically to its
+// underlying dataset; later shards decorrelate their hash noise.
+func (s *ShardedSource) newScorer(class string, quality float64, seed uint64) (func(int64) float64, error) {
+	scores := make([]func(int64) float64, len(s.shards))
+	for i, d := range s.shards {
+		score, err := d.qs.newScorer(class, quality, seed+uint64(i)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, err
+		}
+		scores[i] = score
+	}
+	m := s.m
+	return func(frame int64) float64 {
+		sh, local := m.Locate(frame)
+		return scores[sh](local)
+	}, nil
+}
+
+// shardedDetector routes global frames to per-shard detectors and remaps
+// detections (frame and truth id) into the global space. Detect is safe
+// for concurrent use, like every shard detector it wraps.
+type shardedDetector struct {
+	m      *shard.Map
+	dets   []detect.Detector
+	costs  []float64
+	counts []atomic.Int64
+}
+
+// Detect implements detect.Detector over the global frame space.
+func (s *shardedDetector) Detect(global int64) []track.Detection {
+	sh, local := s.m.Locate(global)
+	s.counts[sh].Add(1)
+	dets := s.dets[sh].Detect(local)
+	if len(dets) == 0 {
+		return dets
+	}
+	out := make([]track.Detection, len(dets))
+	for i, d := range dets {
+		d.Frame = s.m.Global(sh, d.Frame)
+		d.TruthID = s.m.GlobalTruthID(sh, d.TruthID)
+		out[i] = d
+	}
+	return out
+}
+
+// CostSeconds returns the first shard's per-frame cost; heterogeneous
+// fleets are charged accurately through FrameCost.
+func (s *shardedDetector) CostSeconds() float64 { return s.costs[0] }
+
+// FrameCost implements frameCoster: each frame is charged at its owning
+// shard's inference rate.
+func (s *shardedDetector) FrameCost(global int64) float64 {
+	sh, _ := s.m.Locate(global)
+	return s.costs[sh]
+}
+
+// shardedExtender routes detections to per-shard tracker models and
+// translates the predicted tracks back into global frames.
+type shardedExtender struct {
+	m    *shard.Map
+	exts []discrim.Extender
+}
+
+// Extend implements discrim.Extender over the global frame space.
+func (s *shardedExtender) Extend(det track.Detection) discrim.PredictedTrack {
+	sh, local := s.m.Locate(det.Frame)
+	ld := det
+	ld.Frame = local
+	ld.TruthID = s.m.LocalTruthID(sh, det.TruthID)
+	tr := s.exts[sh].Extend(ld)
+	tr.Start = s.m.Global(sh, tr.Start)
+	tr.End = s.m.Global(sh, tr.End)
+	return tr
+}

@@ -1,0 +1,91 @@
+package exsample
+
+import (
+	"sync/atomic"
+
+	"github.com/exsample/exsample/internal/detect"
+	"github.com/exsample/exsample/internal/discrim"
+	"github.com/exsample/exsample/internal/video"
+)
+
+// Source is the seam between the query pipeline (Search, Session, Engine)
+// and a video repository: a frame layout, a chunk layout, a detector
+// factory and a cost model. A Source can be a single local Dataset or a
+// ShardedSource composing many datasets into one global sampler space —
+// the Thompson sampler, discriminator and report accounting are identical
+// either way, which is what lets one Engine query fan its detector calls
+// out across every shard's workers while the decision loop stays
+// centralized and byte-deterministic.
+//
+// Source is implemented by Dataset and ShardedSource; the interface has an
+// unexported method, so outside packages consume sources rather than
+// providing them (the pipeline needs internal plumbing — ground-truth
+// indexes, cost models — that only this package can wire).
+type Source interface {
+	// Name identifies the source.
+	Name() string
+	// NumFrames returns the repository size in frames (global space).
+	NumFrames() int64
+	// NumChunks returns the native chunk count.
+	NumChunks() int
+	// Hours returns the repository length in hours of video.
+	Hours() float64
+	// Classes lists the searchable object classes, sorted.
+	Classes() []string
+	// GroundTruthCount returns the number of distinct instances of a class.
+	GroundTruthCount(class string) (int, error)
+	// NumShards reports how many independently scannable shards back the
+	// source (1 for a local Dataset).
+	NumShards() int
+
+	// querySource exposes the internal pipeline plumbing.
+	querySource() *querySource
+}
+
+// sourceIDs hands out the unique per-source ids that key the detector
+// memo cache.
+var sourceIDs atomic.Uint64
+
+// querySource is the internal contract behind Source: everything the query
+// pipeline needs from a repository, expressed in global frame coordinates.
+type querySource struct {
+	// id uniquely identifies this open source (cache key prefix).
+	id        uint64
+	name      string
+	numFrames int64
+	// fps is the recording rate used for hour-granularity stratification
+	// (random+'s initial segmentation).
+	fps float64
+	// chunks is the native chunk layout.
+	chunks []video.Chunk
+	// numShards and shardOf expose the shard topology for the engine's
+	// affinity grouping; shardOf is nil for unsharded sources.
+	numShards int
+	shardOf   func(frame int64) int
+	// cacheable is false when detector output is not a pure function of
+	// (source, class, frame) — e.g. under failure injection — and the
+	// memo cache must be bypassed.
+	cacheable bool
+
+	// decodeCost is the charged random-read+decode time for one frame.
+	decodeCost func(frame int64) float64
+	// scanSeconds is the charged proxy-scoring time for a frame range.
+	scanSeconds func(start, end int64) float64
+	// groundTruth returns the distinct-instance population of a class.
+	groundTruth func(class string) (int, error)
+	// newDetector builds the per-class detector (with any failure
+	// injection applied). Detect must be safe for concurrent use.
+	newDetector func(class string) (detect.Detector, error)
+	// newExtender builds the discriminator's SORT-style tracker model.
+	newExtender func(coverage float64) (discrim.Extender, error)
+	// newScorer builds a per-frame proxy scorer for the class.
+	newScorer func(class string, quality float64, seed uint64) (func(frame int64) float64, error)
+}
+
+// frameCoster is an optional refinement of detect.Detector for detectors
+// whose per-frame cost varies with the frame — a sharded detector composed
+// of shards with different throughputs charges each frame at its owning
+// shard's rate.
+type frameCoster interface {
+	FrameCost(frame int64) float64
+}
