@@ -1,0 +1,107 @@
+// Package backend defines the public, pluggable detector backend API.
+//
+// The paper treats the object detector as a costly black box (§II-A): the
+// sampler only ever observes the boxes a detector emits on the frames it is
+// asked about and the time each call takes. Nothing in the algorithm
+// requires the simulated detector the exsample package ships — any system
+// that can answer "what objects are in these frames?" can sit behind a
+// query. This package is that seam: a Backend answers batched,
+// context-aware detection requests, and the query pipeline (Search,
+// Session, Engine) drives it through an adapter, charging whatever cost the
+// backend reports.
+//
+// The contract is deliberately batched. The engine's scheduler already
+// groups each round's detector work by shard affinity, so a Backend
+// receives exactly the access pattern a real GPU fleet wants: one
+// DetectBatch call per scheduling round per shard, with as many frames as
+// the round proposed. Hints lets a backend bound the batch size and declare
+// its nominal per-frame cost; BatchCoster lets it report the measured cost
+// of each call instead (a remote backend charging server-reported latency).
+//
+// Determinism caveat: the exsample memo cache and the byte-identical
+// reproducibility guarantees assume detector output is a pure function of
+// (source, class, frame) — true for any stateless network, and required of
+// a Backend that is used with EngineOptions.CacheEntries or compared across
+// runs. A backend that is not deterministic still works; its queries are
+// simply not reproducible.
+package backend
+
+import "context"
+
+// Box is an axis-aligned bounding box in pixel coordinates; (X1, Y1) is the
+// top-left corner.
+type Box struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// Width returns the box width.
+func (b Box) Width() float64 { return b.X2 - b.X1 }
+
+// Height returns the box height.
+func (b Box) Height() float64 { return b.Y2 - b.Y1 }
+
+// Detection is one object detector output on a frame. It is the stable
+// wire- and API-level result type: the exsample package's public Detection
+// is an alias of this type, and the httpbatch protocol serializes it.
+type Detection struct {
+	// Frame is the frame index the detection was computed on, in the
+	// coordinate space of the DetectBatch call that produced it.
+	Frame int64
+	// Class is the detected object class.
+	Class string
+	// Box is the detected bounding box.
+	Box Box
+	// Score is the detector confidence in [0, 1].
+	Score float64
+	// TruthID is the ground-truth instance id when the backend knows it
+	// (simulated or replayed backends; it is what makes recall measurable),
+	// or -1 when unknown — the value real detectors report.
+	TruthID int
+}
+
+// Hints are a backend's static scheduling hints. The zero value means "no
+// preference": unbounded batches and an unknown (zero) nominal cost.
+type Hints struct {
+	// CostSeconds is the nominal charged inference cost per frame. It is
+	// used when the backend does not implement BatchCoster.
+	CostSeconds float64
+	// MaxBatch bounds the number of frames per DetectBatch call; the
+	// pipeline splits larger batches before they reach the backend
+	// (0 = unlimited).
+	MaxBatch int
+}
+
+// Backend is the pluggable black-box detector contract. Implementations
+// must be safe for concurrent use: the engine runs one DetectBatch per
+// shard-affinity group per scheduling round, and groups from different
+// shards (or different queries) run concurrently on the worker pool.
+type Backend interface {
+	// DetectBatch runs the detector on every frame of the batch for one
+	// object class and returns one detection slice per frame, aligned with
+	// frames (results[i] holds frame frames[i]'s detections; an empty or
+	// nil slice is a valid "nothing found"). The call honors ctx: when the
+	// context is cancelled mid-batch the backend abandons the work and
+	// returns ctx's error, which the engine surfaces through
+	// QueryHandle.Wait alongside a consistent partial report.
+	DetectBatch(ctx context.Context, class string, frames []int64) ([][]Detection, error)
+	// Hints returns the backend's scheduling hints. It must be cheap and
+	// concurrency-safe; the pipeline may call it once per query.
+	Hints() Hints
+}
+
+// BatchCoster is an optional Backend refinement for backends whose charged
+// cost is measured per call rather than fixed — a remote batch endpoint
+// that reports the server-side inference cost of each request. When a
+// backend implements it, the pipeline calls DetectBatchCost instead of
+// DetectBatch and charges the reported per-frame seconds in place of
+// Hints().CostSeconds. Costs are per frame (not one batch scalar) so a
+// backend that knows the exact charge — a server echoing its nominal rate,
+// a fully-cached zero — reports it without a lossy divide-by-batch-size
+// round trip; a backend that only measures batch latency spreads it across
+// the frames itself.
+type BatchCoster interface {
+	// DetectBatchCost behaves exactly like Backend.DetectBatch and
+	// additionally returns the charged inference seconds for each frame,
+	// aligned with frames.
+	DetectBatchCost(ctx context.Context, class string, frames []int64) ([][]Detection, []float64, error)
+}

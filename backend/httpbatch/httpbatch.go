@@ -1,0 +1,435 @@
+// Package httpbatch is a production-shaped remote detector backend: a
+// Client that speaks a small JSON batch protocol to an HTTP endpoint, and a
+// Handler that serves any backend.Backend over the same protocol (the
+// loopback pairing used by tests, examples and exserve's -backend http
+// mode).
+//
+// # Wire protocol
+//
+// One POST per batch. Request body:
+//
+//	{"class": "car", "frames": [17, 42, 1999]}
+//
+// Response body (HTTP 200):
+//
+//	{
+//	  "results": [
+//	    [{"frame": 17, "class": "car", "box": [x1, y1, x2, y2],
+//	      "score": 0.93, "truth_id": 7}],
+//	    [],
+//	    [{"frame": 1999, "class": "car", "box": [x1, y1, x2, y2],
+//	      "score": 0.88, "truth_id": -1}]
+//	  ],
+//	  "cost_seconds": 0.15
+//	}
+//
+// results is aligned with the request's frames (results[i] holds frame
+// frames[i]'s detections; an empty array is a valid "nothing found").
+// The response may also carry per-frame charged costs:
+//
+//	"frame_costs": [0.05, 0.05, 0.05]
+//
+// When frame_costs is present (aligned with frames), the client charges
+// those exact seconds per frame — including legitimate zeros. Otherwise
+// cost_seconds, the server-reported inference latency for the whole batch,
+// is spread evenly across the batch's frames; and when neither is
+// reported the client falls back to its nominal Config.CostSeconds. Either
+// way charged query time tracks what the remote fleet actually spent.
+// truth_id is -1 when the server does not know ground-truth identity —
+// the value real detectors report.
+//
+// Errors: a non-200 status fails the batch. 5xx responses and transport
+// errors are retried up to Config.Retries times with a short backoff; 4xx
+// responses are not (the request itself is malformed — retrying cannot
+// help). Every attempt carries Config.Timeout and honors the caller's
+// context, so a query cancellation aborts an in-flight batch immediately.
+package httpbatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/exsample/exsample/backend"
+)
+
+// request is the wire form of one batch request.
+type request struct {
+	Class  string  `json:"class"`
+	Frames []int64 `json:"frames"`
+}
+
+// wireDetection is the wire form of one detection.
+type wireDetection struct {
+	Frame   int64      `json:"frame"`
+	Class   string     `json:"class"`
+	Box     [4]float64 `json:"box"`
+	Score   float64    `json:"score"`
+	TruthID int        `json:"truth_id"`
+}
+
+// response is the wire form of one batch response.
+type response struct {
+	Results [][]wireDetection `json:"results"`
+	// FrameCosts, when present, is the exact charged seconds per frame.
+	FrameCosts []float64 `json:"frame_costs,omitempty"`
+	// CostSeconds is the batch-level inference latency, used (spread
+	// evenly) when FrameCosts is absent.
+	CostSeconds float64 `json:"cost_seconds"`
+}
+
+// Config parameterizes a Client. Endpoint is required; everything else has
+// a production-shaped default.
+type Config struct {
+	// Endpoint is the batch URL (e.g. http://gpu-7:8080/detect).
+	Endpoint string
+	// HTTPClient overrides the transport (default: a fresh http.Client;
+	// the per-attempt timeout always comes from Timeout).
+	HTTPClient *http.Client
+	// Timeout bounds each HTTP attempt (default 30s).
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is retried on transport
+	// errors and 5xx responses (default 2; 4xx never retries). Use -1 to
+	// disable retries entirely — e.g. for a non-idempotent endpoint that
+	// must never see the same batch twice.
+	Retries int
+	// RetryBackoff is the pause before each retry (default 100ms). Kept
+	// short and fixed: the bounded worker pool above us is the real
+	// pacing mechanism.
+	RetryBackoff time.Duration
+	// MaxConcurrent caps in-flight requests to the endpoint across every
+	// query sharing this client (default 4) — the per-endpoint admission
+	// control a shared GPU service needs.
+	MaxConcurrent int
+	// MaxBatch is the batch-size hint advertised to the pipeline: larger
+	// batches are split before they reach the wire (default 32).
+	MaxBatch int
+	// CostSeconds is the nominal per-frame cost charged when the server
+	// does not report cost_seconds (default 1/20 s, the paper's measured
+	// 20 fps detector).
+	CostSeconds float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	switch {
+	case c.Retries == 0:
+		c.Retries = 2
+	case c.Retries < 0:
+		c.Retries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.CostSeconds == 0 {
+		c.CostSeconds = 1.0 / 20.0
+	}
+	return c
+}
+
+// Stats is a snapshot of a client's traffic counters.
+type Stats struct {
+	// Batches counts successful DetectBatch calls; Frames the frames they
+	// covered. Frames/Batches is the realized wire batch size.
+	Batches, Frames int64
+	// Requests counts HTTP attempts (retries included); Retries the
+	// attempts beyond the first.
+	Requests, Retries int64
+	// ServerSeconds sums the server-reported cost_seconds across
+	// successful batches — the charged inference time.
+	ServerSeconds float64
+}
+
+// Client is a remote HTTP batch detector backend. It implements both
+// backend.Backend and backend.BatchCoster, so the pipeline charges the
+// server-reported latency of every batch. Client is safe for concurrent
+// use by any number of queries.
+type Client struct {
+	cfg Config
+	sem chan struct{}
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Compile-time interface checks.
+var (
+	_ backend.Backend     = (*Client)(nil)
+	_ backend.BatchCoster = (*Client)(nil)
+)
+
+// New builds a client for the given endpoint.
+func New(cfg Config) (*Client, error) {
+	if cfg.Endpoint == "" {
+		return nil, fmt.Errorf("httpbatch: Config.Endpoint is required")
+	}
+	if cfg.Retries < -1 || cfg.MaxConcurrent < 0 || cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("httpbatch: negative MaxConcurrent or MaxBatch, or Retries below -1")
+	}
+	if cfg.CostSeconds < 0 || cfg.Timeout < 0 || cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("httpbatch: negative CostSeconds, Timeout or RetryBackoff")
+	}
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent)}, nil
+}
+
+// Hints implements backend.Backend.
+func (c *Client) Hints() backend.Hints {
+	return backend.Hints{CostSeconds: c.cfg.CostSeconds, MaxBatch: c.cfg.MaxBatch}
+}
+
+// Stats returns a snapshot of the client's traffic counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// DetectBatch implements backend.Backend.
+func (c *Client) DetectBatch(ctx context.Context, class string, frames []int64) ([][]backend.Detection, error) {
+	dets, _, err := c.DetectBatchCost(ctx, class, frames)
+	return dets, err
+}
+
+// DetectBatchCost implements backend.BatchCoster: it runs the batch and
+// reports the server-charged inference seconds per frame, which the
+// pipeline charges in place of the nominal per-frame cost.
+func (c *Client) DetectBatchCost(ctx context.Context, class string, frames []int64) ([][]backend.Detection, []float64, error) {
+	if len(frames) == 0 {
+		return nil, nil, nil
+	}
+	// Per-endpoint admission control: block until a slot frees up, but
+	// never past a cancellation.
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+
+	body, err := json.Marshal(request{Class: class, Frames: frames})
+	if err != nil {
+		return nil, nil, fmt.Errorf("httpbatch: encode request: %w", err)
+	}
+
+	var resp response
+	var retries int64
+	for attempt := 0; ; attempt++ {
+		var retryable bool
+		resp, retryable, err = c.attempt(ctx, body)
+		if err == nil {
+			break
+		}
+		if !retryable || attempt >= c.cfg.Retries || ctx.Err() != nil {
+			c.mu.Lock()
+			c.stats.Requests += int64(attempt) + 1
+			c.stats.Retries += retries
+			c.mu.Unlock()
+			return nil, nil, err
+		}
+		select {
+		case <-time.After(c.cfg.RetryBackoff):
+			// Only now is a retry actually issued; counting it earlier
+			// would record a phantom retry on cancellation mid-backoff.
+			retries++
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.stats.Requests += int64(attempt) + 1
+			c.stats.Retries += retries
+			c.mu.Unlock()
+			return nil, nil, ctx.Err()
+		}
+	}
+
+	// The HTTP traffic happened whether or not the payload validates, so
+	// record it before checking the response shape.
+	c.mu.Lock()
+	c.stats.Requests += retries + 1
+	c.stats.Retries += retries
+	c.mu.Unlock()
+
+	if len(resp.Results) != len(frames) {
+		return nil, nil, fmt.Errorf("httpbatch: server returned %d results for a %d-frame batch", len(resp.Results), len(frames))
+	}
+	if resp.FrameCosts != nil && len(resp.FrameCosts) != len(frames) {
+		return nil, nil, fmt.Errorf("httpbatch: server returned %d frame costs for a %d-frame batch", len(resp.FrameCosts), len(frames))
+	}
+	out := make([][]backend.Detection, len(frames))
+	for i, wire := range resp.Results {
+		if len(wire) == 0 {
+			continue
+		}
+		dets := make([]backend.Detection, len(wire))
+		for k, w := range wire {
+			dets[k] = backend.Detection{
+				Frame:   w.Frame,
+				Class:   w.Class,
+				Box:     backend.Box{X1: w.Box[0], Y1: w.Box[1], X2: w.Box[2], Y2: w.Box[3]},
+				Score:   w.Score,
+				TruthID: w.TruthID,
+			}
+		}
+		out[i] = dets
+	}
+	costs := resp.FrameCosts
+	if costs == nil {
+		// No per-frame costs: spread the batch latency evenly, falling
+		// back to the nominal rate when the server reported nothing.
+		per := resp.CostSeconds / float64(len(frames))
+		if resp.CostSeconds == 0 {
+			per = c.cfg.CostSeconds
+		}
+		costs = make([]float64, len(frames))
+		for i := range costs {
+			costs[i] = per
+		}
+	}
+	var total float64
+	for _, cost := range costs {
+		total += cost
+	}
+	c.mu.Lock()
+	c.stats.Batches++
+	c.stats.Frames += int64(len(frames))
+	c.stats.ServerSeconds += total
+	c.mu.Unlock()
+	return out, costs, nil
+}
+
+// attempt issues one HTTP request. retryable reports whether a failure is
+// worth retrying (transport errors and 5xx); ctx and the per-attempt
+// timeout both bound the call.
+func (c *Client) attempt(ctx context.Context, body []byte) (resp response, retryable bool, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return response{}, false, fmt.Errorf("httpbatch: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		// Attribute the failure to the caller's cancellation when that is
+		// what aborted the attempt — the engine surfaces this through
+		// QueryHandle.Wait as a context error.
+		if ctx.Err() != nil {
+			return response{}, false, ctx.Err()
+		}
+		return response{}, true, fmt.Errorf("httpbatch: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		err := fmt.Errorf("httpbatch: endpoint returned %s: %s", httpResp.Status, bytes.TrimSpace(msg))
+		return response{}, httpResp.StatusCode >= 500, err
+	}
+	// Read the body before decoding so a connection reset mid-body (after
+	// a 200 status) stays a retryable transport failure; only a body that
+	// arrived whole but does not parse is a terminal protocol error.
+	payload, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		if ctx.Err() != nil {
+			return response{}, false, ctx.Err()
+		}
+		return response{}, true, fmt.Errorf("httpbatch: read response: %w", err)
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return response{}, false, fmt.Errorf("httpbatch: decode response: %w", err)
+	}
+	return resp, false, nil
+}
+
+// maxRequestBytes bounds a request body the Handler is willing to decode:
+// far above any sane batch (a frame is ~20 bytes on the wire), far below
+// anything that could pressure server memory.
+const maxRequestBytes = 8 << 20
+
+// Handler serves a backend.Backend over the httpbatch wire protocol — the
+// server half of the pairing. Detection cost in the response comes from the
+// backend's own accounting, reported per frame in frame_costs (so clients
+// charge exact values, no divide-by-batch-size loss): the measured
+// per-frame costs when the backend implements backend.BatchCoster, its
+// nominal Hints().CostSeconds per frame otherwise. Requests are bounded:
+// oversized bodies are rejected, and when the backend hints a MaxBatch,
+// batches beyond it are refused with a 400 rather than run unsplit. Pair
+// it with any mux: http.Handle("/detect", httpbatch.Handler(b)).
+func Handler(b backend.Backend) http.Handler {
+	coster, _ := b.(backend.BatchCoster)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "httpbatch: POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req request
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("httpbatch: bad request: %v", err), http.StatusBadRequest)
+			return
+		}
+		if req.Class == "" || len(req.Frames) == 0 {
+			http.Error(w, "httpbatch: class and frames are required", http.StatusBadRequest)
+			return
+		}
+		if max := b.Hints().MaxBatch; max > 0 && len(req.Frames) > max {
+			http.Error(w, fmt.Sprintf("httpbatch: batch of %d frames exceeds the backend's MaxBatch %d", len(req.Frames), max), http.StatusBadRequest)
+			return
+		}
+		var (
+			dets  [][]backend.Detection
+			costs []float64
+			err   error
+		)
+		if coster != nil {
+			dets, costs, err = coster.DetectBatchCost(r.Context(), req.Class, req.Frames)
+		} else {
+			dets, err = b.DetectBatch(r.Context(), req.Class, req.Frames)
+			costs = make([]float64, len(req.Frames))
+			per := b.Hints().CostSeconds
+			for i := range costs {
+				costs[i] = per
+			}
+		}
+		if err != nil {
+			http.Error(w, fmt.Sprintf("httpbatch: backend: %v", err), http.StatusInternalServerError)
+			return
+		}
+		var total float64
+		for _, cost := range costs {
+			total += cost
+		}
+		resp := response{Results: make([][]wireDetection, len(dets)), FrameCosts: costs, CostSeconds: total}
+		for i, frameDets := range dets {
+			wire := make([]wireDetection, len(frameDets))
+			for k, d := range frameDets {
+				wire[k] = wireDetection{
+					Frame:   d.Frame,
+					Class:   d.Class,
+					Box:     [4]float64{d.Box.X1, d.Box.Y1, d.Box.X2, d.Box.Y2},
+					Score:   d.Score,
+					TruthID: d.TruthID,
+				}
+			}
+			resp.Results[i] = wire
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// The response is already streaming; nothing recoverable.
+			return
+		}
+	})
+}

@@ -1,0 +1,353 @@
+package httpbatch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/exsample/exsample/backend"
+)
+
+// fakeBackend is a deterministic in-memory backend: frame f has one
+// detection when f is even, none otherwise.
+type fakeBackend struct {
+	cost  float64
+	calls atomic.Int64
+}
+
+func (f *fakeBackend) DetectBatch(ctx context.Context, class string, frames []int64) ([][]backend.Detection, error) {
+	f.calls.Add(1)
+	out := make([][]backend.Detection, len(frames))
+	for i, frame := range frames {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if frame%2 == 0 {
+			out[i] = []backend.Detection{{
+				Frame:   frame,
+				Class:   class,
+				Box:     backend.Box{X1: 1, Y1: 2, X2: 3, Y2: 4},
+				Score:   0.9,
+				TruthID: int(frame / 2),
+			}}
+		}
+	}
+	return out, nil
+}
+
+func (f *fakeBackend) Hints() backend.Hints {
+	return backend.Hints{CostSeconds: f.cost, MaxBatch: 16}
+}
+
+func newTestPair(t *testing.T, b backend.Backend, cfg Config) (*Client, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(Handler(b))
+	t.Cleanup(srv.Close)
+	cfg.Endpoint = srv.URL
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+func TestRoundTrip(t *testing.T) {
+	fb := &fakeBackend{cost: 0.05}
+	c, _ := newTestPair(t, fb, Config{})
+
+	frames := []int64{0, 1, 2, 3, 10}
+	dets, costs, err := c.DetectBatchCost(context.Background(), "car", frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != len(frames) {
+		t.Fatalf("got %d results, want %d", len(dets), len(frames))
+	}
+	// Server reports the exact nominal per-frame cost for a
+	// non-BatchCoster backend — no divide-by-batch-size loss.
+	if len(costs) != len(frames) {
+		t.Fatalf("got %d costs, want %d", len(costs), len(frames))
+	}
+	var cost float64
+	for _, per := range costs {
+		if per != 0.05 {
+			t.Fatalf("per-frame cost = %v, want exactly 0.05", per)
+		}
+		cost += per
+	}
+	for i, frame := range frames {
+		if frame%2 == 0 {
+			if len(dets[i]) != 1 {
+				t.Fatalf("frame %d: %d detections, want 1", frame, len(dets[i]))
+			}
+			d := dets[i][0]
+			if d.Frame != frame || d.Class != "car" || d.Score != 0.9 || d.TruthID != int(frame/2) {
+				t.Fatalf("frame %d: wrong detection %+v", frame, d)
+			}
+			if d.Box != (backend.Box{X1: 1, Y1: 2, X2: 3, Y2: 4}) {
+				t.Fatalf("frame %d: wrong box %+v", frame, d.Box)
+			}
+		} else if len(dets[i]) != 0 {
+			t.Fatalf("frame %d: %d detections, want 0", frame, len(dets[i]))
+		}
+	}
+	st := c.Stats()
+	if st.Batches != 1 || st.Frames != int64(len(frames)) || st.Requests != 1 || st.Retries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ServerSeconds != cost {
+		t.Fatalf("ServerSeconds = %v, want %v", st.ServerSeconds, cost)
+	}
+}
+
+func TestEmptyBatchSkipsWire(t *testing.T) {
+	fb := &fakeBackend{cost: 0.05}
+	c, _ := newTestPair(t, fb, Config{})
+	dets, err := c.DetectBatch(context.Background(), "car", nil)
+	if err != nil || dets != nil {
+		t.Fatalf("empty batch: %v, %v", dets, err)
+	}
+	if fb.calls.Load() != 0 {
+		t.Fatal("empty batch reached the backend")
+	}
+}
+
+func TestRetriesOn5xxThenSucceeds(t *testing.T) {
+	fb := &fakeBackend{cost: 0.05}
+	var failures atomic.Int64
+	failures.Store(2)
+	inner := Handler(fb)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failures.Add(-1) >= 0 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, Retries: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := c.DetectBatch(context.Background(), "car", []int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 || len(dets[0]) != 1 {
+		t.Fatalf("unexpected results %+v", dets)
+	}
+	st := c.Stats()
+	if st.Retries != 2 || st.Requests != 3 {
+		t.Fatalf("stats = %+v, want 2 retries over 3 requests", st)
+	}
+}
+
+func TestRetriesAreBounded(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, Retries: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DetectBatch(context.Background(), "car", []int64{1}); err == nil {
+		t.Fatal("persistent 5xx did not fail the batch")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("made %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	st := c.Stats()
+	if st.Requests != 3 || st.Retries != 2 || st.Batches != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientErrorsAreNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "no such class", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, Retries: 5, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.DetectBatch(context.Background(), "dragon", []int64{1})
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("err = %v, want a 400", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("made %d attempts, want 1 (4xx never retries)", got)
+	}
+}
+
+func TestContextCancellationAbortsInFlightBatch(t *testing.T) {
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+	c, err := New(Config{Endpoint: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.DetectBatch(ctx, "car", []int64{1})
+		done <- err
+	}()
+	<-inFlight
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled batch did not return")
+	}
+}
+
+func TestPerEndpointConcurrencyCap(t *testing.T) {
+	var running, peak atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		running.Add(-1)
+		Handler(&fakeBackend{cost: 0.01}).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.DetectBatch(context.Background(), "car", []int64{int64(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("observed %d concurrent requests with MaxConcurrent=2", got)
+	}
+}
+
+func TestHandlerRejectsMalformedRequests(t *testing.T) {
+	srv := httptest.NewServer(Handler(&fakeBackend{cost: 0.01}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL, "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL, "application/json", strings.NewReader(`{"class":"","frames":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty request = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRetriesMinusOneDisablesRetries(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, Retries: -1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DetectBatch(context.Background(), "car", []int64{1}); err == nil {
+		t.Fatal("5xx did not fail the batch")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("made %d attempts with Retries: -1, want exactly 1", got)
+	}
+}
+
+func TestHandlerEnforcesMaxBatch(t *testing.T) {
+	// fakeBackend hints MaxBatch 16; a 17-frame batch must be refused
+	// rather than run unsplit.
+	fb := &fakeBackend{cost: 0.01}
+	srv := httptest.NewServer(Handler(fb))
+	defer srv.Close()
+	frames := make([]byte, 0, 64)
+	frames = append(frames, `{"class":"car","frames":[`...)
+	for i := 0; i < 17; i++ {
+		if i > 0 {
+			frames = append(frames, ',')
+		}
+		frames = append(frames, byte('0'+i%10))
+	}
+	frames = append(frames, "]}"...)
+	resp, err := http.Post(srv.URL, "application/json", bytes.NewReader(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch = %d, want 400", resp.StatusCode)
+	}
+	if fb.calls.Load() != 0 {
+		t.Fatal("oversized batch reached the backend")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing endpoint accepted")
+	}
+	if _, err := New(Config{Endpoint: "http://x", Retries: -2}); err == nil {
+		t.Fatal("Retries below -1 accepted")
+	}
+	if _, err := New(Config{Endpoint: "http://x", MaxBatch: -1}); err == nil {
+		t.Fatal("negative MaxBatch accepted")
+	}
+}

@@ -1,0 +1,364 @@
+package exsample
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/exsample/exsample/backend"
+	"github.com/exsample/exsample/backend/httpbatch"
+)
+
+// truthTwin opens a second dataset identical to smallDataset — same spec,
+// same seed — so one copy can serve detections while the other runs the
+// query, the way a remote GPU fleet is a separate process from the sampler.
+func truthTwin(t *testing.T, opts ...DatasetOption) *Dataset {
+	t.Helper()
+	return smallDataset(t, opts...)
+}
+
+func TestDatasetBackendDefaultIsSim(t *testing.T) {
+	ds := smallDataset(t)
+	b := ds.Backend()
+	if b == nil {
+		t.Fatal("nil default backend")
+	}
+	hints := b.Hints()
+	if hints.CostSeconds <= 0 {
+		t.Fatalf("default backend hints %+v: no cost", hints)
+	}
+	dets, err := b.DetectBatch(context.Background(), "car", []int64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 3 {
+		t.Fatalf("got %d results, want 3", len(dets))
+	}
+	if _, err := b.DetectBatch(context.Background(), "dragon", []int64{0}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestWithBackendSimRoundTripIsByteIdentical(t *testing.T) {
+	// Routing the simulated detector through the public Backend API (an
+	// attached twin's Backend) must change nothing: the default path IS
+	// the backend path for the sim, so reports stay byte-identical.
+	plain := smallDataset(t)
+	twin := truthTwin(t)
+	viaBackend := smallDataset(t, WithBackend(twin.Backend()))
+
+	q := Query{Class: "car", Limit: 20}
+	opts := Options{Seed: 99}
+	want, err := plain.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := viaBackend.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("backend-routed search diverged:\nwant frames=%d detect=%v results=%d\ngot  frames=%d detect=%v results=%d",
+			want.FramesProcessed, want.DetectSeconds, len(want.Results),
+			got.FramesProcessed, got.DetectSeconds, len(got.Results))
+	}
+}
+
+func TestHTTPBatchEngineEndToEnd(t *testing.T) {
+	// The acceptance setup: a twin dataset served over the httpbatch wire
+	// protocol, the query dataset running against it through the Engine.
+	// The report must be byte-identical to the all-local sim run, and each
+	// scheduling round must have issued exactly one wire batch (single
+	// source, one affinity group per round). Round sizes cover a
+	// non-power-of-two to pin the exact per-frame cost transport (a
+	// divide-by-batch-size would drift in the last ULP at 6).
+	twin := truthTwin(t)
+	srv := httptest.NewServer(httpbatch.Handler(twin.Backend()))
+	defer srv.Close()
+
+	for _, round := range []int{8, 6} {
+		client, err := httpbatch.New(httpbatch.Config{Endpoint: srv.URL, MaxBatch: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote := smallDataset(t, WithBackend(client))
+		local := smallDataset(t)
+
+		q := Query{Class: "car", Limit: 15}
+		opts := Options{Seed: 41}
+
+		e := newTestEngine(t, EngineOptions{Workers: 4, FramesPerRound: round})
+		h, err := e.Submit(context.Background(), remote, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		eLocal := newTestEngine(t, EngineOptions{Workers: 4, FramesPerRound: round})
+		hLocal, err := eLocal.Submit(context.Background(), local, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := hLocal.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round=%d: remote run diverged from local sim:\nwant frames=%d detect=%v results=%d\ngot  frames=%d detect=%v results=%d",
+				round, want.FramesProcessed, want.DetectSeconds, len(want.Results),
+				got.FramesProcessed, got.DetectSeconds, len(got.Results))
+		}
+
+		// One DetectBatch per affinity group per round: a single unsharded
+		// query means engine batches == wire batches == scheduling rounds
+		// that dispatched work, and every proposed frame went over the
+		// wire.
+		st := client.Stats()
+		es := e.Stats()
+		if st.Batches != es.Batches {
+			t.Fatalf("round=%d: wire batches %d != engine batches %d: groups were split or merged", round, st.Batches, es.Batches)
+		}
+		if st.Frames != es.DetectCalls {
+			t.Fatalf("round=%d: wire frames %d != engine frames %d", round, st.Frames, es.DetectCalls)
+		}
+		// The final round's tail can be discarded unapplied once the limit
+		// fires, so the report covers at most the wire traffic.
+		if got.FramesProcessed > st.Frames {
+			t.Fatalf("round=%d: report frames %d exceed wire frames %d", round, got.FramesProcessed, st.Frames)
+		}
+		if st.Retries != 0 || st.Requests != st.Batches {
+			t.Fatalf("round=%d: unexpected retries: %+v", round, st)
+		}
+		// Charged inference time came from the server-reported per-frame
+		// costs (discarded tail frames were paid on the wire but never
+		// charged).
+		if got.DetectSeconds <= 0 || got.DetectSeconds > st.ServerSeconds+1e-9 {
+			t.Fatalf("round=%d: report charged %v detect seconds, server reported %v", round, got.DetectSeconds, st.ServerSeconds)
+		}
+	}
+}
+
+func TestFailureInjectionAppliesToCustomBackends(t *testing.T) {
+	// WithDetectorFailureAfter must not be silently dropped when a custom
+	// backend is attached: the outage injects at the same per-frame count
+	// on both paths, so the degraded reports stay byte-identical.
+	q := Query{Class: "car", Limit: 500}
+	opts := Options{Seed: 13, MaxFrames: 400}
+
+	simInjected := smallDataset(t, WithDetectorFailureAfter(20))
+	want, err := simInjected.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	twin := truthTwin(t)
+	backendInjected := smallDataset(t, WithBackend(twin.Backend()), WithDetectorFailureAfter(20))
+	got, err := backendInjected.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("backend-path failure injection diverged: frames %d vs %d, results %d vs %d",
+			got.FramesProcessed, want.FramesProcessed, len(got.Results), len(want.Results))
+	}
+	// The outage actually engaged: a healthy run finds more.
+	healthy := smallDataset(t)
+	full, err := healthy.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Results) <= len(got.Results) {
+		t.Fatalf("injection had no effect: %d results with outage, %d without", len(got.Results), len(full.Results))
+	}
+}
+
+func TestHTTPBatchShardedPerShardEndpoints(t *testing.T) {
+	// Two shards, each routed to its own endpoint — the ShardedSource
+	// composition point the Backend option exists for. Results must be
+	// byte-identical to the same shards running their sims locally.
+	specs := []uint64{7, 8}
+	var remoteShards, localShards []*Dataset
+	var clients []*httpbatch.Client
+	for _, seed := range specs {
+		mk := func(opts ...DatasetOption) *Dataset {
+			ds, err := Synthesize(SynthSpec{
+				NumFrames:    60_000,
+				NumInstances: 120,
+				Class:        "car",
+				MeanDuration: 120,
+				SkewFraction: 1.0 / 8,
+				ChunkFrames:  2000,
+				Seed:         seed,
+			}, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ds
+		}
+		twin := mk()
+		srv := httptest.NewServer(httpbatch.Handler(twin.Backend()))
+		t.Cleanup(srv.Close)
+		client, err := httpbatch.New(httpbatch.Config{Endpoint: srv.URL})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, client)
+		remoteShards = append(remoteShards, mk(WithBackend(client)))
+		localShards = append(localShards, mk())
+	}
+	remote, err := NewShardedSource("fleet", remoteShards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewShardedSource("fleet", localShards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batched Search interleaves shard picks; the sharded detector must
+	// regroup them so each shard sees one wire batch per Search batch,
+	// not one POST per frame.
+	q := Query{Class: "car", Limit: 12}
+	opts := Options{Seed: 5, BatchSize: 16}
+	want, err := local.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("per-shard-endpoint search diverged: frames %d vs %d, results %d vs %d",
+			got.FramesProcessed, want.FramesProcessed, len(got.Results), len(want.Results))
+	}
+	// Both shards actually served traffic, and served it batched.
+	for i, st := range remote.ShardStats() {
+		if st.DetectCalls == 0 {
+			t.Fatalf("shard %d served no detector calls", i)
+		}
+	}
+	for i, c := range clients {
+		cs := c.Stats()
+		if cs.Frames == 0 {
+			t.Fatalf("client %d saw no traffic", i)
+		}
+		if avg := float64(cs.Frames) / float64(cs.Batches); avg < 2 {
+			t.Fatalf("client %d averaged %.1f frames/batch — interleaved picks degraded to per-frame calls", i, avg)
+		}
+	}
+}
+
+func TestHTTPBatchCancellationMidBatchSurfacesThroughWait(t *testing.T) {
+	// A server that blocks while a batch is in flight: cancelling the
+	// query's context must abort the wire call, surface the context error
+	// through QueryHandle.Wait, and leave a consistent partial report.
+	twin := truthTwin(t)
+	inner := httpbatch.Handler(twin.Backend())
+	inFlight := make(chan struct{}, 64)
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case inFlight <- struct{}{}:
+		default:
+		}
+		select {
+		case <-block:
+		case <-r.Context().Done():
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	client, err := httpbatch.New(httpbatch.Config{Endpoint: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := smallDataset(t, WithBackend(client))
+
+	e := newTestEngine(t, EngineOptions{Workers: 2, FramesPerRound: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h, err := e.Submit(ctx, remote, Query{Class: "car", Limit: 1000}, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-inFlight:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no batch reached the server")
+	}
+	cancel()
+	rep, err := h.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("no partial report")
+	}
+	// The in-flight round was discarded whole: the partial report is
+	// consistent at a round boundary (results ⊆ frames, totals coherent).
+	if int64(len(rep.Results)) > rep.FramesProcessed {
+		t.Fatalf("inconsistent partial report: %d results from %d frames", len(rep.Results), rep.FramesProcessed)
+	}
+	if rep.FramesProcessed > 0 && rep.TotalSeconds() <= 0 {
+		t.Fatalf("frames charged but no seconds: %+v", rep)
+	}
+}
+
+func TestSubmitRejectsNilAndZeroValueSources(t *testing.T) {
+	e := newTestEngine(t, EngineOptions{Workers: 1})
+	q := Query{Class: "car", Limit: 1}
+
+	cases := []struct {
+		name string
+		src  Source
+	}{
+		{"nil interface", nil},
+		{"typed-nil dataset", (*Dataset)(nil)},
+		{"typed-nil sharded", (*ShardedSource)(nil)},
+		{"zero-value dataset", &Dataset{}},
+		{"zero-value sharded", &ShardedSource{}},
+	}
+	for _, tc := range cases {
+		if _, err := e.Submit(context.Background(), tc.src, q, Options{}); err == nil {
+			t.Errorf("%s: Submit accepted an unusable source", tc.name)
+		}
+	}
+	// The same guard protects the synchronous entry points.
+	if _, err := SearchSource(&ShardedSource{}, q, Options{}); err == nil {
+		t.Error("SearchSource accepted a zero-value ShardedSource")
+	}
+	if _, err := NewSession(&Dataset{}, q, Options{}); err == nil {
+		t.Error("NewSession accepted a zero-value Dataset")
+	}
+}
+
+func TestBackendErrorFailsSearchCleanly(t *testing.T) {
+	// A backend that always fails: Search must surface the error, not
+	// panic or spin.
+	ds := smallDataset(t, WithBackend(failingBackend{}))
+	_, err := ds.Search(Query{Class: "car", Limit: 5}, Options{Seed: 1})
+	if err == nil || !errors.Is(err, errBackendDown) {
+		t.Fatalf("Search = %v, want errBackendDown", err)
+	}
+}
+
+var errBackendDown = errors.New("backend down")
+
+type failingBackend struct{}
+
+func (failingBackend) DetectBatch(ctx context.Context, class string, frames []int64) ([][]backend.Detection, error) {
+	return nil, errBackendDown
+}
+
+func (failingBackend) Hints() backend.Hints { return backend.Hints{CostSeconds: 0.01} }

@@ -13,11 +13,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"github.com/exsample/exsample/internal/bench"
 
 	exsample "github.com/exsample/exsample"
+	"github.com/exsample/exsample/backend/httpbatch"
 )
 
 // BenchmarkFig2 regenerates the §III-D belief-validation study (Figure 2):
@@ -423,4 +426,45 @@ func BenchmarkCacheHitRate(b *testing.B) {
 	}
 	b.ReportMetric(hitRate/float64(b.N), "hitrate")
 	b.ReportMetric(saved/float64(b.N), "charged-s-saved")
+}
+
+// BenchmarkBackendBatch measures the httpbatch wire path end to end — a
+// loopback server wrapping the simulated detector, an httpbatch client on
+// the query side — at batch sizes 1, 8 and 32. The reported frames/s is
+// raw wire+inference throughput (frames pushed through DetectBatch per
+// wall second); growing it with the batch size is the whole point of the
+// batched Backend contract.
+func BenchmarkBackendBatch(b *testing.B) {
+	ds, err := exsample.OpenProfile("dashcam", 0.05, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(httpbatch.Handler(ds.Backend()))
+	defer srv.Close()
+	class := ds.Classes()[0]
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			client, err := httpbatch.New(httpbatch.Config{Endpoint: srv.URL, MaxBatch: batch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames := make([]int64, batch)
+			start := time.Now()
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := range frames {
+					frames[k] = (int64(i)*int64(batch) + int64(k)) % ds.NumFrames()
+				}
+				if _, err := client.DetectBatch(context.Background(), class, frames); err != nil {
+					b.Fatal(err)
+				}
+				total += int64(batch)
+			}
+			b.StopTimer()
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(total)/secs, "frames/s")
+			}
+		})
+	}
 }

@@ -2,18 +2,28 @@
 // more dataset profiles (optionally sharding each into an N-way
 // ShardedSource), submits many simultaneous distinct-object queries
 // (spread round-robin over the sources' classes), multiplexes their
-// detector calls onto a shared bounded worker pool — grouped by shard —
-// and prints per-query, per-shard and cache statistics.
+// detector calls onto a shared bounded worker pool — grouped by shard and
+// dispatched as one DetectBatch per group — and prints per-query,
+// per-shard, backend and cache statistics.
 //
 // Usage:
 //
 //	exserve -datasets dashcam,bdd1k -queries 8 -limit 10
 //	        [-workers 4] [-round 4] [-scale 0.05] [-seed 1]
 //	        [-shards 1] [-cache 0]
+//	        [-backend sim|http] [-endpoint URL]
 //
 // -shards N composes each profile from N independently generated shards
 // (one logical repository, N machines' worth of chunks); -cache N enables
 // an N-entry detector memo cache shared by every query on the engine.
+//
+// -backend http runs every detector call over the backend/httpbatch wire
+// protocol. With no -endpoint, each shard gets its own loopback HTTP
+// server fed by a twin dataset — a self-contained demo of a per-shard
+// remote GPU fleet; with -endpoint URL, all shards call that one external
+// service (which must serve the same profiles' classes). Either way the
+// run prints a backend table: batches, frames, realized batch size,
+// retries and server-reported inference seconds per shard.
 package main
 
 import (
@@ -21,12 +31,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
 	"time"
 
 	exsample "github.com/exsample/exsample"
+	"github.com/exsample/exsample/backend/httpbatch"
 )
 
 func main() {
@@ -40,6 +53,8 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base random seed")
 	flag.IntVar(&cfg.shards, "shards", 1, "shards per profile (>1 composes a ShardedSource)")
 	flag.IntVar(&cfg.cache, "cache", 0, "detector memo cache entries (0 = disabled)")
+	flag.StringVar(&cfg.backend, "backend", "sim", "detector backend: sim (in-process) or http (httpbatch wire protocol)")
+	flag.StringVar(&cfg.endpoint, "endpoint", "", "external httpbatch endpoint URL (http backend only; empty = per-shard loopback servers)")
 	flag.Parse()
 	cfg.profiles = strings.Split(cfg.datasets, ",")
 
@@ -61,29 +76,110 @@ type config struct {
 	seed     uint64
 	shards   int
 	cache    int
+	backend  string
+	endpoint string
+}
+
+// backendStat tracks one httpbatch client for the stats table: a per-shard
+// loopback client, or (shard -1, profile "(all)") the one shared client of
+// an external endpoint.
+type backendStat struct {
+	profile string
+	shard   int
+	client  *httpbatch.Client
+}
+
+// serveBackend starts a loopback HTTP server for a dataset's backend — the
+// in-process stand-in for a remote GPU service — and returns the endpoint
+// URL plus a shutdown func.
+func serveBackend(ds *exsample.Dataset) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: httpbatch.Handler(ds.Backend())}
+	go srv.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// openShard opens one shard's dataset, wiring the configured backend: the
+// in-process simulator, the shared external-endpoint client, or a loopback
+// server fed by a twin dataset generated from the same seed. shared is
+// non-nil exactly when -endpoint was given: every shard then reuses the
+// one client so the per-endpoint concurrency cap covers the whole run.
+func openShard(name string, seed uint64, cfg config, shared *httpbatch.Client) (*exsample.Dataset, *httpbatch.Client, func(), error) {
+	if cfg.backend != "http" {
+		ds, err := exsample.OpenProfile(name, cfg.scale, seed)
+		return ds, nil, nil, err
+	}
+	client := shared
+	stop := func() {}
+	if client == nil {
+		twin, err := exsample.OpenProfile(name, cfg.scale, seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		endpoint, stopSrv, err := serveBackend(twin)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		stop = stopSrv
+		client, err = httpbatch.New(httpbatch.Config{Endpoint: endpoint, MaxBatch: 64})
+		if err != nil {
+			stop()
+			return nil, nil, nil, err
+		}
+	}
+	ds, err := exsample.OpenProfile(name, cfg.scale, seed, exsample.WithBackend(client))
+	if err != nil {
+		stop()
+		return nil, nil, nil, err
+	}
+	return ds, client, stop, nil
 }
 
 // openSource opens one profile as a plain dataset or an N-way sharded
-// composition of independently generated datasets.
-func openSource(name string, cfg config) (exsample.Source, *exsample.ShardedSource, error) {
+// composition of independently generated datasets, each shard routed to
+// its own backend (or all to the shared external client).
+func openSource(name string, cfg config, shared *httpbatch.Client) (exsample.Source, *exsample.ShardedSource, []backendStat, []func(), error) {
+	var stats []backendStat
+	var stops []func()
+	open := func(i int) (*exsample.Dataset, error) {
+		ds, client, stop, err := openShard(name, cfg.seed+uint64(i)*1000, cfg, shared)
+		if err != nil {
+			return nil, err
+		}
+		if client != nil && client != shared {
+			stats = append(stats, backendStat{profile: name, shard: i, client: client})
+		}
+		if stop != nil {
+			stops = append(stops, stop)
+		}
+		return ds, nil
+	}
 	if cfg.shards <= 1 {
-		ds, err := exsample.OpenProfile(name, cfg.scale, cfg.seed)
-		return ds, nil, err
+		ds, err := open(0)
+		return ds, nil, stats, stops, err
 	}
 	shards := make([]*exsample.Dataset, cfg.shards)
 	for i := range shards {
-		ds, err := exsample.OpenProfile(name, cfg.scale, cfg.seed+uint64(i)*1000)
+		ds, err := open(i)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, stats, stops, err
 		}
 		shards[i] = ds
 	}
 	ss, err := exsample.NewShardedSource(name, shards...)
-	return ss, ss, err
+	return ss, ss, stats, stops, err
 }
 
 // run opens the sources, fans the queries out over the engine and renders
-// the throughput, shard and cache tables.
+// the throughput, shard, backend and cache tables.
 func run(w io.Writer, cfg config) error {
 	if cfg.queries < 1 {
 		return fmt.Errorf("need at least one query, got %d", cfg.queries)
@@ -94,21 +190,46 @@ func run(w io.Writer, cfg config) error {
 	if cfg.shards < 1 {
 		return fmt.Errorf("need at least one shard per profile, got %d", cfg.shards)
 	}
+	if cfg.backend == "" {
+		cfg.backend = "sim"
+	}
+	if cfg.backend != "sim" && cfg.backend != "http" {
+		return fmt.Errorf("unknown backend %q (want sim or http)", cfg.backend)
+	}
+	if cfg.endpoint != "" && cfg.backend != "http" {
+		return fmt.Errorf("-endpoint requires -backend http")
+	}
 	type target struct {
 		src   exsample.Source
 		class string
 	}
 	var targets []target
 	var sharded []*exsample.ShardedSource
+	var backends []backendStat
+	// One shared client for an external endpoint, so the configured
+	// per-endpoint concurrency cap holds across every shard and profile.
+	var shared *httpbatch.Client
+	if cfg.backend == "http" && cfg.endpoint != "" {
+		var err error
+		shared, err = httpbatch.New(httpbatch.Config{Endpoint: cfg.endpoint, MaxBatch: 64})
+		if err != nil {
+			return err
+		}
+		backends = append(backends, backendStat{profile: "(all)", shard: -1, client: shared})
+	}
 	for _, name := range cfg.profiles {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		src, ss, err := openSource(name, cfg)
+		src, ss, bstats, stops, err := openSource(name, cfg, shared)
+		for _, stop := range stops {
+			defer stop()
+		}
 		if err != nil {
 			return err
 		}
+		backends = append(backends, bstats...)
 		if ss != nil {
 			sharded = append(sharded, ss)
 		}
@@ -162,8 +283,8 @@ func run(w io.Writer, cfg config) error {
 	}
 	wg.Wait()
 
-	fmt.Fprintf(w, "engine: %d queries, %d workers, %d frames/round, %d shard(s)/profile\n\n",
-		cfg.queries, cfg.workers, cfg.round, cfg.shards)
+	fmt.Fprintf(w, "engine: %d queries, %d workers, %d frames/round, %d shard(s)/profile, %s backend\n\n",
+		cfg.queries, cfg.workers, cfg.round, cfg.shards, cfg.backend)
 	fmt.Fprintf(w, "%-3s %-12s %-14s %8s %8s %8s %10s %10s\n",
 		"#", "dataset", "class", "found", "frames", "hits", "charged-s", "frames/s")
 	var totalFrames int64
@@ -181,20 +302,40 @@ func run(w io.Writer, cfg config) error {
 			o.rep.FramesProcessed, o.rep.CacheHits, o.rep.TotalSeconds(), perSec)
 	}
 	wall := time.Since(start)
-	fmt.Fprintf(w, "\ntotal: %d detector frames in %v wall (%.0f frames/s aggregate)\n",
-		totalFrames, wall.Round(time.Millisecond), float64(totalFrames)/wall.Seconds())
+	st := eng.Stats()
+	fmt.Fprintf(w, "\ntotal: %d detector frames in %v wall (%.0f frames/s aggregate); %d rounds, %d detect batches\n",
+		totalFrames, wall.Round(time.Millisecond), float64(totalFrames)/wall.Seconds(),
+		st.Rounds, st.Batches)
 
 	for _, ss := range sharded {
 		fmt.Fprintf(w, "\nshards of %s:\n", ss.Name())
 		fmt.Fprintf(w, "%-3s %8s %10s\n", "#", "frames", "detects")
-		for _, st := range ss.ShardStats() {
-			fmt.Fprintf(w, "%-3d %8d %10d\n", st.Shard, st.NumFrames, st.DetectCalls)
+		for _, sst := range ss.ShardStats() {
+			fmt.Fprintf(w, "%-3d %8d %10d\n", sst.Shard, sst.NumFrames, sst.DetectCalls)
+		}
+	}
+	if len(backends) > 0 {
+		fmt.Fprintf(w, "\nbackend (httpbatch):\n")
+		fmt.Fprintf(w, "%-12s %-5s %8s %8s %9s %8s %10s\n",
+			"dataset", "shard", "batches", "frames", "avg-batch", "retries", "server-s")
+		for _, b := range backends {
+			cs := b.client.Stats()
+			avg := 0.0
+			if cs.Batches > 0 {
+				avg = float64(cs.Frames) / float64(cs.Batches)
+			}
+			shard := fmt.Sprintf("%d", b.shard)
+			if b.shard < 0 {
+				shard = "all" // shared external endpoint
+			}
+			fmt.Fprintf(w, "%-12s %-5s %8d %8d %9.1f %8d %10.2f\n",
+				b.profile, shard, cs.Batches, cs.Frames, avg, cs.Retries, cs.ServerSeconds)
 		}
 	}
 	if cfg.cache > 0 {
-		st := eng.CacheStats()
+		cst := eng.CacheStats()
 		fmt.Fprintf(w, "\ncache: %d entries, %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
-			st.Entries, st.Hits, st.Misses, st.HitRate()*100, st.Evictions)
+			cst.Entries, cst.Hits, cst.Misses, cst.HitRate()*100, cst.Evictions)
 	}
 	return nil
 }

@@ -56,6 +56,33 @@ func TestRunShardedWithCache(t *testing.T) {
 	}
 }
 
+func TestRunHTTPBackendLoopback(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig([]string{"dashcam"}, 4, 5)
+	cfg.backend = "http"
+	cfg.shards = 2
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "http backend") {
+		t.Fatalf("missing backend header:\n%s", out)
+	}
+	if !strings.Contains(out, "backend (httpbatch):") {
+		t.Fatalf("missing backend table:\n%s", out)
+	}
+	if !strings.Contains(out, "avg-batch") || !strings.Contains(out, "server-s") {
+		t.Fatalf("missing batch/latency columns:\n%s", out)
+	}
+	if !strings.Contains(out, "detect batches") {
+		t.Fatalf("missing engine batch counter:\n%s", out)
+	}
+	// Two shards → two per-shard endpoint rows.
+	if got := strings.Count(out, "dashcam      "); got < 2 {
+		t.Fatalf("want 2 backend rows, table:\n%s", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, testConfig([]string{"nonexistent"}, 2, 5)); err == nil {
@@ -74,5 +101,15 @@ func TestRunErrors(t *testing.T) {
 	bad.shards = 0
 	if err := run(&buf, bad); err == nil {
 		t.Error("zero shards accepted")
+	}
+	bad = testConfig([]string{"dashcam"}, 1, 5)
+	bad.backend = "grpc"
+	if err := run(&buf, bad); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	bad = testConfig([]string{"dashcam"}, 1, 5)
+	bad.endpoint = "http://example.invalid"
+	if err := run(&buf, bad); err == nil {
+		t.Error("-endpoint without -backend http accepted")
 	}
 }

@@ -1,9 +1,11 @@
 package exsample
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/exsample/exsample/backend"
 	"github.com/exsample/exsample/internal/baseline"
 	"github.com/exsample/exsample/internal/costmodel"
 	"github.com/exsample/exsample/internal/datasets"
@@ -30,6 +32,9 @@ type Dataset struct {
 	// failAfter > 0 injects a detector outage after that many calls per
 	// search (failure-injection testing).
 	failAfter int64
+	// be is the attached custom detector backend; nil runs the simulated
+	// detector (the default Backend).
+	be backend.Backend
 	// qs is the dataset's query-pipeline plumbing, built after options are
 	// applied (see Source).
 	qs *querySource
@@ -90,6 +95,34 @@ func WithDetectorFailureAfter(n int64) DatasetOption {
 	return func(d *Dataset) { d.failAfter = n }
 }
 
+// WithBackend attaches a custom detector backend: every query against the
+// dataset runs its inference through b instead of the simulated detector.
+// The sampler, discriminator and cost accounting are unchanged — the
+// backend is the paper's black box, and the pipeline charges whatever cost
+// it reports (Hints().CostSeconds per frame, or the measured per-call cost
+// for backend.BatchCoster implementations such as httpbatch).
+//
+// In a ShardedSource each shard keeps its own backend, so a fleet can route
+// every shard to its own endpoint. Backends used with the Engine's memo
+// cache must be deterministic per (class, frame); see the backend package's
+// determinism caveat.
+func WithBackend(b backend.Backend) DatasetOption {
+	return func(d *Dataset) { d.be = b }
+}
+
+// Backend returns the dataset's detector as a public backend.Backend: the
+// attached custom backend when one was configured, otherwise the simulated
+// detector behind the default adapter. Serving the returned backend over
+// backend/httpbatch.Handler turns the dataset into a remote detection
+// endpoint — the loopback setup the end-to-end tests and exserve's
+// -backend http mode use.
+func (d *Dataset) Backend() backend.Backend {
+	if d.be != nil {
+		return d.be
+	}
+	return &simBackend{d: d}
+}
+
 // ProfileNames lists the built-in dataset profiles (the paper's six
 // evaluation datasets).
 func ProfileNames() []string {
@@ -139,9 +172,7 @@ func newDataset(inner *datasets.Dataset, seed uint64, opts ...DatasetOption) *Da
 		decodeCost:  d.dec.Cost,
 		scanSeconds: func(start, end int64) float64 { return d.cost.ScanSeconds(end - start) },
 		groundTruth: d.GroundTruthCount,
-		newDetector: func(class string) (detect.Detector, error) {
-			return d.newDetector(Query{Class: class})
-		},
+		newDetector: d.newBatchDetector,
 		newExtender: func(coverage float64) (discrim.Extender, error) {
 			return discrim.NewTruthExtender(d.inner.Index, coverage)
 		},
@@ -156,9 +187,30 @@ func newDataset(inner *datasets.Dataset, seed uint64, opts ...DatasetOption) *Da
 	return d
 }
 
-// newDetector builds the per-query simulated detector — the single
-// construction point shared by Search, Session, Engine and NewDetector —
-// applying the failure-injection wrapper when configured.
+// newBatchDetector builds the per-query batched detector — the single
+// construction point shared by Search, Session and Engine. With a custom
+// backend attached it adapts the backend for the query's class; otherwise
+// it wraps a fresh simulated detector. Failure injection
+// (WithDetectorFailureAfter) stays per-query on both paths: the simulated
+// detector is wrapped inside newDetector, a custom backend by the batch
+// adapter's own outage wrapper.
+func (d *Dataset) newBatchDetector(class string) (detect.BatchDetector, error) {
+	if d.be != nil {
+		var bd detect.BatchDetector = newBackendDetector(d.be, class)
+		if d.failAfter > 0 {
+			bd = &detect.FailAfterBatch{Inner: bd, Limit: d.failAfter}
+		}
+		return bd, nil
+	}
+	det, err := d.newDetector(Query{Class: class})
+	if err != nil {
+		return nil, err
+	}
+	return detect.Batch(det), nil
+}
+
+// newDetector builds the per-query simulated detector, applying the
+// failure-injection wrapper when configured.
 func (d *Dataset) newDetector(q Query) (detect.Detector, error) {
 	sim, err := detect.NewSim(d.inner.Index, d.seed^0xdecade,
 		detect.WithClass(q.Class),
@@ -296,47 +348,57 @@ func (d *Dataset) ScanSeconds() float64 {
 // NumShards implements Source: a local dataset is a single shard.
 func (d *Dataset) NumShards() int { return 1 }
 
-// querySource implements Source.
-func (d *Dataset) querySource() *querySource { return d.qs }
-
-// compile-time check that the simulated detector satisfies the public
-// Detector contract via the adapter below.
-var _ Detector = (*simDetectorAdapter)(nil)
-
-// simDetectorAdapter exposes an internal detector through the public
-// Detector interface (used by examples that want direct detector access).
-type simDetectorAdapter struct {
-	inner detect.Detector
+// querySource implements Source. It is nil-receiver-safe and returns nil
+// for a zero-value Dataset, so the pipeline can reject uninitialized
+// sources with a clear error instead of a panic.
+func (d *Dataset) querySource() *querySource {
+	if d == nil {
+		return nil
+	}
+	return d.qs
 }
 
-// NewDetector returns a standalone simulated detector for the dataset,
-// restricted to one class. It is the same detector Search uses internally,
+// compile-time check that the pipeline detector satisfies the public
+// Detector contract via the adapter below.
+var _ Detector = (*frameDetectorAdapter)(nil)
+
+// frameDetectorAdapter exposes the batched pipeline detector through the
+// public per-frame Detector interface (used by examples that want direct
+// detector access).
+type frameDetectorAdapter struct {
+	inner detect.BatchDetector
+	cost  float64
+}
+
+// NewDetector returns a standalone per-frame detector for the dataset,
+// restricted to one class: the attached custom backend when one was
+// configured, otherwise the same simulated detector Search uses internally,
 // including any configured failure injection.
 func (d *Dataset) NewDetector(class string) (Detector, error) {
 	if _, err := d.GroundTruthCount(class); err != nil {
 		return nil, err
 	}
-	inner, err := d.newDetector(Query{Class: class})
+	inner, err := d.newBatchDetector(class)
 	if err != nil {
 		return nil, err
 	}
-	return &simDetectorAdapter{inner: inner}, nil
+	cost := 1 / d.cost.DetectFPS
+	if d.be != nil {
+		cost = d.be.Hints().CostSeconds
+	}
+	return &frameDetectorAdapter{inner: inner, cost: cost}, nil
 }
 
-// Detect implements Detector.
-func (a *simDetectorAdapter) Detect(frame int64) []Detection {
-	dets := a.inner.Detect(frame)
-	out := make([]Detection, len(dets))
-	for i, det := range dets {
-		out[i] = Detection{
-			Frame: det.Frame,
-			Class: det.Class,
-			Box:   Box{det.Box.X1, det.Box.Y1, det.Box.X2, det.Box.Y2},
-			Score: det.Score,
-		}
+// Detect implements Detector. A backend error (network failure, timeout)
+// surfaces as no detections — the per-frame interface has no error channel;
+// use Backend().DetectBatch for error-aware access.
+func (a *frameDetectorAdapter) Detect(frame int64) []Detection {
+	outs, err := a.inner.DetectBatch(context.Background(), []int64{frame})
+	if err != nil || len(outs) != 1 {
+		return nil
 	}
-	return out
+	return trackToBackend(outs[0].Dets)
 }
 
 // CostSeconds implements Detector.
-func (a *simDetectorAdapter) CostSeconds() float64 { return a.inner.CostSeconds() }
+func (a *frameDetectorAdapter) CostSeconds() float64 { return a.cost }

@@ -13,10 +13,14 @@ import (
 
 // EngineOptions configures a concurrent query engine.
 type EngineOptions struct {
-	// Workers bounds concurrent detector invocations across every query
-	// the engine is running (default GOMAXPROCS). This is the knob that
-	// models the shared GPU budget: however many queries are in flight,
-	// at most Workers frames are being inferred at once.
+	// Workers bounds concurrent DetectBatch calls across every query the
+	// engine is running (default GOMAXPROCS). This is the knob that models
+	// the shared GPU budget: however many queries are in flight, at most
+	// Workers inference batches — one per (query, shard-affinity) group
+	// per round, each up to FramesPerRound frames — are outstanding at
+	// once. Frames within a batch are the backend's to parallelize, like a
+	// GPU batch; concurrency across queries and shards comes from the
+	// pool.
 	Workers int
 	// FramesPerRound is each query's detector quota per scheduling round
 	// (default 1). Every active query receives the same quota, which makes
@@ -147,16 +151,21 @@ func (e *Engine) CacheStats() CacheStats {
 type EngineStats struct {
 	// Rounds is the number of completed scheduling rounds.
 	Rounds int64
-	// DetectCalls is the number of detector tasks dispatched to the pool
+	// DetectCalls is the number of detector frames dispatched to the pool
 	// (memo-cache hits included — the scheduler dispatches them the same;
-	// the hit is resolved inside the task).
+	// the hit is resolved inside the batch).
 	DetectCalls int64
+	// Batches is the number of DetectBatch group calls issued: one per
+	// (query, shard-affinity) group per round, however many frames the
+	// group carried. Batches ≤ DetectCalls; the ratio is the realized
+	// inference batch size.
+	Batches int64
 }
 
 // Stats snapshots the engine's scheduler counters.
 func (e *Engine) Stats() EngineStats {
-	rounds, detects := e.inner.Counters()
-	return EngineStats{Rounds: rounds, DetectCalls: detects}
+	rounds, detects, batches := e.inner.Counters()
+	return EngineStats{Rounds: rounds, DetectCalls: detects, Batches: batches}
 }
 
 // Submit registers a query against a source — a local Dataset or a
@@ -300,7 +309,7 @@ func (h *QueryHandle) emit(info StepInfo) {
 
 // engineQuery adapts a queryRun to the internal scheduler's Query
 // interface. Propose/Apply/Done/Finalize run on the scheduler goroutine;
-// Detect runs on pool workers.
+// DetectBatch runs on pool workers.
 type engineQuery struct {
 	run     *queryRun
 	ctx     context.Context
@@ -326,8 +335,20 @@ func (q *engineQuery) Propose(max int) []int64 {
 	return frames
 }
 
-func (q *engineQuery) Detect(frame int64) any {
-	return q.run.detect(frame)
+// DetectBatch runs one affinity group's frames through the query's batched
+// detector — memo cache consulted first, the misses issued as a single
+// backend call — under the query's own context, so a cancellation mid-batch
+// aborts the call and surfaces through QueryHandle.Wait.
+func (q *engineQuery) DetectBatch(frames []int64) ([]any, error) {
+	results, err := q.run.detectBatch(q.ctx, frames)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, len(results))
+	for i := range results {
+		out[i] = results[i]
+	}
+	return out, nil
 }
 
 // AffinityKey implements engine.Affine: frames of the same (source, shard)

@@ -228,6 +228,51 @@ func TestEngineCancellationMidQuery(t *testing.T) {
 	}
 }
 
+func TestEngineEventOverflowNeverStallsScheduler(t *testing.T) {
+	// A consumer that never drains a 1-slot event buffer: the scheduler
+	// must keep running at full speed (the query completes), overflow must
+	// be counted on Dropped, and the final Report must be complete and
+	// byte-identical to an unthrottled run — event loss is lossy telemetry,
+	// never lost work.
+	ds := smallDataset(t, WithPerfectDetector())
+	q := Query{Class: "car", Limit: 30}
+	opts := Options{Seed: 17}
+
+	want, err := ds.Search(q, Options{Seed: 17, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := newTestEngine(t, EngineOptions{Workers: 2, FramesPerRound: 4, EventBuffer: 1})
+	h, err := e.Submit(context.Background(), ds, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately do not read h.Events() until the query is done.
+	rep, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, rep) {
+		t.Fatalf("report degraded by a slow consumer: frames %d vs %d, results %d vs %d",
+			rep.FramesProcessed, want.FramesProcessed, len(rep.Results), len(want.Results))
+	}
+	if h.Dropped() == 0 {
+		t.Fatalf("no events dropped with buffer 1 over %d frames", rep.FramesProcessed)
+	}
+	var delivered int64
+	for range h.Events() {
+		delivered++
+	}
+	if delivered > 1 {
+		t.Fatalf("%d events buffered in a 1-slot channel", delivered)
+	}
+	if delivered+h.Dropped() != rep.FramesProcessed {
+		t.Fatalf("delivered %d + dropped %d != %d frames processed",
+			delivered, h.Dropped(), rep.FramesProcessed)
+	}
+}
+
 func TestEngineEventsStreamComplete(t *testing.T) {
 	ds := smallDataset(t, WithPerfectDetector())
 	e := newTestEngine(t, EngineOptions{Workers: 2, FramesPerRound: 4, EventBuffer: 1 << 16})

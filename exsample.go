@@ -78,6 +78,24 @@
 // queries stop paying for duplicate inference, with hits charged
 // decode-only cost and Results unchanged from an uncached run.
 //
+// # Pluggable detector backends
+//
+// The detector is pluggable: the backend package defines the public
+// batched, context-aware Backend contract, WithBackend attaches an
+// implementation to a Dataset at open time (per shard in a ShardedSource,
+// so each shard can route to its own endpoint), and backend/httpbatch
+// ships a production-shaped remote HTTP batch client:
+//
+//	client, err := httpbatch.New(httpbatch.Config{Endpoint: "http://gpu-7:8080/detect"})
+//	if err != nil { ... }
+//	ds, err := exsample.OpenProfile("dashcam", 0.1, 42, exsample.WithBackend(client))
+//
+// The engine dispatches each scheduling round as one DetectBatch call per
+// shard-affinity group — the access pattern a real GPU fleet wants — and
+// charges the cost the backend reports. The simulated detector is just the
+// default Backend behind an adapter; Dataset.Backend exposes it, and
+// httpbatch.Handler serves any Backend over the wire protocol.
+//
 // The package ships six synthetic dataset profiles mirroring the paper's
 // evaluation datasets, a simulated object detector and SORT-style
 // discriminator (real video and DNN inference are out of scope — the
@@ -90,26 +108,19 @@ package exsample
 import (
 	"fmt"
 
+	"github.com/exsample/exsample/backend"
 	"github.com/exsample/exsample/internal/core"
 )
 
 // Box is an axis-aligned bounding box in pixel coordinates; (X1, Y1) is the
-// top-left corner.
-type Box struct {
-	X1, Y1, X2, Y2 float64
-}
+// top-left corner. It is an alias of the backend package's stable wire
+// type, so detections cross the public Backend API without conversion.
+type Box = backend.Box
 
-// Detection is one object detector output on a frame.
-type Detection struct {
-	// Frame is the global frame index the detection was computed on.
-	Frame int64
-	// Class is the detected object class.
-	Class string
-	// Box is the detected bounding box.
-	Box Box
-	// Score is the detector confidence in [0, 1].
-	Score float64
-}
+// Detection is one object detector output on a frame — an alias of the
+// backend package's stable wire type (see backend.Detection for the field
+// contract, including TruthID's -1-when-unknown convention).
+type Detection = backend.Detection
 
 // Detector is the black-box object detector contract: given a frame index it
 // returns detections, and it charges a fixed cost per invocation. Samplers

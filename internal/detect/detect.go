@@ -15,6 +15,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -29,6 +30,50 @@ type Detector interface {
 	Detect(frame int64) []track.Detection
 	// CostSeconds returns the inference time charged per frame.
 	CostSeconds() float64
+}
+
+// FrameOutput is one frame's detector output plus the inference cost
+// charged for it. Frame-dependent costs (a sharded detector over shards
+// with different throughputs) are expressed here, per output, rather than
+// through a side-channel on the detector.
+type FrameOutput struct {
+	Dets []track.Detection
+	Cost float64
+}
+
+// BatchDetector is the batched, context-aware detector contract the query
+// pipeline runs on. One call covers many frames — the shape a real batch
+// endpoint (GPU server, remote HTTP fleet) wants — and the call honors ctx:
+// a cancellation mid-batch abandons the remaining frames and returns ctx's
+// error. Implementations must be safe for concurrent use; batches for
+// different shards (or different queries) run concurrently on the engine's
+// worker pool.
+type BatchDetector interface {
+	// DetectBatch runs the detector on every frame of the batch and
+	// returns one output per frame, aligned with frames.
+	DetectBatch(ctx context.Context, frames []int64) ([]FrameOutput, error)
+}
+
+// Batch adapts a per-frame Detector to the BatchDetector contract: frames
+// run sequentially with a context check between them, each charged the
+// detector's CostSeconds.
+func Batch(d Detector) BatchDetector { return &batchAdapter{inner: d} }
+
+type batchAdapter struct {
+	inner Detector
+}
+
+// DetectBatch implements BatchDetector over the wrapped per-frame detector.
+func (a *batchAdapter) DetectBatch(ctx context.Context, frames []int64) ([]FrameOutput, error) {
+	cost := a.inner.CostSeconds()
+	out := make([]FrameOutput, len(frames))
+	for i, frame := range frames {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = FrameOutput{Dets: a.inner.Detect(frame), Cost: cost}
+	}
+	return out, nil
 }
 
 // NoiseModel controls how far the simulated detector deviates from ground
@@ -288,3 +333,29 @@ func (f *FailAfter) Detect(frame int64) []track.Detection {
 
 // CostSeconds returns the inner detector's per-frame cost.
 func (f *FailAfter) CostSeconds() float64 { return f.Inner.CostSeconds() }
+
+// FailAfterBatch is FailAfter for the batched contract: frames past the
+// Limit-th processed frame return no detections (their cost is still
+// charged — a degraded detector keeps burning inference time). It is how
+// failure injection composes with custom backends. Safe for concurrent
+// use.
+type FailAfterBatch struct {
+	Inner BatchDetector
+	Limit int64
+	calls atomic.Int64
+}
+
+// DetectBatch forwards to the inner detector, then blanks the detections
+// of every frame beyond the limit.
+func (f *FailAfterBatch) DetectBatch(ctx context.Context, frames []int64) ([]FrameOutput, error) {
+	outs, err := f.Inner.DetectBatch(ctx, frames)
+	if err != nil {
+		return nil, err
+	}
+	for i := range outs {
+		if f.calls.Add(1) > f.Limit {
+			outs[i].Dets = nil
+		}
+	}
+	return outs, nil
+}

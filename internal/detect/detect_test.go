@@ -1,6 +1,8 @@
 package detect
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"github.com/exsample/exsample/internal/geom"
@@ -255,5 +257,44 @@ func TestCallsCounter(t *testing.T) {
 	d.Detect(1)
 	if d.Calls() != 2 {
 		t.Fatalf("Calls = %d", d.Calls())
+	}
+}
+
+func TestBatchAdapterAlignsOutputsAndCosts(t *testing.T) {
+	in := inst(0, "car", 0, 999)
+	idx := buildIndex(t, []track.Instance{in}, 1000)
+	d, err := Perfect(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames := []int64{5, 300, 7}
+	outs, err := Batch(d).DetectBatch(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(frames) {
+		t.Fatalf("got %d outputs for %d frames", len(outs), len(frames))
+	}
+	for i, fo := range outs {
+		if fo.Cost != d.CostSeconds() {
+			t.Fatalf("frame %d charged %v, want %v", frames[i], fo.Cost, d.CostSeconds())
+		}
+		if len(fo.Dets) != 1 || fo.Dets[0].Frame != frames[i] {
+			t.Fatalf("frame %d: wrong detections %+v", frames[i], fo.Dets)
+		}
+	}
+}
+
+func TestBatchAdapterHonorsContext(t *testing.T) {
+	idx := buildIndex(t, nil, 10)
+	d, err := Perfect(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Batch(d).DetectBatch(ctx, []int64{1, 2, 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

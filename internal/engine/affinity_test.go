@@ -123,8 +123,40 @@ func TestAffinityGroupingPreservesNonAffineOrder(t *testing.T) {
 	if aff.applied != 20 || plain.applied != 20 {
 		t.Fatalf("applied %d and %d of 20 frames", aff.applied, plain.applied)
 	}
-	rounds, detects := e.Counters()
+	rounds, detects, batches := e.Counters()
 	if rounds == 0 || detects != 40 {
 		t.Fatalf("counters: %d rounds, %d detects (want 40)", rounds, detects)
+	}
+	if batches >= detects {
+		t.Fatalf("batches %d not smaller than detects %d: grouping issued per-frame calls", batches, detects)
+	}
+}
+
+func TestRoundIssuesOneDetectBatchPerAffinityGroup(t *testing.T) {
+	// An affine query alternating between two shards at 8 frames/round
+	// must see exactly 2 DetectBatch calls per round — one per shard
+	// group, each carrying that shard's 4 frames — not 8 per-frame calls.
+	e := New(Config{Workers: 2, FramesPerRound: 8})
+	defer e.Close()
+
+	rec := &detectRecorder{}
+	q := newAffineQuery(3, 32, rec)
+	h, err := e.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// 32 frames at 8/round = 4 rounds × 2 shard groups.
+	if got := q.batchCalls.Load(); got != 8 {
+		t.Fatalf("DetectBatch called %d times, want 8 (2 groups × 4 rounds)", got)
+	}
+	if got := q.batchFrames.Load(); got != 32 {
+		t.Fatalf("DetectBatch covered %d frames, want 32", got)
+	}
+	_, detects, batches := e.Counters()
+	if detects != 32 || batches != 8 {
+		t.Fatalf("counters: %d detects, %d batches (want 32/8)", detects, batches)
 	}
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,9 +10,9 @@ import (
 
 // Query is one schedulable unit of work: a distinct-object query whose
 // expensive detector calls the engine wants to batch with everybody else's.
-// All methods except Detect are called only from the engine's scheduler
-// goroutine; Detect runs on pool workers and must be safe for concurrent
-// use (the paper's stateless black-box detector contract).
+// All methods except DetectBatch are called only from the engine's
+// scheduler goroutine; DetectBatch runs on pool workers and must be safe
+// for concurrent use (the paper's stateless black-box detector contract).
 type Query interface {
 	// Done reports whether the query wants to stop (budget reached,
 	// context cancelled). The engine checks it at every round boundary.
@@ -20,9 +21,12 @@ type Query interface {
 	// drawn by the query's own sampling strategy. Returning an empty slice
 	// means the repository is exhausted and the query is finalized.
 	Propose(max int) []int64
-	// Detect runs the detector on one proposed frame and returns an opaque
-	// result. It must be concurrency-safe and deterministic per frame.
-	Detect(frame int64) any
+	// DetectBatch runs the detector on a group of this round's proposed
+	// frames — one affinity group per call — and returns one opaque result
+	// per frame, aligned with frames. It must be concurrency-safe and
+	// deterministic per frame. An error finalizes the query with
+	// ReasonError; none of the round's results are applied.
+	DetectBatch(frames []int64) ([]any, error)
 	// Apply consumes one frame's detector output. Calls arrive in propose
 	// order on the scheduler goroutine, so the query's discriminator and
 	// sampler bookkeeping see exactly the sequence a standalone run would.
@@ -36,12 +40,12 @@ type Query interface {
 
 // Affine is an optional Query refinement for sharded sources: frames that
 // live on the same shard report the same affinity key, and the scheduler
-// stably groups each round's detect batch by key so one shard's frames run
-// adjacently on the pool — the access pattern a real per-shard batch
-// endpoint wants. Grouping only reorders work *within* a round (every
-// proposed frame still runs that round, and results are still applied in
-// propose order), so it cannot starve a shard or a query, and it never
-// affects query results.
+// dispatches each round's frames as one DetectBatch call per (query, key)
+// group, with same-key groups adjacent on the pool — the access pattern a
+// real per-shard batch endpoint wants. Grouping only reorders work
+// *within* a round (every proposed frame still runs that round, and
+// results are still applied in propose order), so it cannot starve a shard
+// or a query, and it never affects query results.
 type Affine interface {
 	// AffinityKey returns the grouping key for a frame. Keys are opaque;
 	// only equality matters, but implementations should make keys unique
@@ -85,8 +89,9 @@ func (r Reason) String() string {
 
 // Config parameterizes an Engine.
 type Config struct {
-	// Workers bounds concurrent Detect calls across all queries
-	// (default 1).
+	// Workers bounds concurrent DetectBatch calls across all queries
+	// (default 1). Each call carries one (query, affinity-key) group of a
+	// round's frames.
 	Workers int
 	// FramesPerRound is each query's per-round detector quota (default 1).
 	// Every active query gets the same quota, which is what makes
@@ -123,6 +128,7 @@ type Engine struct {
 
 	rounds  atomic.Int64
 	detects atomic.Int64
+	batches atomic.Int64
 
 	loopDone chan struct{}
 }
@@ -142,10 +148,10 @@ func New(cfg Config) *Engine {
 // Workers returns the detector concurrency bound.
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
-// Counters returns the number of completed scheduling rounds and detector
-// tasks dispatched so far.
-func (e *Engine) Counters() (rounds, detects int64) {
-	return e.rounds.Load(), e.detects.Load()
+// Counters returns the number of completed scheduling rounds, detector
+// frames dispatched, and DetectBatch group calls issued so far.
+func (e *Engine) Counters() (rounds, detects, batches int64) {
+	return e.rounds.Load(), e.detects.Load(), e.batches.Load()
 }
 
 // Submit registers a query and returns its handle. The query starts
@@ -199,14 +205,16 @@ func (e *Engine) loop() {
 }
 
 // runRound executes one scheduling round over a snapshot of the active
-// queries: propose, batch-detect on the pool, apply in order.
+// queries: propose, dispatch one DetectBatch per affinity group on the
+// pool, apply in order.
 func (e *Engine) runRound(round []*Handle) {
 	type job struct {
 		h      *Handle
 		frames []int64
 		dets   []any
+		err    error // first detect-group error, in group order
 	}
-	var jobs []job
+	var jobs []*job
 	for _, h := range round {
 		if h.cancelled.Load() {
 			e.finalize(h, ReasonCancelled, nil)
@@ -221,53 +229,102 @@ func (e *Engine) runRound(round []*Handle) {
 			e.finalize(h, ReasonExhausted, nil)
 			continue
 		}
-		jobs = append(jobs, job{h: h, frames: frames, dets: make([]any, len(frames))})
+		jobs = append(jobs, &job{h: h, frames: frames, dets: make([]any, len(frames))})
 	}
 
-	// Build the round's inference batch, grouping by shard-affinity key
-	// when queries expose one: a stable sort keeps propose order within a
-	// key (and between non-affine queries, which all share key 0), so
-	// grouping reorders execution but never results. Rounds whose tasks
-	// all share one key — the common single-source case — skip the sort.
-	var tasks []func()
-	var keys []uint64
+	// Carve each job's frames into affinity groups — maximal same-key
+	// frame sets, in propose order — and dispatch every group as ONE
+	// DetectBatch call on the pool. A stable sort of the groups by key
+	// puts one shard's groups adjacent across queries (the access pattern
+	// a per-shard batch endpoint wants) while preserving propose order
+	// within a key; rounds whose frames all share one key — the common
+	// single-source case — skip the sort.
+	type group struct {
+		j      *job
+		key    uint64
+		frames []int64
+		idx    []int // positions in j.frames / j.dets
+		err    error
+	}
+	var groups []*group
+	var frameCount int64
 	grouped := false
-	for ji := range jobs {
-		j := &jobs[ji]
+	for _, j := range jobs {
 		aff, ok := j.h.q.(Affine)
+		first := len(groups) // this job's groups start here
 		for i, frame := range j.frames {
-			i, frame, q, dets := i, frame, j.h.q, j.dets
 			var key uint64
 			if ok {
 				key = aff.AffinityKey(frame)
 			}
-			if len(keys) > 0 && key != keys[len(keys)-1] {
-				grouped = true
+			var g *group
+			for _, cand := range groups[first:] {
+				if cand.key == key {
+					g = cand
+					break
+				}
 			}
-			tasks = append(tasks, func() { dets[i] = q.Detect(frame) })
-			keys = append(keys, key)
+			if g == nil {
+				g = &group{j: j, key: key}
+				groups = append(groups, g)
+			}
+			g.frames = append(g.frames, frame)
+			g.idx = append(g.idx, i)
+		}
+		frameCount += int64(len(j.frames))
+	}
+	for i := 1; i < len(groups); i++ {
+		if groups[i].key != groups[i-1].key {
+			grouped = true
+			break
 		}
 	}
+	created := groups
 	if grouped {
-		idx := make([]int, len(tasks))
-		for i := range idx {
-			idx[i] = i
+		groups = append([]*group(nil), created...)
+		sort.SliceStable(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
+	}
+	tasks := make([]func(), len(groups))
+	for i, g := range groups {
+		g := g
+		tasks[i] = func() {
+			dets, err := g.j.h.q.DetectBatch(g.frames)
+			if err == nil && len(dets) != len(g.frames) {
+				err = fmt.Errorf("engine: DetectBatch returned %d results for a %d-frame group", len(dets), len(g.frames))
+			}
+			if err != nil {
+				g.err = err
+				return
+			}
+			for k, i := range g.idx {
+				g.j.dets[i] = dets[k]
+			}
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
-		ordered := make([]func(), len(tasks))
-		for i, t := range idx {
-			ordered[i] = tasks[t]
-		}
-		tasks = ordered
 	}
 	e.pool.Do(tasks)
 	e.rounds.Add(1)
-	e.detects.Add(int64(len(tasks)))
+	e.batches.Add(int64(len(groups)))
+	e.detects.Add(frameCount)
 
-	for ji := range jobs {
-		j := &jobs[ji]
+	// Propagate group errors to their jobs deterministically: the first
+	// failed group in creation (propose) order wins.
+	for _, g := range created {
+		if g.err != nil && g.j.err == nil {
+			g.j.err = g.err
+		}
+	}
+
+	for _, j := range jobs {
 		if j.h.cancelled.Load() {
 			e.finalize(j.h, ReasonCancelled, nil)
+			continue
+		}
+		if j.err != nil {
+			// A failed detector batch poisons the whole round for the
+			// query: none of the round's results are applied, so the
+			// query's partial state stays consistent at the previous
+			// round boundary.
+			e.finalize(j.h, ReasonError, j.err)
 			continue
 		}
 		for i, frame := range j.frames {

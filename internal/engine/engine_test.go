@@ -17,9 +17,12 @@ type fakeQuery struct {
 	doneAfter int64 // Apply returns done once applied reaches this (0 = never)
 	finalized atomic.Int32
 
-	detect     func(frame int64) any // optional override
-	applyOrder []int64
-	mu         sync.Mutex
+	detect      func(frame int64) any // optional per-frame override
+	detectErr   func(frames []int64) error
+	batchCalls  atomic.Int64
+	batchFrames atomic.Int64
+	applyOrder  []int64
+	mu          sync.Mutex
 }
 
 func (f *fakeQuery) Done() bool { return false }
@@ -33,11 +36,23 @@ func (f *fakeQuery) Propose(max int) []int64 {
 	return frames
 }
 
-func (f *fakeQuery) Detect(frame int64) any {
-	if f.detect != nil {
-		return f.detect(frame)
+func (f *fakeQuery) DetectBatch(frames []int64) ([]any, error) {
+	f.batchCalls.Add(1)
+	f.batchFrames.Add(int64(len(frames)))
+	if f.detectErr != nil {
+		if err := f.detectErr(frames); err != nil {
+			return nil, err
+		}
 	}
-	return frame * 2
+	out := make([]any, len(frames))
+	for i, frame := range frames {
+		if f.detect != nil {
+			out[i] = f.detect(frame)
+		} else {
+			out[i] = frame * 2
+		}
+	}
+	return out, nil
 }
 
 func (f *fakeQuery) Apply(frame int64, dets any) (bool, error) {
@@ -234,6 +249,65 @@ func TestEngineApplyErrorPropagates(t *testing.T) {
 	}
 	if h.Reason() != ReasonError {
 		t.Fatalf("reason = %v, want error", h.Reason())
+	}
+}
+
+func TestEngineDetectBatchErrorPropagates(t *testing.T) {
+	e := New(Config{Workers: 2, FramesPerRound: 4})
+	defer e.Close()
+
+	boom := errors.New("backend down")
+	q := &fakeQuery{total: 100}
+	q.detectErr = func(frames []int64) error {
+		if frames[0] >= 8 { // fail on the third round's group
+			return boom
+		}
+		return nil
+	}
+	h, err := e.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	if h.Reason() != ReasonError {
+		t.Fatalf("reason = %v, want error", h.Reason())
+	}
+	// The failed round's results must not have been applied: exactly the
+	// two clean rounds' frames.
+	if q.applied != 8 {
+		t.Fatalf("applied %d frames, want 8 (failed round discarded)", q.applied)
+	}
+	if q.finalized.Load() != 1 {
+		t.Fatalf("finalized %d times", q.finalized.Load())
+	}
+}
+
+func TestEngineOneBatchPerRoundWithoutAffinity(t *testing.T) {
+	// A non-affine query's whole round is one affinity group, so the
+	// engine must issue exactly one DetectBatch per round, each carrying
+	// the full per-round quota.
+	e := New(Config{Workers: 4, FramesPerRound: 5})
+	defer e.Close()
+
+	q := &fakeQuery{total: 20}
+	h, err := e.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.batchCalls.Load(); got != 4 {
+		t.Fatalf("DetectBatch called %d times for 20 frames at 5/round, want 4", got)
+	}
+	if got := q.batchFrames.Load(); got != 20 {
+		t.Fatalf("DetectBatch covered %d frames, want 20", got)
+	}
+	rounds, detects, batches := e.Counters()
+	if rounds < 4 || detects != 20 || batches != 4 {
+		t.Fatalf("counters: %d rounds, %d detects, %d batches (want ≥4/20/4)", rounds, detects, batches)
 	}
 }
 

@@ -1,6 +1,7 @@
 package exsample
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/exsample/exsample/internal/baseline"
@@ -15,7 +16,7 @@ import (
 )
 
 // queryRun is the incremental step state machine behind Search, Session and
-// Engine: pick a frame (next), run the detector (detect — the only
+// Engine: pick a frame (next), run the detector (detectBatch — the only
 // concurrency-safe method), and feed the detections through the
 // discriminator, cost accounting and sampler bookkeeping (apply). Driving
 // next/detect/apply in a loop IS Algorithm 1 — there is exactly one
@@ -29,18 +30,16 @@ import (
 // cases.
 //
 // Only apply mutates state, and callers must invoke it in pick order from a
-// single goroutine; detect may be fanned out across workers between a batch
-// of next calls and their applies, exactly like batched Search (§III-F).
+// single goroutine; detectBatch may be fanned out across workers between a
+// batch of next calls and their applies, exactly like batched Search
+// (§III-F).
 type queryRun struct {
 	src      *querySource
 	query    Query
 	opts     Options
-	detector detect.Detector
-	// costOf is the per-frame inference cost (frame-dependent for sharded
-	// sources with heterogeneous shards).
-	costOf func(frame int64) float64
-	dis    *discrim.Discriminator
-	curve  *metrics.RecallCurve
+	detector detect.BatchDetector
+	dis      *discrim.Discriminator
+	curve    *metrics.RecallCurve
 	// memo, when non-nil, memoizes detector output across queries; hits
 	// are charged decode-only cost.
 	memo *cache.Cache
@@ -90,7 +89,13 @@ type frameResult struct {
 // injection). Callers are responsible for validating q and opts first
 // (Session deliberately accepts queries without a stopping condition).
 func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun, error) {
+	if s == nil {
+		return nil, fmt.Errorf("exsample: nil Source (open a Dataset or compose a ShardedSource first)")
+	}
 	src := s.querySource()
+	if src == nil {
+		return nil, fmt.Errorf("exsample: uninitialized Source — construct it with OpenProfile, Synthesize or NewShardedSource, not as a zero value")
+	}
 	total, err := src.groundTruth(q.Class)
 	if err != nil {
 		return nil, err
@@ -98,10 +103,6 @@ func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun,
 	detector, err := src.newDetector(q.Class)
 	if err != nil {
 		return nil, err
-	}
-	costOf := func(int64) float64 { return detector.CostSeconds() }
-	if fc, ok := detector.(frameCoster); ok {
-		costOf = fc.FrameCost
 	}
 	coverage := opts.TrackerCoverage
 	if coverage == 0 {
@@ -131,7 +132,6 @@ func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun,
 		query:     q,
 		opts:      opts,
 		detector:  detector,
-		costOf:    costOf,
 		dis:       dis,
 		curve:     curve,
 		memo:      memo,
@@ -416,21 +416,69 @@ func (r *queryRun) next() (pick core.Pick, ok bool) {
 	return core.Pick{Frame: frame, Chunk: -1}, true
 }
 
-// detect runs the detector on one frame, consulting the cross-query memo
-// cache first when enabled. It is safe to call concurrently for different
-// frames of the same run (the detector contract requires concurrency
-// safety; the cache is lock-striped).
-func (r *queryRun) detect(frame int64) frameResult {
-	if r.memo != nil {
+// detectBatch runs the detector on a batch of frames, consulting the
+// cross-query memo cache first when enabled: cache hits are resolved
+// locally and only the misses — as one subsequence, in order — reach the
+// backend in a single DetectBatch call. It is safe to call concurrently
+// for disjoint batches of the same run (the detector contract requires
+// concurrency safety; the cache is lock-striped). ctx cancels the
+// underlying detector call; the error surfaces to the caller with no
+// results applied.
+func (r *queryRun) detectBatch(ctx context.Context, frames []int64) ([]frameResult, error) {
+	out := make([]frameResult, len(frames))
+	if r.memo == nil {
+		// Fast path for uncached runs: the whole batch is one detector
+		// call, no index indirection.
+		outs, err := r.detector.DetectBatch(ctx, frames)
+		if err != nil {
+			return nil, err
+		}
+		if len(outs) != len(frames) {
+			return nil, fmt.Errorf("exsample: detector returned %d results for a %d-frame batch", len(outs), len(frames))
+		}
+		for i, fo := range outs {
+			out[i] = frameResult{dets: fo.Dets, cost: fo.Cost}
+		}
+		return out, nil
+	}
+	var missIdx []int
+	for i, frame := range frames {
 		key := cache.Key{Source: r.src.id, Class: r.query.Class, Frame: frame}
 		if dets, ok := r.memo.Get(key); ok {
-			return frameResult{dets: dets, cached: true}
+			out[i] = frameResult{dets: dets, cached: true}
+		} else {
+			missIdx = append(missIdx, i)
 		}
-		dets := r.detector.Detect(frame)
-		r.memo.Put(key, dets)
-		return frameResult{dets: dets, cost: r.costOf(frame)}
 	}
-	return frameResult{dets: r.detector.Detect(frame), cost: r.costOf(frame)}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	miss := make([]int64, len(missIdx))
+	for k, i := range missIdx {
+		miss[k] = frames[i]
+	}
+	outs, err := r.detector.DetectBatch(ctx, miss)
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) != len(miss) {
+		return nil, fmt.Errorf("exsample: detector returned %d results for a %d-frame batch", len(outs), len(miss))
+	}
+	for k, i := range missIdx {
+		out[i] = frameResult{dets: outs[k].Dets, cost: outs[k].Cost}
+		r.memo.Put(cache.Key{Source: r.src.id, Class: r.query.Class, Frame: frames[i]}, outs[k].Dets)
+	}
+	return out, nil
+}
+
+// detectOne is detectBatch for a single frame — the shape the sequential
+// Search loop and Session's Step use.
+func (r *queryRun) detectOne(ctx context.Context, frame int64) (frameResult, error) {
+	res, err := r.detectBatch(ctx, []int64{frame})
+	if err != nil {
+		return frameResult{}, err
+	}
+	return res[0], nil
 }
 
 // apply charges the frame's decode and inference cost, feeds the detections
@@ -462,7 +510,7 @@ func (r *queryRun) apply(p core.Pick, fr frameResult) (StepInfo, error) {
 			ObjectID: len(rep.Results),
 			Frame:    det.Frame,
 			Class:    det.Class,
-			Box:      Box{det.Box.X1, det.Box.Y1, det.Box.X2, det.Box.Y2},
+			Box:      Box{X1: det.Box.X1, Y1: det.Box.Y1, X2: det.Box.X2, Y2: det.Box.Y2},
 			Score:    det.Score,
 		}
 		rep.Results = append(rep.Results, res)

@@ -1,6 +1,9 @@
 package exsample
 
 import (
+	"context"
+	"sync"
+
 	"github.com/exsample/exsample/internal/core"
 	"github.com/exsample/exsample/internal/engine"
 )
@@ -51,12 +54,17 @@ func SearchSource(src Source, q Query, opts Options) (*Report, error) {
 // runSequential drives the step loop one frame at a time until the query's
 // stopping condition fires or the repository is exhausted.
 func runSequential(run *queryRun) error {
+	ctx := context.Background()
 	for !run.done() {
 		p, ok := run.next()
 		if !ok {
 			break
 		}
-		if _, err := run.apply(p, run.detect(p.Frame)); err != nil {
+		fr, err := run.detectOne(ctx, p.Frame)
+		if err != nil {
+			return err
+		}
+		if _, err := run.apply(p, fr); err != nil {
 			return err
 		}
 	}
@@ -64,10 +72,12 @@ func runSequential(run *queryRun) error {
 }
 
 // runBatched is the §III-F batched loop: draw a whole batch of picks before
-// any of their updates apply, run inference (optionally fanned out over a
-// bounded worker pool — the same pool type that backs the Engine's
-// cross-query batching), then feed the discriminator in pick order.
+// any of their updates apply, run inference as batched detector calls
+// (optionally split across a bounded worker pool — the same pool type that
+// backs the Engine's cross-query batching), then feed the discriminator in
+// pick order.
 func runBatched(run *queryRun, batch, parallelism int) error {
+	ctx := context.Background()
 	var pool *engine.Pool
 	if parallelism > 1 {
 		pool = engine.NewPool(parallelism)
@@ -85,18 +95,49 @@ func runBatched(run *queryRun, batch, parallelism int) error {
 		if len(picks) == 0 {
 			break
 		}
+		frames := make([]int64, len(picks))
+		for i, p := range picks {
+			frames[i] = p.Frame
+		}
 		results := make([]frameResult, len(picks))
 		if pool != nil {
-			tasks := make([]func(), len(picks))
-			for i, p := range picks {
-				i, frame := i, p.Frame
-				tasks[i] = func() { results[i] = run.detect(frame) }
+			// Split the batch into parallelism contiguous sub-batches, one
+			// batched detector call each — same frames, same per-frame
+			// outputs and costs, so results are byte-identical to a single
+			// call.
+			per := (len(picks) + parallelism - 1) / parallelism
+			var tasks []func()
+			var errMu sync.Mutex
+			var firstErr error
+			for start := 0; start < len(picks); start += per {
+				start := start
+				end := start + per
+				if end > len(picks) {
+					end = len(picks)
+				}
+				tasks = append(tasks, func() {
+					sub, err := run.detectBatch(ctx, frames[start:end])
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					copy(results[start:end], sub)
+				})
 			}
 			pool.Do(tasks)
-		} else {
-			for i, p := range picks {
-				results[i] = run.detect(p.Frame)
+			if firstErr != nil {
+				return firstErr
 			}
+		} else {
+			sub, err := run.detectBatch(ctx, frames)
+			if err != nil {
+				return err
+			}
+			copy(results, sub)
 		}
 		for i, p := range picks {
 			if _, err := run.apply(p, results[i]); err != nil {

@@ -1,6 +1,9 @@
 package exsample
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Session is the incremental counterpart to Search: the caller drives the
 // loop one frame at a time and observes results as they stream in. This is
@@ -57,12 +60,18 @@ func (d *Dataset) NewSession(q Query, opts Options) (*Session, error) {
 }
 
 // Step processes one frame. ok is false when the repository is exhausted.
+// A detector backend error (network failure, cancelled endpoint) surfaces
+// as err with the session state unchanged.
 func (s *Session) Step() (info StepInfo, ok bool, err error) {
 	p, ok := s.run.next()
 	if !ok {
 		return StepInfo{}, false, nil
 	}
-	info, err = s.run.apply(p, s.run.detect(p.Frame))
+	fr, err := s.run.detectOne(context.Background(), p.Frame)
+	if err != nil {
+		return StepInfo{}, false, err
+	}
+	info, err = s.run.apply(p, fr)
 	if err != nil {
 		return StepInfo{}, false, err
 	}

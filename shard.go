@@ -1,6 +1,7 @@
 package exsample
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -163,8 +164,15 @@ func (s *ShardedSource) NewSession(q Query, opts Options) (*Session, error) {
 	return NewSession(s, q, opts)
 }
 
-// querySource implements Source.
-func (s *ShardedSource) querySource() *querySource { return s.qs }
+// querySource implements Source. It is nil-receiver-safe and returns nil
+// for a zero-value ShardedSource, so the pipeline can reject uninitialized
+// sources with a clear error instead of a panic.
+func (s *ShardedSource) querySource() *querySource {
+	if s == nil {
+		return nil
+	}
+	return s.qs
+}
 
 // ShardStat is one shard's contribution to the queries run so far.
 type ShardStat struct {
@@ -210,20 +218,21 @@ func (s *ShardedSource) scanSeconds(start, end int64) float64 {
 }
 
 // newDetector builds the fan-out detector: frames route to the owning
-// shard's simulated detector (with that shard's noise, cost and failure
-// injection) and detections come back remapped into global coordinates.
-func (s *ShardedSource) newDetector(class string) (detect.Detector, error) {
-	dets := make([]detect.Detector, len(s.shards))
-	costs := make([]float64, len(s.shards))
+// shard's own batched detector — its attached Backend when one is
+// configured, otherwise its simulated detector (with that shard's noise,
+// cost and failure injection) — and detections come back remapped into
+// global coordinates. This is where a ShardedSource routes each shard to
+// its own endpoint: every shard keeps its own backend.
+func (s *ShardedSource) newDetector(class string) (detect.BatchDetector, error) {
+	dets := make([]detect.BatchDetector, len(s.shards))
 	for i, d := range s.shards {
-		det, err := d.newDetector(Query{Class: class})
+		det, err := d.newBatchDetector(class)
 		if err != nil {
 			return nil, err
 		}
 		dets[i] = det
-		costs[i] = det.CostSeconds()
 	}
-	return &shardedDetector{m: s.m, dets: dets, costs: costs, counts: s.detects}, nil
+	return &shardedDetector{m: s.m, dets: dets, counts: s.detects}, nil
 }
 
 // newExtender builds the discriminator's tracker model: a detection is
@@ -260,42 +269,69 @@ func (s *ShardedSource) newScorer(class string, quality float64, seed uint64) (f
 	}, nil
 }
 
-// shardedDetector routes global frames to per-shard detectors and remaps
-// detections (frame and truth id) into the global space. Detect is safe
-// for concurrent use, like every shard detector it wraps.
+// shardedDetector routes batches of global frames to per-shard batched
+// detectors and remaps detections (frame and truth id) into the global
+// space. A batch is regrouped so each shard receives ONE DetectBatch call
+// covering all of its frames, in pick order, whatever the interleaving —
+// so Search's batched loop gets per-shard wire batching even though its
+// picks alternate shards, and the engine's already-grouped rounds pass
+// through as a single group. Output positions follow the input, so
+// regrouping never reorders results. DetectBatch is safe for concurrent
+// use, like every shard detector it wraps. Each frame's cost comes from
+// its owning shard's detector, so heterogeneous fleets are charged
+// accurately.
 type shardedDetector struct {
 	m      *shard.Map
-	dets   []detect.Detector
-	costs  []float64
+	dets   []detect.BatchDetector
 	counts []atomic.Int64
 }
 
-// Detect implements detect.Detector over the global frame space.
-func (s *shardedDetector) Detect(global int64) []track.Detection {
-	sh, local := s.m.Locate(global)
-	s.counts[sh].Add(1)
-	dets := s.dets[sh].Detect(local)
-	if len(dets) == 0 {
-		return dets
+// DetectBatch implements detect.BatchDetector over the global frame space.
+func (s *shardedDetector) DetectBatch(ctx context.Context, global []int64) ([]detect.FrameOutput, error) {
+	// Carve the batch into per-shard groups (stable: a shard's frames keep
+	// their relative order; groups appear in first-touch order).
+	type group struct {
+		sh    int
+		local []int64
+		idx   []int // positions in global / out
 	}
-	out := make([]track.Detection, len(dets))
-	for i, d := range dets {
-		d.Frame = s.m.Global(sh, d.Frame)
-		d.TruthID = s.m.GlobalTruthID(sh, d.TruthID)
-		out[i] = d
+	var groups []*group
+	byShard := make(map[int]*group)
+	for i, g := range global {
+		sh, local := s.m.Locate(g)
+		grp := byShard[sh]
+		if grp == nil {
+			grp = &group{sh: sh}
+			byShard[sh] = grp
+			groups = append(groups, grp)
+		}
+		grp.local = append(grp.local, local)
+		grp.idx = append(grp.idx, i)
 	}
-	return out
-}
-
-// CostSeconds returns the first shard's per-frame cost; heterogeneous
-// fleets are charged accurately through FrameCost.
-func (s *shardedDetector) CostSeconds() float64 { return s.costs[0] }
-
-// FrameCost implements frameCoster: each frame is charged at its owning
-// shard's inference rate.
-func (s *shardedDetector) FrameCost(global int64) float64 {
-	sh, _ := s.m.Locate(global)
-	return s.costs[sh]
+	out := make([]detect.FrameOutput, len(global))
+	for _, grp := range groups {
+		outs, err := s.dets[grp.sh].DetectBatch(ctx, grp.local)
+		if err != nil {
+			return nil, err
+		}
+		if len(outs) != len(grp.local) {
+			return nil, fmt.Errorf("exsample: shard %d returned %d results for a %d-frame batch", grp.sh, len(outs), len(grp.local))
+		}
+		s.counts[grp.sh].Add(int64(len(grp.local)))
+		for k, fo := range outs {
+			dets := make([]track.Detection, len(fo.Dets))
+			for j, d := range fo.Dets {
+				d.Frame = s.m.Global(grp.sh, d.Frame)
+				d.TruthID = s.m.GlobalTruthID(grp.sh, d.TruthID)
+				dets[j] = d
+			}
+			if len(dets) == 0 {
+				dets = nil
+			}
+			out[grp.idx[k]] = detect.FrameOutput{Dets: dets, Cost: fo.Cost}
+		}
+	}
+	return out, nil
 }
 
 // shardedExtender routes detections to per-shard tracker models and

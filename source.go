@@ -73,19 +73,13 @@ type querySource struct {
 	scanSeconds func(start, end int64) float64
 	// groundTruth returns the distinct-instance population of a class.
 	groundTruth func(class string) (int, error)
-	// newDetector builds the per-class detector (with any failure
-	// injection applied). Detect must be safe for concurrent use.
-	newDetector func(class string) (detect.Detector, error)
+	// newDetector builds the per-class batched detector: the attached
+	// public Backend behind an adapter when one is configured, otherwise
+	// the simulated detector (with any failure injection applied).
+	// DetectBatch must be safe for concurrent use.
+	newDetector func(class string) (detect.BatchDetector, error)
 	// newExtender builds the discriminator's SORT-style tracker model.
 	newExtender func(coverage float64) (discrim.Extender, error)
 	// newScorer builds a per-frame proxy scorer for the class.
 	newScorer func(class string, quality float64, seed uint64) (func(frame int64) float64, error)
-}
-
-// frameCoster is an optional refinement of detect.Detector for detectors
-// whose per-frame cost varies with the frame — a sharded detector composed
-// of shards with different throughputs charges each frame at its owning
-// shard's rate.
-type frameCoster interface {
-	FrameCost(frame int64) float64
 }
