@@ -243,12 +243,27 @@ func (c *Client) DetectBatchCost(ctx context.Context, class string, frames []int
 			c.mu.Unlock()
 			return nil, nil, err
 		}
+		// A deadline that cannot outlive the backoff makes the retry a
+		// guaranteed deadline failure: treat it as terminal now instead of
+		// sleeping toward a doomed final attempt.
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= c.cfg.RetryBackoff {
+			c.mu.Lock()
+			c.stats.Requests += int64(attempt) + 1
+			c.stats.Retries += retries
+			c.mu.Unlock()
+			// Keep the real failure visible: errors.Is still matches
+			// context.DeadlineExceeded, but the log shows what the
+			// endpoint actually returned.
+			return nil, nil, fmt.Errorf("%w before the retry backoff (last attempt: %v)", context.DeadlineExceeded, err)
+		}
 		select {
 		case <-time.After(c.cfg.RetryBackoff):
 			// Only now is a retry actually issued; counting it earlier
 			// would record a phantom retry on cancellation mid-backoff.
 			retries++
 		case <-ctx.Done():
+			// Cancelled (or deadline-expired) mid-backoff: terminal
+			// immediately, no final attempt.
 			c.mu.Lock()
 			c.stats.Requests += int64(attempt) + 1
 			c.stats.Retries += retries

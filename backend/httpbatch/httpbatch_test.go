@@ -351,3 +351,71 @@ func TestNewValidation(t *testing.T) {
 		t.Fatal("negative MaxBatch accepted")
 	}
 }
+
+// TestDeadlineDuringBackoffIsTerminal pins the no-wasted-final-attempt
+// rule: when the caller's deadline cannot outlive the retry backoff, the
+// client returns context.DeadlineExceeded immediately instead of sleeping
+// into a doomed attempt — the failing endpoint sees no further requests.
+func TestDeadlineDuringBackoffIsTerminal(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, Retries: 3, RetryBackoff: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.DetectBatch(ctx, "car", []int64{1})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("endpoint saw %d requests, want 1 (no attempt after a doomed backoff)", got)
+	}
+	if elapsed >= 150*time.Millisecond {
+		t.Fatalf("client slept %v toward the backoff despite the shorter deadline", elapsed)
+	}
+	st := c.Stats()
+	if st.Requests != 1 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want 1 request, 0 retries", st)
+	}
+}
+
+// TestCancelDuringBackoffIsTerminal verifies a cancellation that fires
+// mid-backoff returns promptly with the context error and issues no
+// further attempts.
+func TestCancelDuringBackoffIsTerminal(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, Retries: 3, RetryBackoff: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.DetectBatch(ctx, "car", []int64{1})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("endpoint saw %d requests, want 1", got)
+	}
+	if elapsed >= 500*time.Millisecond {
+		t.Fatalf("cancellation took %v to take effect mid-backoff", elapsed)
+	}
+}

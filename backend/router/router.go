@@ -1,0 +1,540 @@
+// Package router implements a resilient multi-endpoint detector backend:
+// one backend.Backend fronting N replica backends (typically
+// backend/httpbatch clients pointed at different GPU hosts) with
+// per-replica health tracking, weighted load-aware replica selection,
+// automatic failover retry, and circuit-breaker re-admission.
+//
+// The router is the serving-layer half of surviving fleet churn: a dead
+// endpoint stops being a query-killing event and becomes a routing event.
+// Every DetectBatch picks the healthiest replica (lowest
+// latency-weighted load among closed breakers), and a failed call is
+// retried transparently on a sibling — the query above never learns the
+// first replica died, it just observes a slower batch. Failures are
+// scored passively (consecutive failures trip the breaker) and healed
+// actively (an optional probe loop) or lazily (a half-open trial call
+// after the cooldown).
+//
+// Replicas must be equivalent: they serve the same repository and, for
+// the reproducibility guarantees of the exsample pipeline to hold, return
+// identical detections for the same (class, frame). Under that contract a
+// failover is invisible in the Report — which is exactly what the
+// end-to-end tests assert.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/exsample/exsample/backend"
+)
+
+// State is a replica's circuit-breaker state.
+type State int
+
+const (
+	// Healthy replicas receive traffic.
+	Healthy State = iota
+	// Open replicas are excluded from routing until Cooldown elapses.
+	Open
+	// HalfOpen replicas have cooled down and admit one trial call; success
+	// closes the breaker, failure re-opens it.
+	HalfOpen
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config parameterizes a Router. Replicas is required; everything else
+// has a production-shaped default.
+type Config struct {
+	// Replicas are the equivalent backends to route across (at least one).
+	Replicas []backend.Backend
+	// Names labels the replicas in Stats (default "replica-0", ...).
+	Names []string
+	// FailureThreshold is how many consecutive failures open a replica's
+	// circuit breaker (default 3). The counter resets on any success, so
+	// sporadic failures only shed load transiently.
+	FailureThreshold int
+	// Cooldown is how long an open breaker excludes its replica before a
+	// half-open trial call is admitted (default 2s).
+	Cooldown time.Duration
+	// FailoverRetries bounds how many sibling replicas a failed
+	// DetectBatch is retried on (default: every other replica once).
+	// Caller context cancellation is always terminal — a cancelled query
+	// never fails over.
+	FailoverRetries int
+	// Probe, when non-nil, is the active health check: the probe loop
+	// calls it for every replica each ProbeInterval, and its error result
+	// feeds the same failure scoring as live traffic. A typical probe
+	// issues a one-frame DetectBatch for a known class. When nil, health
+	// is scored passively from live traffic only and re-admission happens
+	// through half-open trial calls.
+	Probe func(ctx context.Context, b backend.Backend) error
+	// ProbeInterval is the probe loop period (default 1s; ignored when
+	// Probe is nil).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe call (default 5s).
+	ProbeTimeout time.Duration
+	// LatencyDecay is the EWMA coefficient for the per-replica latency
+	// estimate in (0, 1]; higher weighs recent batches more (default 0.3).
+	LatencyDecay float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.FailoverRetries == 0 {
+		c.FailoverRetries = len(c.Replicas) - 1
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 5 * time.Second
+	}
+	if c.LatencyDecay == 0 {
+		c.LatencyDecay = 0.3
+	}
+	return c
+}
+
+// ErrNoHealthyReplicas is wrapped by DetectBatch errors when every
+// replica's breaker is open and still cooling down.
+var ErrNoHealthyReplicas = errors.New("router: no healthy replicas")
+
+// coldRequests is how many calls a replica serves before its latency
+// EWMA is trusted for weighting.
+const coldRequests = 3
+
+// replica is one endpoint's routing state. The mutex-guarded fields are
+// tiny and uncontended next to the inference calls they account for.
+type replica struct {
+	b    backend.Backend
+	name string
+
+	mu          sync.Mutex
+	state       State
+	consecFails int
+	openedAt    time.Time
+	trial       bool // a half-open trial call is in flight
+	inflight    int
+	ewmaSeconds float64
+	lastErr     error
+	lastErrAt   time.Time
+
+	requests  int64
+	failures  int64
+	successes int64
+}
+
+// Router is a backend.Backend (and backend.BatchCoster) that fans a fleet
+// of equivalent replica backends into one resilient endpoint. It is safe
+// for concurrent use by any number of queries.
+type Router struct {
+	cfg      Config
+	replicas []*replica
+	rr       int // round-robin tie-break cursor, guarded by mu
+	mu       sync.Mutex
+
+	failovers int64 // batches rescued by a sibling after a failure
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// Compile-time interface checks.
+var (
+	_ backend.Backend     = (*Router)(nil)
+	_ backend.BatchCoster = (*Router)(nil)
+)
+
+// New builds a router over the given replicas and, when Config.Probe is
+// set, starts its health-probe loop. Callers that set Probe must Close
+// the router to stop the loop.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("router: Config.Replicas is required")
+	}
+	if cfg.Names != nil && len(cfg.Names) != len(cfg.Replicas) {
+		return nil, fmt.Errorf("router: %d names for %d replicas", len(cfg.Names), len(cfg.Replicas))
+	}
+	if cfg.FailureThreshold < 0 || cfg.FailoverRetries < 0 {
+		return nil, fmt.Errorf("router: negative FailureThreshold or FailoverRetries")
+	}
+	if cfg.LatencyDecay < 0 || cfg.LatencyDecay > 1 {
+		return nil, fmt.Errorf("router: LatencyDecay %v outside [0, 1]", cfg.LatencyDecay)
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{cfg: cfg}
+	for i, b := range cfg.Replicas {
+		if b == nil {
+			return nil, fmt.Errorf("router: replica %d is nil", i)
+		}
+		name := fmt.Sprintf("replica-%d", i)
+		if cfg.Names != nil {
+			name = cfg.Names[i]
+		}
+		r.replicas = append(r.replicas, &replica{b: b, name: name})
+	}
+	if cfg.Probe != nil {
+		r.probeStop = make(chan struct{})
+		r.probeDone = make(chan struct{})
+		go r.probeLoop(r.probeStop)
+	}
+	return r, nil
+}
+
+// Close stops the probe loop, if one is running. It does not close the
+// replica backends. Close is idempotent.
+func (r *Router) Close() {
+	r.mu.Lock()
+	stop := r.probeStop
+	r.probeStop = nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-r.probeDone
+	}
+}
+
+// probeLoop actively health-checks every replica each ProbeInterval. A
+// probe success heals an open breaker without waiting for live traffic
+// to trial the replica; a probe failure counts exactly like a live one.
+func (r *Router) probeLoop(stop <-chan struct{}) {
+	defer close(r.probeDone)
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		for _, rep := range r.replicas {
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+			err := r.cfg.Probe(ctx, rep.b)
+			cancel()
+			if err != nil {
+				r.noteFailure(rep, fmt.Errorf("probe: %w", err))
+			} else {
+				r.noteSuccess(rep, 0, false)
+			}
+		}
+	}
+}
+
+// admissible reports whether the replica may receive a call now, moving
+// an open breaker to half-open when its cooldown has elapsed. For a
+// half-open replica it admits only the single trial call.
+func (r *Router) admissible(rep *replica, now time.Time) bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	switch rep.state {
+	case Healthy:
+		return true
+	case Open:
+		if now.Sub(rep.openedAt) < r.cfg.Cooldown {
+			return false
+		}
+		rep.state = HalfOpen
+		fallthrough
+	case HalfOpen:
+		if rep.trial {
+			return false
+		}
+		rep.trial = true
+		return true
+	}
+	return false
+}
+
+// pick selects the next replica to try: among admissible replicas not yet
+// tried for this batch, the one with the lowest latency-weighted load
+// ewma*(inflight+1) — a cheap "weighted least-connections" that sends
+// traffic toward fast idle replicas without starving slower ones (a
+// replica with no traffic has load ≈ 0 and is always worth a try). Ties
+// break round-robin so equivalent replicas share load evenly.
+func (r *Router) pick(tried map[int]bool) (int, bool) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type cand struct {
+		i    int
+		load float64
+	}
+	var cands []cand
+	n := len(r.replicas)
+	for k := 0; k < n; k++ {
+		i := (r.rr + k) % n
+		if tried[i] {
+			continue
+		}
+		rep := r.replicas[i]
+		if !r.admissible(rep, now) {
+			continue
+		}
+		rep.mu.Lock()
+		load := rep.ewmaSeconds * float64(rep.inflight+1)
+		if rep.requests < coldRequests {
+			// An unmeasured replica has no latency signal to weigh; rank
+			// it weightless (modulo in-flight pressure) so cold replicas
+			// warm up in rotation order instead of starving behind an
+			// early lucky measurement.
+			load = 0
+		}
+		rep.mu.Unlock()
+		cands = append(cands, cand{i, load})
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	// A candidate displaces the rotation-first choice only when it is
+	// meaningfully lighter (>10% — latency EWMAs of equivalent replicas
+	// differ by noise), so equal fleets round-robin while a genuinely
+	// fast-and-idle replica still wins.
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.load < 0.9*best.load {
+			best = c
+		}
+	}
+	// Candidates scanned but not chosen give back any half-open trial
+	// slot admissible() just claimed for them.
+	for _, c := range cands {
+		if c.i != best.i {
+			r.releaseTrial(r.replicas[c.i])
+		}
+	}
+	r.rr = (best.i + 1) % n
+	return best.i, true
+}
+
+// releaseTrial returns an unused half-open trial slot.
+func (r *Router) releaseTrial(rep *replica) {
+	rep.mu.Lock()
+	if rep.state == HalfOpen {
+		rep.trial = false
+	}
+	rep.mu.Unlock()
+}
+
+// noteSuccess records a successful call (or probe): the breaker closes,
+// the failure streak resets and the latency EWMA absorbs the observation
+// (probes pass elapsed 0 and update no latency).
+func (r *Router) noteSuccess(rep *replica, elapsed time.Duration, counts bool) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.state = Healthy
+	rep.trial = false
+	rep.consecFails = 0
+	if counts {
+		rep.successes++
+		sec := elapsed.Seconds()
+		if rep.ewmaSeconds == 0 {
+			rep.ewmaSeconds = sec
+		} else {
+			d := r.cfg.LatencyDecay
+			rep.ewmaSeconds = d*sec + (1-d)*rep.ewmaSeconds
+		}
+	}
+}
+
+// noteFailure records a failed call (or probe), opening the breaker when
+// the consecutive-failure score reaches the threshold — and immediately
+// for a failed half-open trial, which has no credit to burn.
+func (r *Router) noteFailure(rep *replica, err error) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.failures++
+	rep.consecFails++
+	rep.lastErr = err
+	rep.lastErrAt = time.Now()
+	if rep.state == HalfOpen || rep.consecFails >= r.cfg.FailureThreshold {
+		rep.state = Open
+		rep.openedAt = time.Now()
+		rep.trial = false
+	}
+}
+
+// Hints implements backend.Backend: the fleet's scheduling hints are the
+// most conservative of its replicas' — the smallest non-zero MaxBatch
+// (every replica must accept a routed batch) and the first replica's
+// nominal per-frame cost.
+func (r *Router) Hints() backend.Hints {
+	h := r.replicas[0].b.Hints()
+	for _, rep := range r.replicas[1:] {
+		rh := rep.b.Hints()
+		if rh.MaxBatch > 0 && (h.MaxBatch == 0 || rh.MaxBatch < h.MaxBatch) {
+			h.MaxBatch = rh.MaxBatch
+		}
+	}
+	return h
+}
+
+// DetectBatch implements backend.Backend.
+func (r *Router) DetectBatch(ctx context.Context, class string, frames []int64) ([][]backend.Detection, error) {
+	dets, _, err := r.DetectBatchCost(ctx, class, frames)
+	return dets, err
+}
+
+// DetectBatchCost implements backend.BatchCoster: the batch runs on the
+// healthiest replica and, should the call fail, fails over to untried
+// siblings (up to FailoverRetries) before surfacing an error. Caller
+// cancellation is terminal immediately — a cancelled query never burns
+// sibling capacity. Charged costs are the serving replica's: measured
+// per-call for BatchCoster replicas, Hints().CostSeconds otherwise.
+func (r *Router) DetectBatchCost(ctx context.Context, class string, frames []int64) ([][]backend.Detection, []float64, error) {
+	if len(frames) == 0 {
+		return nil, nil, nil
+	}
+	tried := make(map[int]bool)
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.FailoverRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		i, ok := r.pick(tried)
+		if !ok {
+			break
+		}
+		tried[i] = true
+		dets, costs, err := r.call(ctx, r.replicas[i], class, frames)
+		if err == nil {
+			if attempt > 0 {
+				r.mu.Lock()
+				r.failovers++
+				r.mu.Unlock()
+			}
+			return dets, costs, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's context aborted the call mid-flight; failing
+			// over would waste a sibling on a dead query.
+			return nil, nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		return nil, nil, fmt.Errorf("router: %w (all %d cooling down)", ErrNoHealthyReplicas, len(r.replicas))
+	}
+	return nil, nil, fmt.Errorf("router: all replicas failed, last: %w", lastErr)
+}
+
+// call runs the batch on one replica and feeds the outcome into its
+// health state.
+func (r *Router) call(ctx context.Context, rep *replica, class string, frames []int64) ([][]backend.Detection, []float64, error) {
+	rep.mu.Lock()
+	rep.inflight++
+	rep.requests++
+	rep.mu.Unlock()
+	start := time.Now()
+	var (
+		dets  [][]backend.Detection
+		costs []float64
+		err   error
+	)
+	if coster, ok := rep.b.(backend.BatchCoster); ok {
+		dets, costs, err = coster.DetectBatchCost(ctx, class, frames)
+	} else {
+		dets, err = rep.b.DetectBatch(ctx, class, frames)
+		if err == nil {
+			per := rep.b.Hints().CostSeconds
+			costs = make([]float64, len(frames))
+			for i := range costs {
+				costs[i] = per
+			}
+		}
+	}
+	if err == nil && len(dets) != len(frames) {
+		err = fmt.Errorf("router: replica %s returned %d results for a %d-frame batch", rep.name, len(dets), len(frames))
+	}
+	elapsed := time.Since(start)
+	rep.mu.Lock()
+	rep.inflight--
+	rep.mu.Unlock()
+	if err != nil {
+		if ctx.Err() != nil {
+			// The caller's cancellation aborted the call; that says nothing
+			// about the replica's health, so charge no failure — just give
+			// back any half-open trial slot the pick claimed.
+			r.releaseTrial(rep)
+			return nil, nil, err
+		}
+		r.noteFailure(rep, err)
+		return nil, nil, err
+	}
+	r.noteSuccess(rep, elapsed, true)
+	return dets, costs, nil
+}
+
+// ReplicaStats is one replica's health and traffic snapshot.
+type ReplicaStats struct {
+	// Replica is the replica's index; Name its configured label.
+	Replica int
+	Name    string
+	// State is the circuit-breaker state.
+	State State
+	// Requests, Successes and Failures count calls routed to the replica
+	// (probes count toward Failures on error but are not Requests).
+	Requests, Successes, Failures int64
+	// ConsecutiveFailures is the current failure streak.
+	ConsecutiveFailures int
+	// EWMALatencySeconds is the decayed per-batch latency estimate — the
+	// signal behind weighted picks, and the stat the adaptive batch sizer
+	// wants.
+	EWMALatencySeconds float64
+	// LastErr is the most recent failure ("" when none).
+	LastErr string
+	// LastErrAt is when it happened (zero when none).
+	LastErrAt time.Time
+}
+
+// Stats snapshots every replica's health and traffic counters.
+func (r *Router) Stats() []ReplicaStats {
+	out := make([]ReplicaStats, len(r.replicas))
+	for i, rep := range r.replicas {
+		rep.mu.Lock()
+		out[i] = ReplicaStats{
+			Replica:             i,
+			Name:                rep.name,
+			State:               rep.state,
+			Requests:            rep.requests,
+			Successes:           rep.successes,
+			Failures:            rep.failures,
+			ConsecutiveFailures: rep.consecFails,
+			EWMALatencySeconds:  rep.ewmaSeconds,
+		}
+		if rep.lastErr != nil {
+			out[i].LastErr = rep.lastErr.Error()
+			out[i].LastErrAt = rep.lastErrAt
+		}
+		rep.mu.Unlock()
+	}
+	return out
+}
+
+// Failovers returns how many batches were rescued by a sibling replica
+// after their first pick failed.
+func (r *Router) Failovers() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failovers
+}

@@ -4,14 +4,15 @@
 // (spread round-robin over the sources' classes), multiplexes their
 // detector calls onto a shared bounded worker pool — grouped by shard and
 // dispatched as one DetectBatch per group — and prints per-query,
-// per-shard, backend and cache statistics.
+// per-shard, backend, router and cache statistics.
 //
 // Usage:
 //
 //	exserve -datasets dashcam,bdd1k -queries 8 -limit 10
 //	        [-workers 4] [-round 4] [-scale 0.05] [-seed 1]
 //	        [-shards 1] [-cache 0]
-//	        [-backend sim|http] [-endpoint URL]
+//	        [-backend sim|http] [-endpoint URL] [-replicas 1]
+//	        [-churn 0] [-admin addr]
 //
 // -shards N composes each profile from N independently generated shards
 // (one logical repository, N machines' worth of chunks); -cache N enables
@@ -24,22 +25,40 @@
 // service (which must serve the same profiles' classes). Either way the
 // run prints a backend table: batches, frames, realized batch size,
 // retries and server-reported inference seconds per shard.
+//
+// -replicas R (http backend, loopback mode) fronts every shard with a
+// backend/router health-checked router over R equivalent loopback
+// replicas: a replica dying mid-run sheds load to its siblings instead of
+// failing queries, and the run ends with a per-replica health/failover
+// table (state, traffic, EWMA latency, last error).
+//
+// Fleet churn: with -shards > 1, a SIGHUP (or -churn D after delay D, or
+// POST /admin/churn when -admin is set) runs a live add/drain cycle on
+// every sharded source — a fresh shard is attached and the oldest active
+// shard drained while the queries keep running; the shard table shows the
+// resulting statuses. -admin ADDR serves GET /healthz plus POST
+// /admin/add, /admin/drain and /admin/churn for manual control.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	exsample "github.com/exsample/exsample"
+	"github.com/exsample/exsample/backend"
 	"github.com/exsample/exsample/backend/httpbatch"
+	"github.com/exsample/exsample/backend/router"
 )
 
 func main() {
@@ -55,8 +74,16 @@ func main() {
 	flag.IntVar(&cfg.cache, "cache", 0, "detector memo cache entries (0 = disabled)")
 	flag.StringVar(&cfg.backend, "backend", "sim", "detector backend: sim (in-process) or http (httpbatch wire protocol)")
 	flag.StringVar(&cfg.endpoint, "endpoint", "", "external httpbatch endpoint URL (http backend only; empty = per-shard loopback servers)")
+	flag.IntVar(&cfg.replicas, "replicas", 1, "replica endpoints per shard behind a health-checked router (http loopback mode)")
+	flag.DurationVar(&cfg.churn, "churn", 0, "run one add/drain churn cycle this long after the queries start (0 = off; requires -shards > 1)")
+	flag.StringVar(&cfg.admin, "admin", "", "serve /healthz and /admin/{add,drain,churn} on this address (e.g. 127.0.0.1:8080)")
 	flag.Parse()
 	cfg.profiles = strings.Split(cfg.datasets, ",")
+
+	// SIGHUP triggers the same live add/drain cycle as -churn/-admin.
+	sighup := make(chan os.Signal, 1)
+	signal.Notify(sighup, syscall.SIGHUP)
+	cfg.churnSignal = sighup
 
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "exserve:", err)
@@ -78,15 +105,43 @@ type config struct {
 	cache    int
 	backend  string
 	endpoint string
+	replicas int
+	churn    time.Duration
+	admin    string
+	// churnSignal, when non-nil, triggers an add/drain cycle per receive
+	// (wired to SIGHUP by main; tests poke it directly).
+	churnSignal <-chan os.Signal
 }
 
-// backendStat tracks one httpbatch client for the stats table: a per-shard
-// loopback client, or (shard -1, profile "(all)") the one shared client of
-// an external endpoint.
+// backendStat tracks one httpbatch client for the stats table: a
+// per-shard (and, with -replicas, per-replica) loopback client, or
+// (shard -1, profile "(all)") the one shared client of an external
+// endpoint.
 type backendStat struct {
 	profile string
 	shard   int
+	replica int
 	client  *httpbatch.Client
+}
+
+// routerStat tracks one shard's replica router for the health table.
+type routerStat struct {
+	profile string
+	shard   int
+	router  *router.Router
+}
+
+// syncWriter serializes writes from the churn goroutines and the table
+// renderer onto one underlying writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 // serveBackend starts a loopback HTTP server for a dataset's backend — the
@@ -107,79 +162,270 @@ func serveBackend(ds *exsample.Dataset) (string, func(), error) {
 	return "http://" + ln.Addr().String(), stop, nil
 }
 
-// openShard opens one shard's dataset, wiring the configured backend: the
-// in-process simulator, the shared external-endpoint client, or a loopback
-// server fed by a twin dataset generated from the same seed. shared is
-// non-nil exactly when -endpoint was given: every shard then reuses the
-// one client so the per-endpoint concurrency cap covers the whole run.
-func openShard(name string, seed uint64, cfg config, shared *httpbatch.Client) (*exsample.Dataset, *httpbatch.Client, func(), error) {
-	if cfg.backend != "http" {
-		ds, err := exsample.OpenProfile(name, cfg.scale, seed)
-		return ds, nil, nil, err
+// fleetState is everything the run accumulates while opening sources —
+// the stats tables, the shutdown hooks and the handles churn needs.
+type fleetState struct {
+	mu       sync.Mutex
+	backends []backendStat
+	routers  []routerStat
+	stops    []func()
+	sharded  []*exsample.ShardedSource
+	// shared is the one external-endpoint client (nil without -endpoint).
+	shared *httpbatch.Client
+	// shardSeq hands out seeds for churn-attached shards.
+	shardSeq map[string]uint64
+}
+
+func (f *fleetState) addStop(stop func()) {
+	if stop != nil {
+		f.mu.Lock()
+		f.stops = append(f.stops, stop)
+		f.mu.Unlock()
 	}
-	client := shared
-	stop := func() {}
-	if client == nil {
+}
+
+// openShard opens one shard's dataset, wiring the configured backend: the
+// in-process simulator, the shared external-endpoint client, a loopback
+// server fed by a twin dataset, or — with -replicas R > 1 — a
+// health-checked router over R loopback replicas.
+func (f *fleetState) openShard(name string, shardIdx int, seed uint64, cfg config) (*exsample.Dataset, error) {
+	if cfg.backend != "http" {
+		return exsample.OpenProfile(name, cfg.scale, seed)
+	}
+	if f.shared != nil {
+		return exsample.OpenProfile(name, cfg.scale, seed, exsample.WithBackend(f.shared))
+	}
+	replicas := make([]backend.Backend, cfg.replicas)
+	names := make([]string, cfg.replicas)
+	for r := 0; r < cfg.replicas; r++ {
 		twin, err := exsample.OpenProfile(name, cfg.scale, seed)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
-		endpoint, stopSrv, err := serveBackend(twin)
+		endpoint, stop, err := serveBackend(twin)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
-		stop = stopSrv
-		client, err = httpbatch.New(httpbatch.Config{Endpoint: endpoint, MaxBatch: 64})
+		f.addStop(stop)
+		client, err := httpbatch.New(httpbatch.Config{Endpoint: endpoint, MaxBatch: 64})
 		if err != nil {
-			stop()
-			return nil, nil, nil, err
+			return nil, err
 		}
+		replicas[r] = client
+		names[r] = fmt.Sprintf("%s/s%d/r%d", name, shardIdx, r)
+		f.mu.Lock()
+		f.backends = append(f.backends, backendStat{profile: name, shard: shardIdx, replica: r, client: client})
+		f.mu.Unlock()
 	}
-	ds, err := exsample.OpenProfile(name, cfg.scale, seed, exsample.WithBackend(client))
+	if cfg.replicas == 1 {
+		// Single endpoint: no router in the path, exactly the PR 3 shape.
+		return exsample.OpenProfile(name, cfg.scale, seed, exsample.WithBackend(replicas[0]))
+	}
+	rt, err := router.New(router.Config{Replicas: replicas, Names: names})
 	if err != nil {
-		stop()
-		return nil, nil, nil, err
+		return nil, err
 	}
-	return ds, client, stop, nil
+	f.addStop(rt.Close)
+	f.mu.Lock()
+	f.routers = append(f.routers, routerStat{profile: name, shard: shardIdx, router: rt})
+	f.mu.Unlock()
+	return exsample.OpenProfile(name, cfg.scale, seed, exsample.WithBackend(rt))
 }
 
 // openSource opens one profile as a plain dataset or an N-way sharded
 // composition of independently generated datasets, each shard routed to
-// its own backend (or all to the shared external client).
-func openSource(name string, cfg config, shared *httpbatch.Client) (exsample.Source, *exsample.ShardedSource, []backendStat, []func(), error) {
-	var stats []backendStat
-	var stops []func()
-	open := func(i int) (*exsample.Dataset, error) {
-		ds, client, stop, err := openShard(name, cfg.seed+uint64(i)*1000, cfg, shared)
-		if err != nil {
-			return nil, err
-		}
-		if client != nil && client != shared {
-			stats = append(stats, backendStat{profile: name, shard: i, client: client})
-		}
-		if stop != nil {
-			stops = append(stops, stop)
-		}
-		return ds, nil
-	}
+// its own backend fleet (or all to the shared external client).
+func (f *fleetState) openSource(name string, cfg config) (exsample.Source, error) {
 	if cfg.shards <= 1 {
-		ds, err := open(0)
-		return ds, nil, stats, stops, err
+		return f.openShard(name, 0, cfg.seed, cfg)
 	}
 	shards := make([]*exsample.Dataset, cfg.shards)
 	for i := range shards {
-		ds, err := open(i)
+		ds, err := f.openShard(name, i, cfg.seed+uint64(i)*1000, cfg)
 		if err != nil {
-			return nil, nil, stats, stops, err
+			return nil, err
 		}
 		shards[i] = ds
 	}
 	ss, err := exsample.NewShardedSource(name, shards...)
-	return ss, ss, stats, stops, err
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.sharded = append(f.sharded, ss)
+	f.shardSeq[name] = cfg.seed + uint64(cfg.shards)*1000
+	f.mu.Unlock()
+	return ss, nil
 }
 
-// run opens the sources, fans the queries out over the engine and renders
-// the throughput, shard, backend and cache tables.
+// churnCycle runs one live add/drain cycle on a sharded source: attach a
+// freshly generated shard, then drain the lowest-indexed active shard.
+// Running queries re-route at their next round; nothing restarts.
+func (f *fleetState) churnCycle(w io.Writer, ss *exsample.ShardedSource, cfg config) error {
+	f.mu.Lock()
+	seed := f.shardSeq[ss.Name()]
+	f.shardSeq[ss.Name()] = seed + 1000
+	f.mu.Unlock()
+	ds, err := f.openShard(ss.Name(), ss.NumShards(), seed, cfg)
+	if err != nil {
+		return fmt.Errorf("churn %s: open shard: %w", ss.Name(), err)
+	}
+	added, err := ss.AddShard(ds)
+	if err != nil {
+		return fmt.Errorf("churn %s: attach: %w", ss.Name(), err)
+	}
+	drained := -1
+	for _, st := range ss.ShardStats() {
+		if st.Status == "active" && st.Shard != added {
+			drained = st.Shard
+			break
+		}
+	}
+	if drained < 0 {
+		fmt.Fprintf(w, "churn: %s attached shard %d, no other active shard to drain\n", ss.Name(), added)
+		return nil
+	}
+	if err := ss.DrainShard(drained); err != nil {
+		return fmt.Errorf("churn %s: drain: %w", ss.Name(), err)
+	}
+	fmt.Fprintf(w, "churn: %s attached shard %d, draining shard %d\n", ss.Name(), added, drained)
+	return nil
+}
+
+// churnAll runs one cycle on every sharded source.
+func (f *fleetState) churnAll(w io.Writer, cfg config) {
+	for _, ss := range f.sharded {
+		if err := f.churnCycle(w, ss, cfg); err != nil {
+			fmt.Fprintln(w, "churn:", err)
+		}
+	}
+}
+
+// adminHandler serves the ops surface: GET /healthz (shard + router
+// health JSON) and POST /admin/{add,drain,churn}.
+func (f *fleetState) adminHandler(w io.Writer, cfg config) http.Handler {
+	mux := http.NewServeMux()
+	source := func(r *http.Request) *exsample.ShardedSource {
+		name := r.URL.Query().Get("source")
+		for _, ss := range f.sharded {
+			if ss.Name() == name {
+				return ss
+			}
+		}
+		return nil
+	}
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		type shardHealth struct {
+			Shard   int    `json:"shard"`
+			Status  string `json:"status"`
+			Frames  int64  `json:"frames"`
+			Detects int64  `json:"detects"`
+		}
+		type sourceHealth struct {
+			Name       string        `json:"name"`
+			Generation uint64        `json:"generation"`
+			Shards     []shardHealth `json:"shards"`
+		}
+		type replicaHealth struct {
+			Name     string  `json:"name"`
+			State    string  `json:"state"`
+			Requests int64   `json:"requests"`
+			Failures int64   `json:"failures"`
+			EWMAms   float64 `json:"ewma_ms"`
+			LastErr  string  `json:"last_error,omitempty"`
+		}
+		type routerHealth struct {
+			Profile   string          `json:"profile"`
+			Shard     int             `json:"shard"`
+			Failovers int64           `json:"failovers"`
+			Replicas  []replicaHealth `json:"replicas"`
+		}
+		var payload struct {
+			Sources []sourceHealth `json:"sources"`
+			Routers []routerHealth `json:"routers"`
+		}
+		// Snapshot under the lock: churn and /admin/add append to these
+		// slices concurrently with health requests.
+		f.mu.Lock()
+		sharded := append([]*exsample.ShardedSource{}, f.sharded...)
+		routers := append([]routerStat{}, f.routers...)
+		f.mu.Unlock()
+		for _, ss := range sharded {
+			sh := sourceHealth{Name: ss.Name(), Generation: ss.Generation()}
+			for _, st := range ss.ShardStats() {
+				sh.Shards = append(sh.Shards, shardHealth{st.Shard, st.Status, st.NumFrames, st.DetectCalls})
+			}
+			payload.Sources = append(payload.Sources, sh)
+		}
+		for _, rs := range routers {
+			rh := routerHealth{Profile: rs.profile, Shard: rs.shard, Failovers: rs.router.Failovers()}
+			for _, st := range rs.router.Stats() {
+				rh.Replicas = append(rh.Replicas, replicaHealth{
+					Name: st.Name, State: st.State.String(), Requests: st.Requests,
+					Failures: st.Failures, EWMAms: st.EWMALatencySeconds * 1e3, LastErr: st.LastErr,
+				})
+			}
+			payload.Routers = append(payload.Routers, rh)
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(payload)
+	})
+	mux.HandleFunc("POST /admin/add", func(rw http.ResponseWriter, r *http.Request) {
+		ss := source(r)
+		if ss == nil {
+			http.Error(rw, "unknown or unsharded source", http.StatusNotFound)
+			return
+		}
+		f.mu.Lock()
+		seed := f.shardSeq[ss.Name()]
+		f.shardSeq[ss.Name()] = seed + 1000
+		f.mu.Unlock()
+		ds, err := f.openShard(ss.Name(), ss.NumShards(), seed, cfg)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		slot, err := ss.AddShard(ds)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Fprintf(rw, "{\"shard\":%d}\n", slot)
+	})
+	mux.HandleFunc("POST /admin/drain", func(rw http.ResponseWriter, r *http.Request) {
+		ss := source(r)
+		if ss == nil {
+			http.Error(rw, "unknown or unsharded source", http.StatusNotFound)
+			return
+		}
+		var shard int
+		if _, err := fmt.Sscanf(r.URL.Query().Get("shard"), "%d", &shard); err != nil {
+			http.Error(rw, "shard query parameter required", http.StatusBadRequest)
+			return
+		}
+		if err := ss.DrainShard(shard); err != nil {
+			http.Error(rw, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Fprintf(rw, "{\"drained\":%d}\n", shard)
+	})
+	mux.HandleFunc("POST /admin/churn", func(rw http.ResponseWriter, r *http.Request) {
+		if ss := source(r); ss != nil {
+			if err := f.churnCycle(w, ss, cfg); err != nil {
+				http.Error(rw, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		} else {
+			f.churnAll(w, cfg)
+		}
+		fmt.Fprint(rw, "{\"ok\":true}\n")
+	})
+	return mux
+}
+
+// run opens the sources, fans the queries out over the engine, reacts to
+// churn triggers and renders the throughput, shard, backend, router and
+// cache tables.
 func run(w io.Writer, cfg config) error {
 	if cfg.queries < 1 {
 		return fmt.Errorf("need at least one query, got %d", cfg.queries)
@@ -199,39 +445,49 @@ func run(w io.Writer, cfg config) error {
 	if cfg.endpoint != "" && cfg.backend != "http" {
 		return fmt.Errorf("-endpoint requires -backend http")
 	}
+	if cfg.replicas < 1 {
+		return fmt.Errorf("need at least one replica per shard, got %d", cfg.replicas)
+	}
+	if cfg.replicas > 1 && (cfg.backend != "http" || cfg.endpoint != "") {
+		return fmt.Errorf("-replicas requires -backend http without -endpoint (the router fronts loopback replicas)")
+	}
+	if cfg.churn > 0 && cfg.shards <= 1 {
+		return fmt.Errorf("-churn requires -shards > 1")
+	}
+	// Churn messages print from timer/signal goroutines while the main
+	// goroutine renders tables; serialize the writer.
+	w = &syncWriter{w: w}
+
+	f := &fleetState{shardSeq: make(map[string]uint64)}
+	defer func() {
+		f.mu.Lock()
+		stops := append([]func(){}, f.stops...)
+		f.mu.Unlock()
+		for _, stop := range stops {
+			stop()
+		}
+	}()
 	type target struct {
 		src   exsample.Source
 		class string
 	}
 	var targets []target
-	var sharded []*exsample.ShardedSource
-	var backends []backendStat
-	// One shared client for an external endpoint, so the configured
-	// per-endpoint concurrency cap holds across every shard and profile.
-	var shared *httpbatch.Client
 	if cfg.backend == "http" && cfg.endpoint != "" {
-		var err error
-		shared, err = httpbatch.New(httpbatch.Config{Endpoint: cfg.endpoint, MaxBatch: 64})
+		shared, err := httpbatch.New(httpbatch.Config{Endpoint: cfg.endpoint, MaxBatch: 64})
 		if err != nil {
 			return err
 		}
-		backends = append(backends, backendStat{profile: "(all)", shard: -1, client: shared})
+		f.shared = shared
+		f.backends = append(f.backends, backendStat{profile: "(all)", shard: -1, client: shared})
 	}
 	for _, name := range cfg.profiles {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		src, ss, bstats, stops, err := openSource(name, cfg, shared)
-		for _, stop := range stops {
-			defer stop()
-		}
+		src, err := f.openSource(name, cfg)
 		if err != nil {
 			return err
-		}
-		backends = append(backends, bstats...)
-		if ss != nil {
-			sharded = append(sharded, ss)
 		}
 		for _, class := range src.Classes() {
 			targets = append(targets, target{src: src, class: class})
@@ -239,6 +495,21 @@ func run(w io.Writer, cfg config) error {
 	}
 	if len(targets) == 0 {
 		return fmt.Errorf("no datasets given")
+	}
+
+	if cfg.admin != "" {
+		ln, err := net.Listen("tcp", cfg.admin)
+		if err != nil {
+			return fmt.Errorf("admin: %w", err)
+		}
+		srv := &http.Server{Handler: f.adminHandler(w, cfg)}
+		go srv.Serve(ln)
+		f.addStop(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		fmt.Fprintf(w, "admin: listening on http://%s\n", ln.Addr())
 	}
 
 	eng, err := exsample.NewEngine(exsample.EngineOptions{
@@ -250,6 +521,45 @@ func run(w io.Writer, cfg config) error {
 		return err
 	}
 	defer eng.Close()
+
+	// Churn triggers: a delay (-churn) and the signal channel (SIGHUP),
+	// live until every query finishes. Both are joined before run returns
+	// so an in-flight cycle cannot write to w (or register shutdown
+	// hooks) after the tables render and the cleanup snapshot is taken.
+	churnDone := make(chan struct{})
+	var churnWG sync.WaitGroup
+	defer func() {
+		close(churnDone)
+		churnWG.Wait()
+	}()
+	if cfg.churn > 0 && len(f.sharded) > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			select {
+			case <-churnDone:
+			case <-time.After(cfg.churn):
+				f.churnAll(w, cfg)
+			}
+		}()
+	}
+	if cfg.churnSignal != nil {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			for {
+				select {
+				case <-churnDone:
+					return
+				case _, ok := <-cfg.churnSignal:
+					if !ok {
+						return
+					}
+					f.churnAll(w, cfg)
+				}
+			}
+		}()
+	}
 
 	start := time.Now()
 	handles := make([]*exsample.QueryHandle, cfg.queries)
@@ -283,8 +593,8 @@ func run(w io.Writer, cfg config) error {
 	}
 	wg.Wait()
 
-	fmt.Fprintf(w, "engine: %d queries, %d workers, %d frames/round, %d shard(s)/profile, %s backend\n\n",
-		cfg.queries, cfg.workers, cfg.round, cfg.shards, cfg.backend)
+	fmt.Fprintf(w, "engine: %d queries, %d workers, %d frames/round, %d shard(s)/profile, %d replica(s)/shard, %s backend\n\n",
+		cfg.queries, cfg.workers, cfg.round, cfg.shards, cfg.replicas, cfg.backend)
 	fmt.Fprintf(w, "%-3s %-12s %-14s %8s %8s %8s %10s %10s\n",
 		"#", "dataset", "class", "found", "frames", "hits", "charged-s", "frames/s")
 	var totalFrames int64
@@ -307,17 +617,24 @@ func run(w io.Writer, cfg config) error {
 		totalFrames, wall.Round(time.Millisecond), float64(totalFrames)/wall.Seconds(),
 		st.Rounds, st.Batches)
 
+	// Snapshot the stats lists under the lock: the admin server and churn
+	// goroutines stay live (and can attach shards) until run returns.
+	f.mu.Lock()
+	sharded := append([]*exsample.ShardedSource{}, f.sharded...)
+	backends := append([]backendStat{}, f.backends...)
+	routers := append([]routerStat{}, f.routers...)
+	f.mu.Unlock()
 	for _, ss := range sharded {
-		fmt.Fprintf(w, "\nshards of %s:\n", ss.Name())
-		fmt.Fprintf(w, "%-3s %8s %10s\n", "#", "frames", "detects")
+		fmt.Fprintf(w, "\nshards of %s (generation %d):\n", ss.Name(), ss.Generation())
+		fmt.Fprintf(w, "%-3s %-9s %8s %10s\n", "#", "status", "frames", "detects")
 		for _, sst := range ss.ShardStats() {
-			fmt.Fprintf(w, "%-3d %8d %10d\n", sst.Shard, sst.NumFrames, sst.DetectCalls)
+			fmt.Fprintf(w, "%-3d %-9s %8d %10d\n", sst.Shard, sst.Status, sst.NumFrames, sst.DetectCalls)
 		}
 	}
 	if len(backends) > 0 {
 		fmt.Fprintf(w, "\nbackend (httpbatch):\n")
-		fmt.Fprintf(w, "%-12s %-5s %8s %8s %9s %8s %10s\n",
-			"dataset", "shard", "batches", "frames", "avg-batch", "retries", "server-s")
+		fmt.Fprintf(w, "%-12s %-5s %-7s %8s %8s %9s %8s %10s\n",
+			"dataset", "shard", "replica", "batches", "frames", "avg-batch", "retries", "server-s")
 		for _, b := range backends {
 			cs := b.client.Stats()
 			avg := 0.0
@@ -328,8 +645,20 @@ func run(w io.Writer, cfg config) error {
 			if b.shard < 0 {
 				shard = "all" // shared external endpoint
 			}
-			fmt.Fprintf(w, "%-12s %-5s %8d %8d %9.1f %8d %10.2f\n",
-				b.profile, shard, cs.Batches, cs.Frames, avg, cs.Retries, cs.ServerSeconds)
+			fmt.Fprintf(w, "%-12s %-5s %-7d %8d %8d %9.1f %8d %10.2f\n",
+				b.profile, shard, b.replica, cs.Batches, cs.Frames, avg, cs.Retries, cs.ServerSeconds)
+		}
+	}
+	if len(routers) > 0 {
+		fmt.Fprintf(w, "\nrouter health/failover:\n")
+		fmt.Fprintf(w, "%-20s %-9s %8s %8s %8s %9s %9s  %s\n",
+			"replica", "state", "requests", "success", "failures", "failover", "ewma-ms", "last-error")
+		for _, rs := range routers {
+			for _, rst := range rs.router.Stats() {
+				fmt.Fprintf(w, "%-20s %-9s %8d %8d %8d %9d %9.2f  %s\n",
+					rst.Name, rst.State.String(), rst.Requests, rst.Successes, rst.Failures,
+					rs.router.Failovers(), rst.EWMALatencySeconds*1e3, rst.LastErr)
+			}
 		}
 	}
 	if cfg.cache > 0 {

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func testConfig(profiles []string, queries, limit int) config {
@@ -16,6 +21,7 @@ func testConfig(profiles []string, queries, limit int) config {
 		scale:    0.02,
 		seed:     3,
 		shards:   1,
+		replicas: 1,
 	}
 }
 
@@ -48,7 +54,7 @@ func TestRunShardedWithCache(t *testing.T) {
 	if !strings.Contains(out, "2 shard(s)/profile") {
 		t.Fatalf("missing shard header:\n%s", out)
 	}
-	if !strings.Contains(out, "shards of dashcam:") {
+	if !strings.Contains(out, "shards of dashcam (generation 1):") {
 		t.Fatalf("missing per-shard table:\n%s", out)
 	}
 	if !strings.Contains(out, "cache:") || !strings.Contains(out, "hit rate") {
@@ -111,5 +117,130 @@ func TestRunErrors(t *testing.T) {
 	bad.endpoint = "http://example.invalid"
 	if err := run(&buf, bad); err == nil {
 		t.Error("-endpoint without -backend http accepted")
+	}
+}
+
+func TestRunReplicatedBackendWithRouter(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig([]string{"dashcam"}, 4, 5)
+	cfg.backend = "http"
+	cfg.shards = 2
+	cfg.replicas = 3
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 replica(s)/shard") {
+		t.Fatalf("missing replica header:\n%s", out)
+	}
+	if !strings.Contains(out, "router health/failover:") {
+		t.Fatalf("missing router health table:\n%s", out)
+	}
+	if !strings.Contains(out, "healthy") || !strings.Contains(out, "ewma-ms") {
+		t.Fatalf("missing health columns:\n%s", out)
+	}
+	// 2 shards x 3 replicas = 6 replica rows named profile/sN/rM.
+	for _, want := range []string{"dashcam/s0/r0", "dashcam/s0/r2", "dashcam/s1/r1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing replica row %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunChurnCycleMidRun(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig([]string{"dashcam"}, 6, 8)
+	cfg.shards = 2
+	cfg.churn = time.Millisecond
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "churn: dashcam attached shard 2, draining shard 0") {
+		t.Fatalf("missing churn line:\n%s", out)
+	}
+	if !strings.Contains(out, "generation 3") {
+		t.Fatalf("shard table missing post-churn generation:\n%s", out)
+	}
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "active") {
+		t.Fatalf("shard table missing statuses:\n%s", out)
+	}
+}
+
+func TestRunSighupTriggersChurn(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig([]string{"dashcam"}, 6, 8)
+	cfg.shards = 2
+	sig := make(chan os.Signal, 1)
+	sig <- syscall.SIGHUP
+	cfg.churnSignal = sig
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "churn: dashcam attached shard") {
+		t.Fatalf("SIGHUP did not trigger a churn cycle:\n%s", buf.String())
+	}
+}
+
+func TestAdminHandler(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig([]string{"dashcam"}, 1, 1)
+	cfg.shards = 2
+	f := &fleetState{shardSeq: make(map[string]uint64)}
+	if _, err := f.openSource("dashcam", cfg); err != nil {
+		t.Fatal(err)
+	}
+	h := f.adminHandler(&buf, cfg)
+
+	get := func(method, url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(method, url, nil))
+		return rec
+	}
+	if rec := get("GET", "/healthz"); rec.Code != 200 ||
+		!strings.Contains(rec.Body.String(), `"generation":1`) ||
+		!strings.Contains(rec.Body.String(), `"status":"active"`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := get("POST", "/admin/add?source=dashcam"); rec.Code != 200 ||
+		!strings.Contains(rec.Body.String(), `"shard":2`) {
+		t.Fatalf("add: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := get("POST", "/admin/drain?source=dashcam&shard=0"); rec.Code != 200 {
+		t.Fatalf("drain: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := get("POST", "/admin/drain?source=dashcam&shard=0"); rec.Code != http.StatusConflict {
+		t.Fatalf("double drain: %d, want 409", rec.Code)
+	}
+	if rec := get("POST", "/admin/drain?source=dashcam"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("drain without shard: %d, want 400", rec.Code)
+	}
+	if rec := get("POST", "/admin/add?source=nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("add unknown source: %d, want 404", rec.Code)
+	}
+	if rec := get("POST", "/admin/churn?source=dashcam"); rec.Code != 200 {
+		t.Fatalf("churn: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := get("GET", "/healthz"); !strings.Contains(rec.Body.String(), `"status":"draining"`) {
+		t.Fatalf("healthz after drain: %s", rec.Body.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	bad := testConfig([]string{"dashcam"}, 1, 5)
+	bad.replicas = 0
+	if err := run(&buf, bad); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	bad = testConfig([]string{"dashcam"}, 1, 5)
+	bad.replicas = 2 // without -backend http
+	if err := run(&buf, bad); err == nil {
+		t.Error("-replicas without http backend accepted")
+	}
+	bad = testConfig([]string{"dashcam"}, 1, 5)
+	bad.churn = time.Second // without shards
+	if err := run(&buf, bad); err == nil {
+		t.Error("-churn without -shards accepted")
 	}
 }

@@ -14,7 +14,10 @@ import (
 // EngineOptions configures a concurrent query engine.
 type EngineOptions struct {
 	// Workers bounds concurrent DetectBatch calls across every query the
-	// engine is running (default GOMAXPROCS). This is the knob that models
+	// engine is running. Any value <= 0 selects the default, NumCPU — the
+	// defaulting rule for both sizing knobs is "non-positive means
+	// default", so a config file's zero value and a sentinel -1 behave
+	// identically. This is the knob that models
 	// the shared GPU budget: however many queries are in flight, at most
 	// Workers inference batches — one per (query, shard-affinity) group
 	// per round, each up to FramesPerRound frames — are outstanding at
@@ -22,8 +25,9 @@ type EngineOptions struct {
 	// GPU batch; concurrency across queries and shards comes from the
 	// pool.
 	Workers int
-	// FramesPerRound is each query's detector quota per scheduling round
-	// (default 1). Every active query receives the same quota, which makes
+	// FramesPerRound is each query's detector quota per scheduling round.
+	// Any value <= 0 selects the default, 1 (the same "non-positive means
+	// default" rule as Workers). Every active query receives the same quota, which makes
 	// scheduling fair-share. Values above 1 trade scheduling freshness for
 	// bigger inference batches, with exactly the semantics of Search's
 	// BatchSize (§III-F): a round's picks are drawn before any of its
@@ -45,10 +49,10 @@ type EngineOptions struct {
 }
 
 func (o EngineOptions) withDefaults() EngineOptions {
-	if o.Workers == 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
 	}
-	if o.FramesPerRound == 0 {
+	if o.FramesPerRound <= 0 {
 		o.FramesPerRound = 1
 	}
 	if o.EventBuffer == 0 {
@@ -57,14 +61,10 @@ func (o EngineOptions) withDefaults() EngineOptions {
 	return o
 }
 
-// Validate reports an error for out-of-range engine options.
+// Validate reports an error for out-of-range engine options. The sizing
+// knobs (Workers, FramesPerRound) are never out of range: any
+// non-positive value selects the documented default.
 func (o EngineOptions) Validate() error {
-	if o.Workers < 0 {
-		return fmt.Errorf("exsample: negative Workers %d", o.Workers)
-	}
-	if o.FramesPerRound < 0 {
-		return fmt.Errorf("exsample: negative FramesPerRound %d", o.FramesPerRound)
-	}
 	if o.EventBuffer < 0 {
 		return fmt.Errorf("exsample: negative EventBuffer %d", o.EventBuffer)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -328,8 +329,11 @@ func TestEngineSubmitValidation(t *testing.T) {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}
-	if _, err := NewEngine(EngineOptions{Workers: -1}); err == nil {
-		t.Error("negative workers accepted")
+	if _, err := NewEngine(EngineOptions{EventBuffer: -1}); err == nil {
+		t.Error("negative event buffer accepted")
+	}
+	if _, err := NewEngine(EngineOptions{CacheEntries: -1}); err == nil {
+		t.Error("negative cache entries accepted")
 	}
 
 	closed := newTestEngine(t, EngineOptions{})
@@ -459,4 +463,32 @@ func ExampleEngine() {
 	// Output:
 	// query 0: reached its limit: true
 	// query 1: reached its limit: true
+}
+
+// TestEngineOptionDefaulting pins the sizing-knob defaulting rule: any
+// non-positive Workers or FramesPerRound selects the documented default
+// (NumCPU / 1) instead of failing construction.
+func TestEngineOptionDefaulting(t *testing.T) {
+	for _, v := range []int{0, -1, -1000} {
+		e, err := NewEngine(EngineOptions{Workers: v, FramesPerRound: v})
+		if err != nil {
+			t.Fatalf("Workers=FramesPerRound=%d rejected: %v", v, err)
+		}
+		if got, want := e.Workers(), runtime.NumCPU(); got != want {
+			t.Errorf("Workers=%d defaulted to %d, want NumCPU (%d)", v, got, want)
+		}
+		if got := e.opts.FramesPerRound; got != 1 {
+			t.Errorf("FramesPerRound=%d defaulted to %d, want 1", v, got)
+		}
+		e.Close()
+	}
+	// Explicit positive values are taken as-is.
+	e, err := NewEngine(EngineOptions{Workers: 3, FramesPerRound: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Workers() != 3 || e.opts.FramesPerRound != 7 {
+		t.Errorf("explicit options overridden: Workers=%d FramesPerRound=%d", e.Workers(), e.opts.FramesPerRound)
+	}
 }

@@ -167,9 +167,16 @@ type Sampler struct {
 	orders []video.FrameOrder
 	n1     []int64
 	n      []int64
-	total  int64 // total frames sampled across chunks
-	live   int   // chunks with frames remaining
-	rng    *xrand.RNG
+	// disabled marks arms fenced by an elastic topology change (a draining
+	// shard's chunks): Next never scores or draws from them — crucially,
+	// skipping happens before the policy's RNG draw, so a disabled arm
+	// consumes no randomness and the remaining arms' pick sequence is
+	// exactly what it would be if the arm had never existed. Update and
+	// Adjust still accept disabled arms, so in-flight picks apply cleanly.
+	disabled []bool
+	total    int64 // total frames sampled across chunks
+	live     int   // chunks with frames remaining
+	rng      *xrand.RNG
 }
 
 // New creates a sampler over the given chunks. Chunks must be non-empty and
@@ -188,16 +195,57 @@ func New(chunks []video.Chunk, cfg Config) (*Sampler, error) {
 		}
 	}
 	s := &Sampler{
-		cfg:    cfg,
-		chunks: append([]video.Chunk(nil), chunks...),
-		orders: make([]video.FrameOrder, len(chunks)),
-		n1:     make([]int64, len(chunks)),
-		n:      make([]int64, len(chunks)),
-		live:   len(chunks),
-		rng:    xrand.New(cfg.Seed),
+		cfg:      cfg,
+		chunks:   append([]video.Chunk(nil), chunks...),
+		orders:   make([]video.FrameOrder, len(chunks)),
+		n1:       make([]int64, len(chunks)),
+		n:        make([]int64, len(chunks)),
+		disabled: make([]bool, len(chunks)),
+		live:     len(chunks),
+		rng:      xrand.New(cfg.Seed),
 	}
 	return s, nil
 }
+
+// Append adds new arms for chunks that joined the repository after the
+// sampler was built (an elastic shard attach). New arms start at the belief
+// prior, exactly as if they had been present from the start with no
+// samples; existing arms' statistics, frame orders and — because each
+// chunk's within-chunk order derives from (Seed, chunk id), not the shared
+// policy RNG — their future frame draws are unaffected. Chunk ids continue
+// the existing numbering: the i-th appended chunk becomes arm
+// NumChunks()+i, so callers indexing arms by global chunk id stay aligned.
+func (s *Sampler) Append(chunks []video.Chunk) error {
+	for i, c := range chunks {
+		if c.Len() <= 0 {
+			return fmt.Errorf("core: appended chunk %d is empty", i)
+		}
+	}
+	s.chunks = append(s.chunks, chunks...)
+	s.orders = append(s.orders, make([]video.FrameOrder, len(chunks))...)
+	s.n1 = append(s.n1, make([]int64, len(chunks))...)
+	s.n = append(s.n, make([]int64, len(chunks))...)
+	s.disabled = append(s.disabled, make([]bool, len(chunks))...)
+	s.live += len(chunks)
+	return nil
+}
+
+// SetEnabled fences or re-admits an arm. A disabled arm is invisible to
+// Next — not scored (so it consumes no policy randomness) and never drawn
+// from — but keeps its statistics and continues to accept Update/Adjust
+// for picks already in flight. This is the sampler half of draining a
+// shard: the shard's chunks are fenced while the belief state of every
+// other chunk carries on untouched.
+func (s *Sampler) SetEnabled(chunk int, enabled bool) error {
+	if chunk < 0 || chunk >= len(s.chunks) {
+		return fmt.Errorf("core: chunk %d out of range [0, %d)", chunk, len(s.chunks))
+	}
+	s.disabled[chunk] = !enabled
+	return nil
+}
+
+// Enabled reports whether an arm is currently pickable.
+func (s *Sampler) Enabled(chunk int) bool { return !s.disabled[chunk] }
 
 // order lazily builds the within-chunk frame order for chunk j.
 func (s *Sampler) order(j int) (video.FrameOrder, error) {
@@ -273,11 +321,15 @@ func (s *Sampler) score(j int) float64 {
 
 // Next returns the next frame to process: the Thompson (or alternative
 // policy) choice of chunk, and a frame drawn from that chunk's
-// without-replacement order. ok is false when every chunk is exhausted.
+// without-replacement order. Disabled arms are skipped without being
+// scored. ok is false when every enabled chunk is exhausted.
 func (s *Sampler) Next() (Pick, bool) {
 	for s.live > 0 {
 		best, bestScore := -1, 0.0
 		for j := range s.chunks {
+			if s.disabled[j] {
+				continue
+			}
 			if s.orders[j] != nil && s.orders[j].Remaining() == 0 {
 				continue
 			}

@@ -409,3 +409,150 @@ func TestFirstDrawsSpreadAcrossChunks(t *testing.T) {
 		t.Fatalf("first picks hit only %d distinct chunks: %v", len(counts), counts)
 	}
 }
+
+// drainSampler drives a sampler to exhaustion, returning the picks.
+func drainSampler(t *testing.T, s *Sampler) []Pick {
+	t.Helper()
+	var picks []Pick
+	for {
+		p, ok := s.Next()
+		if !ok {
+			return picks
+		}
+		picks = append(picks, p)
+		if err := s.Update(p.Chunk, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAppendGrowsArms(t *testing.T) {
+	base := mkChunks(t, 400, 4)
+	s, err := New(base, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := []video.Chunk{{ID: 4, Start: 400, End: 500}, {ID: 5, Start: 500, End: 600}}
+	if err := s.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumChunks(); got != 6 {
+		t.Fatalf("NumChunks = %d, want 6", got)
+	}
+	if err := s.Append([]video.Chunk{{Start: 5, End: 5}}); err == nil {
+		t.Fatal("empty appended chunk accepted")
+	}
+	seen := make(map[int64]bool)
+	for _, p := range drainSampler(t, s) {
+		if seen[p.Frame] {
+			t.Fatalf("frame %d sampled twice", p.Frame)
+		}
+		seen[p.Frame] = true
+	}
+	if len(seen) != 600 {
+		t.Fatalf("sampled %d distinct frames, want 600 (base + appended)", len(seen))
+	}
+}
+
+// TestDisabledArmConsumesNoRandomness is the byte-identity property behind
+// elastic drains: a sampler with an appended-then-disabled arm must produce
+// exactly the pick sequence of a sampler that never saw the arm.
+func TestDisabledArmConsumesNoRandomness(t *testing.T) {
+	for _, pol := range []Policy{Thompson, BayesUCB, Greedy} {
+		ref, err := New(mkChunks(t, 300, 3), Config{Seed: 11, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		churned, err := New(mkChunks(t, 300, 3), Config{Seed: 11, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := churned.Append([]video.Chunk{{ID: 3, Start: 300, End: 350}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := churned.SetEnabled(3, false); err != nil {
+			t.Fatal(err)
+		}
+		refPicks := drainSampler(t, ref)
+		gotPicks := drainSampler(t, churned)
+		if len(refPicks) != len(gotPicks) {
+			t.Fatalf("%v: %d picks with fenced arm, want %d", pol, len(gotPicks), len(refPicks))
+		}
+		for i := range refPicks {
+			if refPicks[i] != gotPicks[i] {
+				t.Fatalf("%v: pick %d = %+v, want %+v", pol, i, gotPicks[i], refPicks[i])
+			}
+		}
+	}
+}
+
+func TestSetEnabledFencesAndReadmits(t *testing.T) {
+	chunks := mkChunks(t, 200, 4)
+	s, err := New(chunks, Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetEnabled(99, false); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+	if err := s.SetEnabled(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Enabled(1) {
+		t.Fatal("chunk 1 still enabled after fence")
+	}
+	for i := 0; i < 150; i++ {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		if p.Chunk == 1 {
+			t.Fatalf("pick %d drawn from fenced chunk 1", i)
+		}
+		if err := s.Update(p.Chunk, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Updates for in-flight picks of a fenced chunk still apply.
+	if err := s.Update(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n1, n := s.Stats(1); n1 != 1 || n != 1 {
+		t.Fatalf("fenced chunk stats = (%d, %d), want (1, 1)", n1, n)
+	}
+	// Re-admitting the chunk makes the rest of the repository reachable.
+	if err := s.SetEnabled(1, true); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		seen[p.Frame] = true
+		if err := s.Update(p.Chunk, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := chunks[1].Start; f < chunks[1].End; f++ {
+		if !seen[f] {
+			t.Fatalf("frame %d of re-admitted chunk never sampled", f)
+		}
+	}
+}
+
+func TestAllArmsDisabledExhausts(t *testing.T) {
+	s, err := New(mkChunks(t, 100, 2), Config{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if err := s.SetEnabled(j, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next succeeded with every arm fenced")
+	}
+}

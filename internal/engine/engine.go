@@ -20,6 +20,12 @@ type Query interface {
 	// Propose returns up to max frames to run the detector on this round,
 	// drawn by the query's own sampling strategy. Returning an empty slice
 	// means the repository is exhausted and the query is finalized.
+	// Because Propose runs at every round boundary on the scheduler
+	// goroutine, it is also where elastic sources sync their topology
+	// snapshot: a shard attached or drained between rounds is reflected in
+	// the very next round's picks (new affinity groups appear, a drained
+	// shard's group retires), while the round in flight when the change
+	// lands still applies normally.
 	Propose(max int) []int64
 	// DetectBatch runs the detector on a group of this round's proposed
 	// frames — one affinity group per call — and returns one opaque result

@@ -52,6 +52,17 @@ func (rc *RecallCurve) Observe(cumSamples int64, cumSeconds float64, truthIDs []
 	}
 }
 
+// SetTotal updates the ground-truth population recall is measured
+// against. It is grow-only: an elastic shard attach enlarges the
+// reachable population, while shrinking the denominator mid-run would
+// make recorded recall non-monotonic. Values not above the current total
+// are ignored.
+func (rc *RecallCurve) SetTotal(totalInstances int) {
+	if totalInstances > rc.total {
+		rc.total = totalInstances
+	}
+}
+
 // Recall returns the fraction of distinct instances discovered so far.
 func (rc *RecallCurve) Recall() float64 {
 	return float64(len(rc.seen)) / float64(rc.total)

@@ -41,6 +41,9 @@ type Map struct {
 	chunks    []video.Chunk // concatenated global chunk layout
 	chunkOf   []int         // global chunk id -> owning shard
 	truthBase []int
+	// lastTruthBound is the final part's TruthIDBound, kept so Extend can
+	// place the next shard's truth-id base past every existing id.
+	lastTruthBound int
 }
 
 // New builds a Map over the given parts, in order.
@@ -75,9 +78,48 @@ func New(parts []Part) (*Map, error) {
 		}
 		frameOff += p.NumFrames
 		truthOff += p.TruthIDBound
+		m.lastTruthBound = p.TruthIDBound
 	}
 	m.total = frameOff
 	return m, nil
+}
+
+// Extend returns a new Map with one more part appended after the existing
+// shards. The receiver is not modified and stays valid: the global frame,
+// chunk and truth-id spaces are append-only, so every address that was
+// valid under the old map means the same thing under the new one — which
+// is what lets a running query's sampler state, memo-cache keys and
+// already-applied detections survive a shard attach unchanged.
+func (m *Map) Extend(p Part) (*Map, error) {
+	if p.NumFrames <= 0 {
+		return nil, fmt.Errorf("shard: appended part has %d frames", p.NumFrames)
+	}
+	if p.TruthIDBound < 0 {
+		return nil, fmt.Errorf("shard: appended part has negative TruthIDBound %d", p.TruthIDBound)
+	}
+	n := len(m.offsets)
+	out := &Map{
+		offsets:        append(append(make([]int64, 0, n+1), m.offsets...), m.total),
+		sizes:          append(append(make([]int64, 0, n+1), m.sizes...), p.NumFrames),
+		total:          m.total + p.NumFrames,
+		chunks:         append(make([]video.Chunk, 0, len(m.chunks)+len(p.Chunks)), m.chunks...),
+		chunkOf:        append(make([]int, 0, len(m.chunkOf)+len(p.Chunks)), m.chunkOf...),
+		truthBase:      append(append(make([]int, 0, n+1), m.truthBase...), m.truthBase[n-1]+m.lastTruthBound),
+		lastTruthBound: p.TruthIDBound,
+	}
+	for _, c := range p.Chunks {
+		if c.Start < 0 || c.End > p.NumFrames || c.Len() <= 0 {
+			return nil, fmt.Errorf("shard: appended chunk [%d, %d) outside [0, %d)",
+				c.Start, c.End, p.NumFrames)
+		}
+		out.chunks = append(out.chunks, video.Chunk{
+			ID:    len(out.chunks),
+			Start: c.Start + m.total,
+			End:   c.End + m.total,
+		})
+		out.chunkOf = append(out.chunkOf, n)
+	}
+	return out, nil
 }
 
 // NumShards returns the number of composed shards.
@@ -132,4 +174,71 @@ func (m *Map) LocalTruthID(shard, global int) int {
 		return global
 	}
 	return global - m.truthBase[shard]
+}
+
+// Status is a shard's lifecycle state inside an elastic topology.
+type Status int
+
+const (
+	// Active shards receive new picks.
+	Active Status = iota
+	// Draining shards finish work already in flight — their frames remain
+	// addressable for applies, extends and decode-cost lookups — but
+	// receive no new picks: their chunks are fenced out of every sampler.
+	Draining
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Snapshot is one immutable, generation-counted view of an elastic shard
+// topology: the address map plus each shard's lifecycle status. Topology
+// mutations (attach, drain) publish a fresh Snapshot with a higher Gen;
+// queries compare Gen at every round boundary and re-fence their samplers
+// when it moves, so belief state carries across the change instead of
+// restarting. Because Map is append-only, any Snapshot's addresses remain
+// valid under every later Snapshot.
+type Snapshot struct {
+	// Gen is the topology generation, starting at 1 and incremented by
+	// every mutation.
+	Gen uint64
+	// Map is the global address map covering every shard ever attached,
+	// draining ones included.
+	Map *Map
+	// Status has one entry per shard in Map.
+	Status []Status
+}
+
+// NumActive returns how many shards currently accept new picks.
+func (s *Snapshot) NumActive() int {
+	n := 0
+	for _, st := range s.Status {
+		if st == Active {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardActive reports whether shard i accepts new picks.
+func (s *Snapshot) ShardActive(i int) bool { return s.Status[i] == Active }
+
+// ChunkActive reports whether a global chunk id belongs to an active shard.
+func (s *Snapshot) ChunkActive(chunk int) bool {
+	return s.Status[s.Map.ChunkShard(chunk)] == Active
+}
+
+// FrameActive reports whether a global frame belongs to an active shard.
+func (s *Snapshot) FrameActive(frame int64) bool {
+	sh, _ := s.Map.Locate(frame)
+	return s.Status[sh] == Active
 }

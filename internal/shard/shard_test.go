@@ -130,3 +130,93 @@ func TestMapValidation(t *testing.T) {
 		t.Error("chunk outside the shard accepted")
 	}
 }
+
+func TestMapExtendAppendOnly(t *testing.T) {
+	m := testMap(t)
+	before := struct {
+		frames int64
+		chunks int
+	}{m.NumFrames(), len(m.Chunks())}
+	m2, err := m.Extend(Part{
+		NumFrames:    60,
+		Chunks:       []video.Chunk{{ID: 0, Start: 0, End: 60}},
+		TruthIDBound: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old map is untouched.
+	if m.NumFrames() != before.frames || len(m.Chunks()) != before.chunks || m.NumShards() != 3 {
+		t.Fatal("Extend mutated the receiver")
+	}
+	if m2.NumShards() != 4 || m2.NumFrames() != 400 {
+		t.Fatalf("extended map has %d shards, %d frames", m2.NumShards(), m2.NumFrames())
+	}
+	// Every old address means the same thing under the new map.
+	for global := int64(0); global < m.NumFrames(); global++ {
+		s1, l1 := m.Locate(global)
+		s2, l2 := m2.Locate(global)
+		if s1 != s2 || l1 != l2 {
+			t.Fatalf("frame %d moved: (%d, %d) -> (%d, %d)", global, s1, l1, s2, l2)
+		}
+	}
+	for i, c := range m.Chunks() {
+		if m2.Chunks()[i] != c || m2.ChunkShard(i) != m.ChunkShard(i) {
+			t.Fatalf("chunk %d changed across Extend", i)
+		}
+	}
+	// The new shard's addresses append past the old space.
+	if sh, local := m2.Locate(340); sh != 3 || local != 0 {
+		t.Fatalf("Locate(340) = (%d, %d), want (3, 0)", sh, local)
+	}
+	nc := m2.Chunks()[len(m2.Chunks())-1]
+	if nc.Start != 340 || nc.End != 400 || nc.ID != 4 {
+		t.Fatalf("appended chunk = %+v", nc)
+	}
+	// Truth ids continue past every existing bound (10 + 3 + 0 = 13).
+	if got := m2.GlobalTruthID(3, 0); got != 13 {
+		t.Fatalf("appended shard truth base = %d, want 13", got)
+	}
+	if back := m2.LocalTruthID(3, 15); back != 2 {
+		t.Fatalf("LocalTruthID(3, 15) = %d, want 2", back)
+	}
+	// A second extension stacks on the first.
+	m3, err := m2.Extend(Part{NumFrames: 10, TruthIDBound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m3.GlobalTruthID(4, 0); got != 17 {
+		t.Fatalf("second appended shard truth base = %d, want 17", got)
+	}
+
+	if _, err := m.Extend(Part{NumFrames: 0}); err == nil {
+		t.Error("empty appended part accepted")
+	}
+	if _, err := m.Extend(Part{NumFrames: 10, TruthIDBound: -1}); err == nil {
+		t.Error("negative appended truth bound accepted")
+	}
+	if _, err := m.Extend(Part{NumFrames: 10, Chunks: []video.Chunk{{Start: 5, End: 15}}}); err == nil {
+		t.Error("appended chunk outside the shard accepted")
+	}
+}
+
+func TestSnapshotStatus(t *testing.T) {
+	m := testMap(t)
+	snap := &Snapshot{Gen: 1, Map: m, Status: []Status{Active, Draining, Active}}
+	if got := snap.NumActive(); got != 2 {
+		t.Fatalf("NumActive = %d, want 2", got)
+	}
+	if !snap.ShardActive(0) || snap.ShardActive(1) || !snap.ShardActive(2) {
+		t.Fatal("ShardActive disagrees with Status")
+	}
+	// Chunks 0, 1 belong to shard 0 (active); chunk 2 to shard 1 (draining).
+	if !snap.ChunkActive(0) || !snap.ChunkActive(1) || snap.ChunkActive(2) || !snap.ChunkActive(3) {
+		t.Fatal("ChunkActive disagrees with chunk ownership")
+	}
+	if !snap.FrameActive(0) || snap.FrameActive(120) || !snap.FrameActive(339) {
+		t.Fatal("FrameActive disagrees with frame ownership")
+	}
+	if Active.String() != "active" || Draining.String() != "draining" {
+		t.Fatal("Status.String names")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/exsample/exsample/internal/detect"
 	"github.com/exsample/exsample/internal/discrim"
 	"github.com/exsample/exsample/internal/metrics"
+	"github.com/exsample/exsample/internal/shard"
 	"github.com/exsample/exsample/internal/track"
 	"github.com/exsample/exsample/internal/video"
 	"github.com/exsample/exsample/internal/xrand"
@@ -47,6 +48,28 @@ type queryRun struct {
 	sampler *core.Sampler    // StrategyExSample
 	order   video.FrameOrder // other strategies
 	home    map[int]int      // HomeChunkAccounting: object id -> discovering chunk
+
+	// snap is the elastic-topology snapshot the run last synced to (nil
+	// for sources with a fixed topology). next compares its generation
+	// against the source's current snapshot on every pick — one atomic
+	// load when nothing changed — and re-fences the sampler when the
+	// topology moved, so belief state carries across shard churn instead
+	// of restarting. elastic is true only when the sampler's arms are the
+	// source's native global chunks (custom layouts — NumChunks, AutoChunk
+	// — cannot map a shard drain onto their arms and freeze the topology
+	// they started with).
+	snap    *shard.Snapshot
+	elastic bool
+	// truthSeen and truthTotal implement reachable-population recall for
+	// elastic sources: truthSeen[i] is set once shard i has been observed
+	// active by this query, and truthTotal sums those shards' class
+	// populations — the recall denominator. An attached shard grows the
+	// denominator at the sync that makes it samplable; a shard attached
+	// and drained without ever being seen active contributes nothing, and
+	// a drain never shrinks it (recall stays monotonic). nil/0 for fixed
+	// topologies, which use the source-wide population.
+	truthSeen  []bool
+	truthTotal int
 
 	// AutoChunk (§VII) pilot state: coarse is non-nil while the pilot
 	// phase is sampling the coarse layout; once pilotBudget frames have
@@ -96,9 +119,36 @@ func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun,
 	if src == nil {
 		return nil, fmt.Errorf("exsample: uninitialized Source — construct it with OpenProfile, Synthesize or NewShardedSource, not as a zero value")
 	}
+	var snap *shard.Snapshot
+	if src.topology != nil {
+		snap = src.topology()
+		if snap.NumActive() == 0 {
+			return nil, fmt.Errorf("exsample: source %q has no active shards (every shard is draining); attach one with AddShard first", src.name)
+		}
+	}
 	total, err := src.groundTruth(q.Class)
 	if err != nil {
 		return nil, err
+	}
+	// Elastic sources measure recall against the population the query can
+	// actually reach: the shards active right now (later syncs add shards
+	// that become active while the query runs). Frozen-layout sampler runs
+	// (NumChunks, AutoChunk) keep the classic source-wide denominator —
+	// they never fence draining shards, so every shard stays reachable.
+	var truthSeen []bool
+	frozen := opts.Strategy == StrategyExSample && (opts.NumChunks > 0 || opts.AutoChunk)
+	if snap != nil && src.shardTruth != nil && !frozen {
+		truthSeen = make([]bool, snap.Map.NumShards())
+		total = 0
+		for i := range truthSeen {
+			if snap.ShardActive(i) {
+				truthSeen[i] = true
+				total += src.shardTruth(q.Class, i)
+			}
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("exsample: class %q has no instances on any active shard of %q", q.Class, src.name)
+		}
 	}
 	detector, err := src.newDetector(q.Class)
 	if err != nil {
@@ -120,23 +170,30 @@ func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun,
 	if err != nil {
 		return nil, err
 	}
+	numFrames := src.numFrames
+	if snap != nil {
+		numFrames = snap.Map.NumFrames()
+	}
 	maxFrames := opts.MaxFrames
-	if maxFrames == 0 || maxFrames > src.numFrames {
-		maxFrames = src.numFrames
+	if maxFrames == 0 || maxFrames > numFrames {
+		maxFrames = numFrames
 	}
 	if memo != nil && !src.cacheable {
 		memo = nil
 	}
 	r := &queryRun{
-		src:       src,
-		query:     q,
-		opts:      opts,
-		detector:  detector,
-		dis:       dis,
-		curve:     curve,
-		memo:      memo,
-		rep:       &Report{Strategy: opts.Strategy},
-		maxFrames: maxFrames,
+		src:        src,
+		query:      q,
+		opts:       opts,
+		detector:   detector,
+		dis:        dis,
+		curve:      curve,
+		memo:       memo,
+		snap:       snap,
+		truthSeen:  truthSeen,
+		truthTotal: total,
+		rep:        &Report{Strategy: opts.Strategy},
+		maxFrames:  maxFrames,
 	}
 	if err := r.initStrategy(); err != nil {
 		return nil, err
@@ -178,6 +235,15 @@ func (r *queryRun) newSampler(chunks []video.Chunk, seed uint64) (*core.Sampler,
 	return core.New(chunks, cfg)
 }
 
+// numFramesNow returns the repository size under the synced topology
+// snapshot (the static source size when the topology is fixed).
+func (r *queryRun) numFramesNow() int64 {
+	if r.snap != nil {
+		return r.snap.Map.NumFrames()
+	}
+	return r.src.numFrames
+}
+
 // initStrategy builds the frame-picking state for the configured strategy.
 func (r *queryRun) initStrategy() error {
 	src := r.src
@@ -188,36 +254,55 @@ func (r *queryRun) initStrategy() error {
 			return r.initAutoChunk()
 		}
 		chunks := src.chunks
+		if r.snap != nil {
+			chunks = r.snap.Map.Chunks()
+		}
 		if opts.NumChunks > 0 {
 			var err error
-			chunks, err = video.SplitRange(0, src.numFrames, opts.NumChunks)
+			chunks, err = video.SplitRange(0, r.numFramesNow(), opts.NumChunks)
 			if err != nil {
 				return err
 			}
+		} else if r.snap != nil {
+			// Native global chunks: arm j IS global chunk j, so topology
+			// changes map directly onto sampler arms and the run follows
+			// shard churn live.
+			r.elastic = true
 		}
 		sampler, err := r.newSampler(chunks, opts.Seed)
 		if err != nil {
 			return err
+		}
+		if r.elastic {
+			// A shard already draining when the query starts is fenced
+			// from the first pick.
+			for j := range chunks {
+				if !r.snap.ChunkActive(j) {
+					if err := sampler.SetEnabled(j, false); err != nil {
+						return err
+					}
+				}
+			}
 		}
 		r.sampler = sampler
 		if opts.HomeChunkAccounting {
 			r.home = make(map[int]int)
 		}
 	case StrategyRandom:
-		order, err := video.NewUniformOrder(0, src.numFrames, xrand.New(opts.Seed))
+		order, err := video.NewUniformOrder(0, r.numFramesNow(), xrand.New(opts.Seed))
 		if err != nil {
 			return err
 		}
 		r.order = order
 	case StrategyRandomPlus:
 		hour := int64(src.fps * 3600)
-		order, err := video.NewRandomPlusOrder(0, src.numFrames, hour, xrand.New(opts.Seed))
+		order, err := video.NewRandomPlusOrder(0, r.numFramesNow(), hour, xrand.New(opts.Seed))
 		if err != nil {
 			return err
 		}
 		r.order = order
 	case StrategySequential:
-		order, err := video.NewSequentialOrder(0, src.numFrames, 1)
+		order, err := video.NewSequentialOrder(0, r.numFramesNow(), 1)
 		if err != nil {
 			return err
 		}
@@ -236,7 +321,7 @@ func (r *queryRun) initStrategy() error {
 // initAutoChunk starts the §VII "automating chunking" pilot: a coarse
 // layout whose statistics decide the adaptive re-chunking.
 func (r *queryRun) initAutoChunk() error {
-	numFrames := r.src.numFrames
+	numFrames := r.numFramesNow()
 	coarseM := 16
 	if numFrames < int64(coarseM)*4 {
 		coarseM = 1
@@ -321,12 +406,12 @@ func adaptiveChunks(pilot *core.Sampler, coarse []video.Chunk, budget int) []vid
 func (r *queryRun) initProxyTraining() error {
 	budget := r.opts.ProxyTrainBudget
 	if budget == 0 {
-		budget = r.src.numFrames / 50
+		budget = r.numFramesNow() / 50
 		if budget < int64(r.opts.ProxyTrainPositives) {
 			budget = int64(r.opts.ProxyTrainPositives)
 		}
 	}
-	order, err := video.NewUniformOrder(0, r.src.numFrames, xrand.New(r.opts.Seed^0x7ea1))
+	order, err := video.NewUniformOrder(0, r.numFramesNow(), xrand.New(r.opts.Seed^0x7ea1))
 	if err != nil {
 		return err
 	}
@@ -348,40 +433,125 @@ func (r *queryRun) enterProxyScan() error {
 	if err != nil {
 		return err
 	}
-	order, err := baseline.NewProxyOrderFunc(score, 0, r.src.numFrames, r.opts.ProxyDupRadius)
+	order, err := baseline.NewProxyOrderFunc(score, 0, r.numFramesNow(), r.opts.ProxyDupRadius)
 	if err != nil {
 		return err
 	}
 	// The scan is paid in full before the first post-scan detector call.
-	r.rep.ScanSeconds = r.src.scanSeconds(0, r.src.numFrames)
+	r.rep.ScanSeconds = r.src.scanSeconds(0, r.numFramesNow())
 	r.order = order
 	r.training = false
 	return nil
 }
 
+// syncTopology refreshes the run's view of an elastic source. It is one
+// generation compare per pick when nothing changed. When the topology
+// moved, the sampler (native-chunk runs only) gains fresh prior arms for
+// chunks that appeared and fences arms whose shard is draining; every
+// other piece of query state — per-chunk statistics, discriminator,
+// report, memo-cache keys — is untouched, because the global address
+// space is append-only. Unbounded runs also widen their frame budget so
+// an attached shard's frames stay reachable.
+func (r *queryRun) syncTopology() {
+	if r.src.topology == nil {
+		return
+	}
+	snap := r.src.topology()
+	if snap.Gen == r.snap.Gen {
+		return
+	}
+	r.snap = snap
+	// Re-derive the frame budget against the enlarged repository: an
+	// unbounded run tracks the source size, and a bounded run whose
+	// MaxFrames exceeded the old size regains headroom up to its bound.
+	if grown := snap.Map.NumFrames(); grown > r.maxFrames {
+		switch {
+		case r.opts.MaxFrames == 0:
+			r.maxFrames = grown
+		case r.opts.MaxFrames > r.maxFrames:
+			r.maxFrames = min(r.opts.MaxFrames, grown)
+		}
+	}
+	// Fold newly reachable shards into the recall denominator: a shard
+	// observed active for the first time adds its population (so recall
+	// and RecallTarget track the enlarged repository); drains subtract
+	// nothing, keeping recall monotonic. Only elastic sampler runs grow —
+	// order strategies filter draining frames but their orders were built
+	// over the original range and can never emit an attached shard's
+	// frames, so their denominator stays the population active at start.
+	if r.elastic && r.truthSeen != nil && r.src.shardTruth != nil {
+		n := snap.Map.NumShards()
+		for len(r.truthSeen) < n {
+			r.truthSeen = append(r.truthSeen, false)
+		}
+		for i := 0; i < n; i++ {
+			if !r.truthSeen[i] && snap.ShardActive(i) {
+				r.truthSeen[i] = true
+				r.truthTotal += r.src.shardTruth(r.query.Class, i)
+			}
+		}
+		r.curve.SetTotal(r.truthTotal)
+	}
+	if !r.elastic || r.sampler == nil {
+		return
+	}
+	chunks := snap.Map.Chunks()
+	if n := r.sampler.NumChunks(); len(chunks) > n {
+		if err := r.sampler.Append(chunks[n:]); err != nil {
+			r.err = err
+			return
+		}
+	}
+	for j := range chunks {
+		if err := r.sampler.SetEnabled(j, snap.ChunkActive(j)); err != nil {
+			r.err = err
+			return
+		}
+	}
+}
+
+// activeFrame reports whether a frame is pickable under the synced
+// topology (frames of draining shards are not; fixed topologies accept
+// everything).
+func (r *queryRun) activeFrame(frame int64) bool {
+	return r.snap == nil || r.snap.FrameActive(frame)
+}
+
 // next draws the next frame from the strategy's order. Chunk is -1 for
 // non-chunked strategies. ok is false when the repository is exhausted;
-// once false, it stays false.
+// once false, it stays false (an elastic attach does not resurrect an
+// exhausted query — the engine has already finalized it).
 func (r *queryRun) next() (pick core.Pick, ok bool) {
 	if r.exhausted || r.err != nil {
 		return core.Pick{}, false
 	}
+	r.syncTopology()
+	if r.err != nil {
+		return core.Pick{}, false
+	}
 	if r.training {
-		if r.trainNeed > 0 && r.trainSpent < r.trainBudget {
+		for r.trainNeed > 0 && r.trainSpent < r.trainBudget {
 			frame, ook := r.trainOrder.Next()
 			if !ook {
 				// The whole repository was consumed as training frames.
 				r.exhausted = true
 				return core.Pick{}, false
 			}
+			if !r.activeFrame(frame) {
+				// Draining shard: the frame is fenced, not charged.
+				continue
+			}
 			r.trainSpent++
 			return core.Pick{Frame: frame, Chunk: -1}, true
 		}
-		// Budget exhausted without enough labels: degrade to plain random
-		// sampling, continuing the training order so frames do not repeat
-		// (BlazeIt's rare-class fallback, §II-B). No scan is charged.
-		r.training = false
-		r.order = r.trainOrder
+		if r.training {
+			// Budget exhausted without enough labels: degrade to plain
+			// random sampling, continuing the training order so frames do
+			// not repeat (BlazeIt's rare-class fallback, §II-B). No scan
+			// is charged.
+			r.training = false
+			r.order = r.trainOrder
+		}
 	}
 	if r.sampler != nil {
 		if r.coarse != nil && r.rep.FramesProcessed >= r.pilotBudget {
@@ -408,12 +578,18 @@ func (r *queryRun) next() (pick core.Pick, ok bool) {
 		}
 		return p, true
 	}
-	frame, ook := r.order.Next()
-	if !ook {
-		r.exhausted = true
-		return core.Pick{}, false
+	for {
+		frame, ook := r.order.Next()
+		if !ook {
+			r.exhausted = true
+			return core.Pick{}, false
+		}
+		if !r.activeFrame(frame) {
+			// Draining shard: skip the frame without charging anything.
+			continue
+		}
+		return core.Pick{Frame: frame, Chunk: -1}, true
 	}
-	return core.Pick{Frame: frame, Chunk: -1}, true
 }
 
 // detectBatch runs the detector on a batch of frames, consulting the

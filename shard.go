@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"github.com/exsample/exsample/internal/detect"
@@ -20,21 +21,72 @@ import (
 // chunk is "just another source of Propose/Detect work", so a shard (a
 // machine's worth of chunks) is too.
 //
+// The shard set is elastic. AddShard attaches a new dataset while queries
+// are running: its frames, chunks and truth ids append past the existing
+// global space (addresses never move), and every in-flight query picks the
+// new chunks up at its next round boundary with fresh belief arms — its
+// existing per-chunk statistics, proxy scores and memo-cache entries carry
+// across untouched. DrainShard retires a shard the same way: batches
+// already in flight finish and apply, but the shard's chunks are fenced
+// out of every sampler and its frames receive no new picks; the shard's
+// data stays resident so old detections remain extendable and decodable.
+// Each mutation publishes a new generation-counted snapshot; queries
+// compare generations at round boundaries, so a stable topology costs one
+// atomic load per pick.
+//
 // Determinism is unchanged: a seeded query over a 1-shard source is
-// byte-identical to Dataset.Search on the underlying dataset, and a
-// multi-shard query is reproducible for a fixed seed and shard order.
+// byte-identical to Dataset.Search on the underlying dataset, a
+// multi-shard query is reproducible for a fixed seed and shard order, and
+// — because fenced chunks are skipped before the sampling policy draws any
+// randomness — attaching and immediately draining a shard mid-query leaves
+// a seeded Report byte-identical to a run that never saw the churn.
 // Objects never span shards (frame ranges are disjoint), so the
 // discriminator's distinct-object guarantee is preserved; ground-truth
 // populations simply add.
 //
-// ShardedSource is safe for concurrent use by any number of queries.
+// ShardedSource is safe for concurrent use by any number of queries, and
+// AddShard/DrainShard may be called concurrently with running queries.
 type ShardedSource struct {
-	name    string
-	shards  []*Dataset
-	m       *shard.Map
+	name string
+	qs   *querySource
+
+	// mu serializes topology mutations (AddShard, DrainShard); readers go
+	// through the topo pointer and never block.
+	mu   sync.Mutex
+	topo atomic.Pointer[shardedTopo]
+}
+
+// shardedTopo is one immutable generation of the composed repository:
+// the address snapshot plus the slot-aligned member list and the merged
+// ground-truth populations. Mutations build a fresh shardedTopo and
+// publish it atomically.
+type shardedTopo struct {
+	snap    *shard.Snapshot
+	members []*shardMember
 	counts  map[string]int
-	detects []atomic.Int64 // per-shard detector invocations (cache hits excluded)
-	qs      *querySource
+}
+
+// shardMember is one attached dataset and its per-shard counters. Members
+// are append-only: a slot, once assigned, always refers to the same
+// dataset, draining or not.
+type shardMember struct {
+	ds      *Dataset
+	detects atomic.Int64 // detector invocations routed here (cache hits excluded)
+}
+
+// shardPart builds the address-space description of a dataset.
+func shardPart(d *Dataset) shard.Part {
+	bound := 0
+	for _, in := range d.inner.Instances {
+		if in.ID+1 > bound {
+			bound = in.ID + 1
+		}
+	}
+	return shard.Part{
+		NumFrames:    d.NumFrames(),
+		Chunks:       d.inner.Chunks,
+		TruthIDBound: bound,
+	}
 }
 
 // NewShardedSource composes the given datasets, in order, into one
@@ -42,43 +94,36 @@ type ShardedSource struct {
 // cost model; frames are charged at their owning shard's rates. One global
 // property is taken from shard 0: the recording rate used for random+'s
 // hour-granularity stratification — compose shards of equal FPS when that
-// baseline's stratum boundaries matter.
+// baseline's stratum boundaries matter. More shards can be attached later
+// with AddShard and retired with DrainShard.
 func NewShardedSource(name string, shards ...*Dataset) (*ShardedSource, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("exsample: sharded source needs at least one shard")
 	}
 	parts := make([]shard.Part, len(shards))
 	counts := make(map[string]int)
+	members := make([]*shardMember, len(shards))
 	for i, d := range shards {
 		if d == nil {
 			return nil, fmt.Errorf("exsample: shard %d is nil", i)
 		}
-		bound := 0
-		for _, in := range d.inner.Instances {
-			if in.ID+1 > bound {
-				bound = in.ID + 1
-			}
-		}
-		parts[i] = shard.Part{
-			NumFrames:    d.NumFrames(),
-			Chunks:       d.inner.Chunks,
-			TruthIDBound: bound,
-		}
+		parts[i] = shardPart(d)
 		for class, n := range d.inner.CountByClass {
 			counts[class] += n
 		}
+		members[i] = &shardMember{ds: d}
 	}
 	m, err := shard.New(parts)
 	if err != nil {
 		return nil, err
 	}
-	s := &ShardedSource{
-		name:    name,
-		shards:  append([]*Dataset(nil), shards...),
-		m:       m,
+	s := &ShardedSource{name: name}
+	status := make([]shard.Status, len(shards))
+	s.topo.Store(&shardedTopo{
+		snap:    &shard.Snapshot{Gen: 1, Map: m, Status: status},
+		members: members,
 		counts:  counts,
-		detects: make([]atomic.Int64, len(shards)),
-	}
+	})
 	cacheable := true
 	for _, d := range shards {
 		if d.failAfter > 0 {
@@ -94,15 +139,22 @@ func NewShardedSource(name string, shards ...*Dataset) (*ShardedSource, error) {
 		numShards: len(shards),
 		cacheable: cacheable,
 		shardOf: func(frame int64) int {
-			sh, _ := m.Locate(frame)
+			sh, _ := s.topo.Load().snap.Map.Locate(frame)
 			return sh
 		},
+		topology: func() *shard.Snapshot {
+			return s.topo.Load().snap
+		},
 		decodeCost: func(frame int64) float64 {
-			sh, local := m.Locate(frame)
-			return s.shards[sh].dec.Cost(local)
+			t := s.topo.Load()
+			sh, local := t.snap.Map.Locate(frame)
+			return t.members[sh].ds.dec.Cost(local)
 		},
 		scanSeconds: s.scanSeconds,
 		groundTruth: s.GroundTruthCount,
+		shardTruth: func(class string, shard int) int {
+			return s.topo.Load().members[shard].ds.inner.CountByClass[class]
+		},
 		newDetector: s.newDetector,
 		newExtender: s.newExtender,
 		newScorer:   s.newScorer,
@@ -110,34 +162,115 @@ func NewShardedSource(name string, shards ...*Dataset) (*ShardedSource, error) {
 	return s, nil
 }
 
+// AddShard attaches one more dataset to the composed repository and
+// returns its shard index. The new shard's frames, chunks and truth ids
+// append past the existing global space, so no running query's state is
+// invalidated; every query discovers the new chunks at its next round
+// boundary and starts sampling them from the belief prior. Queries
+// submitted after AddShard returns see the enlarged repository (classes
+// and ground-truth populations included) immediately.
+//
+// Failure-injected datasets (WithDetectorFailureAfter) must be present at
+// construction — attaching one later would silently poison the memo cache
+// of queries already running with cacheable output — and are rejected.
+func (s *ShardedSource) AddShard(d *Dataset) (int, error) {
+	if d == nil {
+		return 0, fmt.Errorf("exsample: cannot attach a nil shard")
+	}
+	if d.failAfter > 0 {
+		return 0, fmt.Errorf("exsample: failure-injected shards must be composed at construction, not attached live")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.topo.Load()
+	m, err := old.snap.Map.Extend(shardPart(d))
+	if err != nil {
+		return 0, err
+	}
+	slot := len(old.members)
+	counts := make(map[string]int, len(old.counts))
+	for class, n := range old.counts {
+		counts[class] = n
+	}
+	for class, n := range d.inner.CountByClass {
+		counts[class] += n
+	}
+	status := append(append(make([]shard.Status, 0, slot+1), old.snap.Status...), shard.Active)
+	members := append(append(make([]*shardMember, 0, slot+1), old.members...), &shardMember{ds: d})
+	s.topo.Store(&shardedTopo{
+		snap:    &shard.Snapshot{Gen: old.snap.Gen + 1, Map: m, Status: status},
+		members: members,
+		counts:  counts,
+	})
+	return slot, nil
+}
+
+// DrainShard retires shard i: detector batches already in flight finish
+// and their results apply normally, but the shard's chunks are fenced out
+// of every running query's sampler at its next round boundary and no new
+// picks route to the shard. The shard's dataset stays resident — frames
+// already processed remain decodable and their detections extendable — so
+// draining never perturbs the belief state built from the shard's past
+// samples. Draining the last active shard is allowed; new queries then
+// fail with a clear error until a shard is attached.
+func (s *ShardedSource) DrainShard(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.topo.Load()
+	if i < 0 || i >= len(old.members) {
+		return fmt.Errorf("exsample: shard %d out of range [0, %d)", i, len(old.members))
+	}
+	if old.snap.Status[i] == shard.Draining {
+		return fmt.Errorf("exsample: shard %d is already draining", i)
+	}
+	status := append(make([]shard.Status, 0, len(old.snap.Status)), old.snap.Status...)
+	status[i] = shard.Draining
+	s.topo.Store(&shardedTopo{
+		snap:    &shard.Snapshot{Gen: old.snap.Gen + 1, Map: old.snap.Map, Status: status},
+		members: old.members,
+		counts:  old.counts,
+	})
+	return nil
+}
+
+// Generation returns the current topology generation: 1 at construction,
+// incremented by every AddShard/DrainShard. Running queries re-fence their
+// samplers when they observe the generation move.
+func (s *ShardedSource) Generation() uint64 { return s.topo.Load().snap.Gen }
+
 // Name returns the composed source's name.
 func (s *ShardedSource) Name() string { return s.name }
 
-// NumFrames returns the total frame count across shards.
-func (s *ShardedSource) NumFrames() int64 { return s.m.NumFrames() }
+// NumFrames returns the total frame count across all attached shards,
+// draining ones included (their frames remain addressable).
+func (s *ShardedSource) NumFrames() int64 { return s.topo.Load().snap.Map.NumFrames() }
 
-// NumChunks returns the total native chunk count across shards.
-func (s *ShardedSource) NumChunks() int { return len(s.m.Chunks()) }
+// NumChunks returns the total native chunk count across attached shards.
+func (s *ShardedSource) NumChunks() int { return len(s.topo.Load().snap.Map.Chunks()) }
 
-// NumShards returns the number of composed shards.
-func (s *ShardedSource) NumShards() int { return len(s.shards) }
+// NumShards returns the number of attached shards, draining ones included.
+func (s *ShardedSource) NumShards() int { return len(s.topo.Load().members) }
+
+// NumActiveShards returns how many shards currently accept new picks.
+func (s *ShardedSource) NumActiveShards() int { return s.topo.Load().snap.NumActive() }
 
 // Shard returns the i-th underlying dataset.
-func (s *ShardedSource) Shard(i int) *Dataset { return s.shards[i] }
+func (s *ShardedSource) Shard(i int) *Dataset { return s.topo.Load().members[i].ds }
 
 // Hours returns the repository length in hours of video across shards.
 func (s *ShardedSource) Hours() float64 {
 	var h float64
-	for _, d := range s.shards {
-		h += d.Hours()
+	for _, mem := range s.topo.Load().members {
+		h += mem.ds.Hours()
 	}
 	return h
 }
 
 // Classes lists the union of the shards' searchable classes, sorted.
 func (s *ShardedSource) Classes() []string {
-	out := make([]string, 0, len(s.counts))
-	for c := range s.counts {
+	counts := s.topo.Load().counts
+	out := make([]string, 0, len(counts))
+	for c := range counts {
 		out = append(out, c)
 	}
 	sort.Strings(out)
@@ -145,9 +278,11 @@ func (s *ShardedSource) Classes() []string {
 }
 
 // GroundTruthCount returns the summed distinct-instance population of a
-// class across shards.
+// class across attached shards. Draining shards stay in the total: their
+// data is still resident, and shrinking a running query's recall
+// denominator mid-flight would make recall non-monotonic.
 func (s *ShardedSource) GroundTruthCount(class string) (int, error) {
-	n, ok := s.counts[class]
+	n, ok := s.topo.Load().counts[class]
 	if !ok {
 		return 0, fmt.Errorf("exsample: sharded source %q has no class %q", s.name, class)
 	}
@@ -176,10 +311,12 @@ func (s *ShardedSource) querySource() *querySource {
 
 // ShardStat is one shard's contribution to the queries run so far.
 type ShardStat struct {
-	// Shard is the shard index in composition order.
+	// Shard is the shard index in attachment order.
 	Shard int
 	// Name is the underlying dataset's profile name.
 	Name string
+	// Status is the shard's lifecycle state: "active" or "draining".
+	Status string
 	// NumFrames is the shard's repository size.
 	NumFrames int64
 	// DetectCalls counts detector invocations routed to the shard across
@@ -188,30 +325,35 @@ type ShardStat struct {
 	DetectCalls int64
 }
 
-// ShardStats snapshots the per-shard detector traffic — the fan-out
-// visibility knob for dashboards and the fairness tests.
+// ShardStats snapshots the per-shard detector traffic and lifecycle state
+// — the fan-out visibility knob for dashboards and the fairness tests.
 func (s *ShardedSource) ShardStats() []ShardStat {
-	out := make([]ShardStat, len(s.shards))
-	for i, d := range s.shards {
+	t := s.topo.Load()
+	out := make([]ShardStat, len(t.members))
+	for i, mem := range t.members {
 		out[i] = ShardStat{
 			Shard:       i,
-			Name:        d.Name(),
-			NumFrames:   d.NumFrames(),
-			DetectCalls: s.detects[i].Load(),
+			Name:        mem.ds.Name(),
+			Status:      t.snap.Status[i].String(),
+			NumFrames:   mem.ds.NumFrames(),
+			DetectCalls: mem.detects.Load(),
 		}
 	}
 	return out
 }
 
 // scanSeconds charges a proxy-scoring pass over a global frame range at
-// each overlapped shard's own scan throughput.
+// each overlapped shard's own scan throughput. Draining shards still
+// charge — their data remains scannable.
 func (s *ShardedSource) scanSeconds(start, end int64) float64 {
+	t := s.topo.Load()
+	m := t.snap.Map
 	var total float64
-	for i, d := range s.shards {
-		off := s.m.Offset(i)
-		lo, hi := max(start, off), min(end, off+s.m.ShardFrames(i))
+	for i, mem := range t.members {
+		off := m.Offset(i)
+		lo, hi := max(start, off), min(end, off+m.ShardFrames(i))
 		if hi > lo {
-			total += d.cost.ScanSeconds(hi - lo)
+			total += mem.ds.cost.ScanSeconds(hi - lo)
 		}
 	}
 	return total
@@ -221,52 +363,93 @@ func (s *ShardedSource) scanSeconds(start, end int64) float64 {
 // shard's own batched detector — its attached Backend when one is
 // configured, otherwise its simulated detector (with that shard's noise,
 // cost and failure injection) — and detections come back remapped into
-// global coordinates. This is where a ShardedSource routes each shard to
-// its own endpoint: every shard keeps its own backend.
+// global coordinates. Per-shard detectors are built lazily per query, so a
+// shard attached after the query started is served the moment a pick
+// routes to it. This is where a ShardedSource routes each shard to its own
+// endpoint: every shard keeps its own backend.
 func (s *ShardedSource) newDetector(class string) (detect.BatchDetector, error) {
-	dets := make([]detect.BatchDetector, len(s.shards))
-	for i, d := range s.shards {
-		det, err := d.newBatchDetector(class)
-		if err != nil {
-			return nil, err
-		}
-		dets[i] = det
-	}
-	return &shardedDetector{m: s.m, dets: dets, counts: s.detects}, nil
+	return &shardedDetector{src: s, class: class}, nil
 }
 
 // newExtender builds the discriminator's tracker model: a detection is
 // extended by its owning shard's ground-truth tracker and the predicted
-// track is translated back to global frames.
+// track is translated back to global frames. The coverage parameter is
+// validated eagerly; per-shard extenders are built lazily so detections
+// from late-attached shards extend too.
 func (s *ShardedSource) newExtender(coverage float64) (discrim.Extender, error) {
-	exts := make([]discrim.Extender, len(s.shards))
-	for i, d := range s.shards {
-		ext, err := discrim.NewTruthExtender(d.inner.Index, coverage)
-		if err != nil {
-			return nil, err
-		}
-		exts[i] = ext
+	// Validate coverage once, against the first member — construction can
+	// only fail on the parameter, which is identical for every shard.
+	first, err := discrim.NewTruthExtender(s.topo.Load().members[0].ds.inner.Index, coverage)
+	if err != nil {
+		return nil, err
 	}
-	return &shardedExtender{m: s.m, exts: exts}, nil
+	return &shardedExtender{src: s, coverage: coverage, exts: []discrim.Extender{first}}, nil
 }
 
 // newScorer builds the routed proxy scorer. Shard 0 keeps the caller's
 // seed unchanged so a 1-shard source scores byte-identically to its
-// underlying dataset; later shards decorrelate their hash noise.
+// underlying dataset; later shards decorrelate their hash noise by slot,
+// so a shard's scores do not depend on when it was attached. Per-shard
+// scorers are built lazily for the same reason as detectors.
 func (s *ShardedSource) newScorer(class string, quality float64, seed uint64) (func(int64) float64, error) {
-	scores := make([]func(int64) float64, len(s.shards))
-	for i, d := range s.shards {
-		score, err := d.qs.newScorer(class, quality, seed+uint64(i)*0x9e3779b97f4a7c15)
-		if err != nil {
-			return nil, err
-		}
-		scores[i] = score
+	// Validate (class, quality) once against shard 0, like the eager path.
+	first, err := s.topo.Load().members[0].ds.qs.newScorer(class, quality, seed)
+	if err != nil {
+		return nil, err
 	}
-	m := s.m
-	return func(frame int64) float64 {
-		sh, local := m.Locate(frame)
-		return scores[sh](local)
-	}, nil
+	sc := &shardedScorer{src: s, class: class, quality: quality, seed: seed}
+	sc.scores.Store(&[]func(int64) float64{first})
+	return sc.score, nil
+}
+
+// shardedScorer routes per-frame proxy scores to lazily built per-shard
+// scorers. score is a hot path (a proxy scan calls it once per repository
+// frame), so the built scorers live behind an atomic copy-on-write slice:
+// the fast path is one extra atomic load over the old eager design, and
+// the mutex is taken only to build a late-attached shard's scorer.
+type shardedScorer struct {
+	src     *ShardedSource
+	class   string
+	quality float64
+	seed    uint64
+
+	scores atomic.Pointer[[]func(int64) float64]
+	mu     sync.Mutex // serializes slow-path slice growth
+}
+
+func (sc *shardedScorer) score(frame int64) float64 {
+	t := sc.src.topo.Load()
+	sh, local := t.snap.Map.Locate(frame)
+	if sp := *sc.scores.Load(); sh < len(sp) {
+		return sp[sh](local)
+	}
+	return sc.scoreSlow(t, sh, local)
+}
+
+// scoreSlow grows the scorer slice to cover a late-attached shard.
+func (sc *shardedScorer) scoreSlow(t *shardedTopo, sh int, local int64) float64 {
+	sc.mu.Lock()
+	cur := *sc.scores.Load()
+	if sh < len(cur) {
+		sc.mu.Unlock()
+		return cur[sh](local)
+	}
+	next := append(make([]func(int64) float64, 0, sh+1), cur...)
+	for len(next) <= sh {
+		slot := len(next)
+		score, err := t.members[slot].ds.qs.newScorer(sc.class, sc.quality,
+			sc.seed+uint64(slot)*0x9e3779b97f4a7c15)
+		if err != nil {
+			// Unreachable after the eager validation (construction fails
+			// only on quality, identical across shards); score the frame
+			// as class-absent rather than panicking mid-query.
+			score = func(int64) float64 { return 0 }
+		}
+		next = append(next, score)
+	}
+	sc.scores.Store(&next)
+	sc.mu.Unlock()
+	return next[sh](local)
 }
 
 // shardedDetector routes batches of global frames to per-shard batched
@@ -280,14 +463,43 @@ func (s *ShardedSource) newScorer(class string, quality float64, seed uint64) (f
 // use, like every shard detector it wraps. Each frame's cost comes from
 // its owning shard's detector, so heterogeneous fleets are charged
 // accurately.
+//
+// Per-shard detectors are built lazily under a mutex, which is what lets a
+// query started before an AddShard route picks to the new shard without
+// rebuilding its pipeline; frames of draining shards still resolve, so
+// batches in flight across a drain finish normally.
 type shardedDetector struct {
-	m      *shard.Map
-	dets   []detect.BatchDetector
-	counts []atomic.Int64
+	src   *ShardedSource
+	class string
+
+	mu   sync.Mutex
+	dets []detect.BatchDetector // slot-indexed, built on first use
+}
+
+// detector returns the slot's batched detector, building it on first use.
+func (s *shardedDetector) detector(t *shardedTopo, slot int) (detect.BatchDetector, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.dets) <= slot {
+		s.dets = append(s.dets, nil)
+	}
+	if s.dets[slot] == nil {
+		det, err := t.members[slot].ds.newBatchDetector(s.class)
+		if err != nil {
+			return nil, err
+		}
+		s.dets[slot] = det
+	}
+	return s.dets[slot], nil
 }
 
 // DetectBatch implements detect.BatchDetector over the global frame space.
 func (s *shardedDetector) DetectBatch(ctx context.Context, global []int64) ([]detect.FrameOutput, error) {
+	// One topology load per batch: the append-only address space means a
+	// snapshot taken here stays valid however the topology moves while the
+	// batch is in flight.
+	t := s.src.topo.Load()
+	m := t.snap.Map
 	// Carve the batch into per-shard groups (stable: a shard's frames keep
 	// their relative order; groups appear in first-touch order).
 	type group struct {
@@ -298,7 +510,7 @@ func (s *shardedDetector) DetectBatch(ctx context.Context, global []int64) ([]de
 	var groups []*group
 	byShard := make(map[int]*group)
 	for i, g := range global {
-		sh, local := s.m.Locate(g)
+		sh, local := m.Locate(g)
 		grp := byShard[sh]
 		if grp == nil {
 			grp = &group{sh: sh}
@@ -310,19 +522,23 @@ func (s *shardedDetector) DetectBatch(ctx context.Context, global []int64) ([]de
 	}
 	out := make([]detect.FrameOutput, len(global))
 	for _, grp := range groups {
-		outs, err := s.dets[grp.sh].DetectBatch(ctx, grp.local)
+		det, err := s.detector(t, grp.sh)
+		if err != nil {
+			return nil, err
+		}
+		outs, err := det.DetectBatch(ctx, grp.local)
 		if err != nil {
 			return nil, err
 		}
 		if len(outs) != len(grp.local) {
 			return nil, fmt.Errorf("exsample: shard %d returned %d results for a %d-frame batch", grp.sh, len(outs), len(grp.local))
 		}
-		s.counts[grp.sh].Add(int64(len(grp.local)))
+		t.members[grp.sh].detects.Add(int64(len(grp.local)))
 		for k, fo := range outs {
 			dets := make([]track.Detection, len(fo.Dets))
 			for j, d := range fo.Dets {
-				d.Frame = s.m.Global(grp.sh, d.Frame)
-				d.TruthID = s.m.GlobalTruthID(grp.sh, d.TruthID)
+				d.Frame = m.Global(grp.sh, d.Frame)
+				d.TruthID = m.GlobalTruthID(grp.sh, d.TruthID)
 				dets[j] = d
 			}
 			if len(dets) == 0 {
@@ -335,20 +551,52 @@ func (s *shardedDetector) DetectBatch(ctx context.Context, global []int64) ([]de
 }
 
 // shardedExtender routes detections to per-shard tracker models and
-// translates the predicted tracks back into global frames.
+// translates the predicted tracks back into global frames. Extenders are
+// built lazily by slot so detections on late-attached shards extend too.
 type shardedExtender struct {
-	m    *shard.Map
+	src      *ShardedSource
+	coverage float64
+
+	mu   sync.Mutex
 	exts []discrim.Extender
+}
+
+// extender returns the slot's tracker model, building it on first use.
+func (s *shardedExtender) extender(t *shardedTopo, slot int) discrim.Extender {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.exts) <= slot {
+		next := len(s.exts)
+		var ext discrim.Extender
+		ext, err := discrim.NewTruthExtender(t.members[next].ds.inner.Index, s.coverage)
+		if err != nil {
+			// Unreachable after the eager coverage validation; fall back to
+			// the no-extension model rather than panicking mid-query.
+			ext = identityExtender{}
+		}
+		s.exts = append(s.exts, ext)
+	}
+	return s.exts[slot]
+}
+
+// identityExtender predicts a single-frame track — the defensive fallback
+// for an extender that failed lazy construction.
+type identityExtender struct{}
+
+func (identityExtender) Extend(det track.Detection) discrim.PredictedTrack {
+	return discrim.PredictedTrack{Start: det.Frame, End: det.Frame, StartBox: det.Box, EndBox: det.Box}
 }
 
 // Extend implements discrim.Extender over the global frame space.
 func (s *shardedExtender) Extend(det track.Detection) discrim.PredictedTrack {
-	sh, local := s.m.Locate(det.Frame)
+	t := s.src.topo.Load()
+	m := t.snap.Map
+	sh, local := m.Locate(det.Frame)
 	ld := det
 	ld.Frame = local
-	ld.TruthID = s.m.LocalTruthID(sh, det.TruthID)
-	tr := s.exts[sh].Extend(ld)
-	tr.Start = s.m.Global(sh, tr.Start)
-	tr.End = s.m.Global(sh, tr.End)
+	ld.TruthID = m.LocalTruthID(sh, det.TruthID)
+	tr := s.extender(t, sh).Extend(ld)
+	tr.Start = m.Global(sh, tr.Start)
+	tr.End = m.Global(sh, tr.End)
 	return tr
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/exsample/exsample/internal/detect"
 	"github.com/exsample/exsample/internal/discrim"
+	"github.com/exsample/exsample/internal/shard"
 	"github.com/exsample/exsample/internal/video"
 )
 
@@ -62,6 +63,14 @@ type querySource struct {
 	// affinity grouping; shardOf is nil for unsharded sources.
 	numShards int
 	shardOf   func(frame int64) int
+	// topology, when non-nil, returns the source's current elastic
+	// topology snapshot (generation-counted, append-only address space).
+	// The query pipeline compares generations at every pick: when the
+	// topology moves, newly attached shards' chunks become fresh sampler
+	// arms and draining shards' chunks are fenced, with all other belief
+	// state carried across. nil means the topology is fixed for the
+	// source's lifetime (a local Dataset).
+	topology func() *shard.Snapshot
 	// cacheable is false when detector output is not a pure function of
 	// (source, class, frame) — e.g. under failure injection — and the
 	// memo cache must be bypassed.
@@ -73,6 +82,15 @@ type querySource struct {
 	scanSeconds func(start, end int64) float64
 	// groundTruth returns the distinct-instance population of a class.
 	groundTruth func(class string) (int, error)
+	// shardTruth returns one shard's population of a class (0 when the
+	// shard lacks it). Non-nil only for elastic sources: the query
+	// pipeline uses it to measure recall against the shards the query has
+	// actually been able to reach — shards active at submission plus any
+	// observed active at a later topology sync — so an attached shard
+	// grows a running query's recall denominator the moment it becomes
+	// samplable, while a shard attached and drained unseen changes
+	// nothing.
+	shardTruth func(class string, shard int) int
 	// newDetector builds the per-class batched detector: the attached
 	// public Backend behind an adapter when one is configured, otherwise
 	// the simulated detector (with any failure injection applied).
