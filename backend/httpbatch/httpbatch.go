@@ -156,6 +156,19 @@ type Stats struct {
 	ServerSeconds float64
 }
 
+// bufPool recycles the JSON buffers whose lifetimes are provably
+// synchronous: the client's response reads and the handler's response
+// encodes. (Client request bodies are NOT pooled — see DetectBatchCost.)
+// Shared across clients and handlers: the buffers are opaque scratch, and
+// a process typically runs many endpoint clients (one per shard replica)
+// with identical traffic shapes.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// reqPool recycles the Handler's decoded request structs; encoding/json
+// reuses the Frames slice capacity when decoding into a non-nil slice, so
+// a warm handler stops allocating a frames array per request.
+var reqPool = sync.Pool{New: func() any { return new(request) }}
+
 // Client is a remote HTTP batch detector backend. It implements both
 // backend.Backend and backend.BatchCoster, so the pipeline charges the
 // server-reported latency of every batch. Client is safe for concurrent
@@ -223,6 +236,14 @@ func (c *Client) DetectBatchCost(ctx context.Context, class string, frames []int
 		return nil, nil, ctx.Err()
 	}
 
+	// The request body is deliberately NOT pooled: net/http's transport
+	// may keep reading (or closing) the body reader from its own goroutine
+	// after Do returns — on failed attempts, and in edge cases (early
+	// server response) even on successful ones — so no point in this
+	// function can prove the backing array is free for reuse. Request
+	// bodies are tiny (~20 bytes/frame); the recycled buffers are the
+	// response reads below and the handler's decode/encode, whose
+	// lifetimes are synchronous.
 	body, err := json.Marshal(request{Class: class, Frames: frames})
 	if err != nil {
 		return nil, nil, fmt.Errorf("httpbatch: encode request: %w", err)
@@ -356,15 +377,19 @@ func (c *Client) attempt(ctx context.Context, body []byte) (resp response, retry
 	}
 	// Read the body before decoding so a connection reset mid-body (after
 	// a 200 status) stays a retryable transport failure; only a body that
-	// arrived whole but does not parse is a terminal protocol error.
-	payload, err := io.ReadAll(httpResp.Body)
-	if err != nil {
+	// arrived whole but does not parse is a terminal protocol error. The
+	// read buffer is pooled — json.Unmarshal copies what the response
+	// keeps, so the raw payload can be recycled immediately.
+	respBuf := bufPool.Get().(*bytes.Buffer)
+	respBuf.Reset()
+	defer bufPool.Put(respBuf)
+	if _, err := respBuf.ReadFrom(httpResp.Body); err != nil {
 		if ctx.Err() != nil {
 			return response{}, false, ctx.Err()
 		}
 		return response{}, true, fmt.Errorf("httpbatch: read response: %w", err)
 	}
-	if err := json.Unmarshal(payload, &resp); err != nil {
+	if err := json.Unmarshal(respBuf.Bytes(), &resp); err != nil {
 		return response{}, false, fmt.Errorf("httpbatch: decode response: %w", err)
 	}
 	return resp, false, nil
@@ -391,8 +416,10 @@ func Handler(b backend.Backend) http.Handler {
 			http.Error(w, "httpbatch: POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		var req request
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		req := reqPool.Get().(*request)
+		defer reqPool.Put(req)
+		req.Class, req.Frames = "", req.Frames[:0]
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(req); err != nil {
 			http.Error(w, fmt.Sprintf("httpbatch: bad request: %v", err), http.StatusBadRequest)
 			return
 		}
@@ -441,10 +468,17 @@ func Handler(b backend.Backend) http.Handler {
 			}
 			resp.Results[i] = wire
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			// The response is already streaming; nothing recoverable.
+		// Encode into a pooled buffer first: the response hits the wire in
+		// one write, and an encode failure can still surface as a 500
+		// instead of a half-written body.
+		out := bufPool.Get().(*bytes.Buffer)
+		out.Reset()
+		defer bufPool.Put(out)
+		if err := json.NewEncoder(out).Encode(resp); err != nil {
+			http.Error(w, fmt.Sprintf("httpbatch: encode response: %v", err), http.StatusInternalServerError)
 			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out.Bytes())
 	})
 }

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/exsample/exsample/backend"
@@ -155,6 +156,12 @@ type Router struct {
 	mu       sync.Mutex
 
 	failovers int64 // batches rescued by a sibling after a failure
+
+	// breakerOpens counts breaker open transitions (healthy/half-open →
+	// open) over the router's lifetime — the capacity-loss edge the
+	// adaptive batch sizer watches. Atomic so per-round polls never touch
+	// the routing locks.
+	breakerOpens atomic.Int64
 
 	probeStop chan struct{}
 	probeDone chan struct{}
@@ -368,6 +375,9 @@ func (r *Router) noteFailure(rep *replica, err error) {
 	rep.lastErr = err
 	rep.lastErrAt = time.Now()
 	if rep.state == HalfOpen || rep.consecFails >= r.cfg.FailureThreshold {
+		if rep.state != Open {
+			r.breakerOpens.Add(1)
+		}
 		rep.state = Open
 		rep.openedAt = time.Now()
 		rep.trial = false
@@ -537,4 +547,47 @@ func (r *Router) Failovers() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.failovers
+}
+
+// BreakerOpens returns the cumulative count of circuit-breaker open
+// transitions across the fleet. It is the capacity-loss signal the
+// adaptive batch sizer polls once per scheduling round: any increase means
+// a replica just dropped out, so the sustainable batch quota shrank
+// whatever the latency EWMA still says. The read is one atomic load —
+// safe at any polling rate.
+func (r *Router) BreakerOpens() int64 { return r.breakerOpens.Load() }
+
+// SizerSignal is the batch-sizer-facing slice of the router's health
+// state: how much capacity is live, how much is cooling down, and the
+// fleet's achievable per-batch latency.
+type SizerSignal struct {
+	// HealthyReplicas counts replicas currently admitting traffic;
+	// OpenBreakers counts replicas excluded while their breaker cools.
+	HealthyReplicas, OpenBreakers int
+	// BreakerOpens is the cumulative open-transition count (see the
+	// method of the same name).
+	BreakerOpens int64
+	// EWMALatencySeconds is the lowest per-batch latency EWMA among
+	// healthy measured replicas (0 when none has served traffic yet) —
+	// the "flat" reference a sizer can compare a round's observed batch
+	// latency against.
+	EWMALatencySeconds float64
+}
+
+// SizerSignal snapshots the sizer-facing health signal.
+func (r *Router) SizerSignal() SizerSignal {
+	sig := SizerSignal{BreakerOpens: r.breakerOpens.Load()}
+	for _, rep := range r.replicas {
+		rep.mu.Lock()
+		if rep.state == Open {
+			sig.OpenBreakers++
+		} else {
+			sig.HealthyReplicas++
+			if rep.ewmaSeconds > 0 && (sig.EWMALatencySeconds == 0 || rep.ewmaSeconds < sig.EWMALatencySeconds) {
+				sig.EWMALatencySeconds = rep.ewmaSeconds
+			}
+		}
+		rep.mu.Unlock()
+	}
+	return sig
 }

@@ -384,3 +384,48 @@ func BenchmarkRouterFailover(b *testing.B) {
 		})
 	}
 }
+
+// TestSizerSignalCountsBreakerOpens: the sizer-facing signal reports one
+// cumulative open event per breaker transition (not per failure), the
+// live/cooling replica split, and the healthy fleet's best latency EWMA.
+func TestSizerSignalCountsBreakerOpens(t *testing.T) {
+	fakes, bs := fleet(2)
+	// Threshold 1: the first failure trips the breaker, so the weighted
+	// pick's passive avoidance of the slow failed replica cannot keep the
+	// breaker half-shut for the whole test.
+	r, err := New(Config{Replicas: bs, FailureThreshold: 1, Cooldown: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if sig := r.SizerSignal(); sig.BreakerOpens != 0 || sig.HealthyReplicas != 2 {
+		t.Fatalf("fresh signal = %+v, want 2 healthy / 0 opens", sig)
+	}
+	// A few healthy batches establish a latency EWMA.
+	for i := 0; i < 4; i++ {
+		if _, err := r.DetectBatch(ctx, "car", []int64{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sig := r.SizerSignal(); sig.EWMALatencySeconds <= 0 {
+		t.Fatalf("no latency EWMA after healthy traffic: %+v", sig)
+	}
+	// Kill replica 0 and drive its breaker open; every failed batch is
+	// rescued by a sibling, so the caller never sees an error.
+	fakes[0].dead.Store(true)
+	for i := 0; i < 6; i++ {
+		if _, err := r.DetectBatch(ctx, "car", []int64{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sig := r.SizerSignal()
+	if sig.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d after one replica died, want 1 (signal %+v)", sig.BreakerOpens, sig)
+	}
+	if sig.OpenBreakers != 1 || sig.HealthyReplicas != 1 {
+		t.Fatalf("signal = %+v, want 1 open / 1 healthy", sig)
+	}
+	if r.BreakerOpens() != 1 {
+		t.Fatalf("BreakerOpens() = %d, want 1", r.BreakerOpens())
+	}
+}

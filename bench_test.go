@@ -21,6 +21,7 @@ import (
 
 	exsample "github.com/exsample/exsample"
 	"github.com/exsample/exsample/backend/httpbatch"
+	"github.com/exsample/exsample/internal/perf"
 )
 
 // BenchmarkFig2 regenerates the §III-D belief-validation study (Figure 2):
@@ -426,6 +427,75 @@ func BenchmarkCacheHitRate(b *testing.B) {
 	}
 	b.ReportMetric(hitRate/float64(b.N), "hitrate")
 	b.ReportMetric(saved/float64(b.N), "charged-s-saved")
+}
+
+// BenchmarkAdaptiveRounds measures feedback-controlled round sizing
+// against a slow fixed-overhead backend (2ms per DetectBatch call + 20µs
+// per frame — the HTTP-round-trip-plus-GPU shape): the static arm pays the
+// call overhead every FramesPerRound frames, while the adaptive arm grows
+// its quota toward the backend's MaxBatch and amortizes it. Both arms push
+// the same 256-frame budget per query; the frames/s spread is the win.
+func BenchmarkAdaptiveRounds(b *testing.B) {
+	spec := exsample.SynthSpec{
+		NumFrames:    200_000,
+		NumInstances: 300,
+		Class:        "car",
+		MeanDuration: 150,
+		SkewFraction: 1.0 / 16,
+		ChunkFrames:  4000,
+		Seed:         21,
+	}
+	inner, err := exsample.Synthesize(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slow := perf.SlowBackend(inner.Backend(), 2*time.Millisecond, 20*time.Microsecond, 64)
+	ds, err := exsample.Synthesize(spec, exsample.WithBackend(slow))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, arm := range []struct {
+		name     string
+		adaptive bool
+	}{
+		{"static", false},
+		{"adaptive", true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var frames int64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				eng, err := exsample.NewEngine(exsample.EngineOptions{
+					Workers:        2,
+					FramesPerRound: 2,
+					AdaptiveRounds: arm.adaptive,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles := make([]*exsample.QueryHandle, 2)
+				for qi := range handles {
+					handles[qi], err = eng.Submit(context.Background(), ds,
+						exsample.Query{Class: "car", Limit: 1_000_000},
+						exsample.Options{Seed: uint64(i*2 + qi + 1), MaxFrames: 256})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, h := range handles {
+					rep, err := h.Wait()
+					if err != nil {
+						b.Fatal(err)
+					}
+					frames += rep.FramesProcessed
+				}
+				eng.Close()
+			}
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(frames)/secs, "frames/s")
+			}
+		})
+	}
 }
 
 // BenchmarkBackendBatch measures the httpbatch wire path end to end — a

@@ -6,16 +6,27 @@
 //
 //	exbench -experiment fig2|fig3|fig4|table1|fig5|fig6|ablation|extensions|all
 //	        [-scale 0.05] [-trials N] [-seed N] [-full]
+//	exbench -bench-out BENCH_engine.json
 //
 // -full runs fig3/fig4 at the paper's 16M-frame size (slow).
+//
+// -bench-out FILE skips the paper experiments and instead runs the engine
+// performance-trajectory suite (internal/perf): engine/sharded throughput,
+// sampler decision cost with allocation accounting, and adaptive-vs-static
+// round sizing against a slow simulated backend. The machine-readable
+// snapshot is written to FILE (and echoed to stdout when FILE is "-");
+// the committed BENCH_engine.json and the CI artifact both come from this
+// mode.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/exsample/exsample/internal/bench"
+	"github.com/exsample/exsample/internal/perf"
 )
 
 func main() {
@@ -25,13 +36,53 @@ func main() {
 		trials     = flag.Int("trials", 0, "trial count override (0 = experiment default)")
 		seed       = flag.Uint64("seed", 0, "seed override (0 = experiment default)")
 		full       = flag.Bool("full", false, "run fig3/fig4 at the paper's full 16M-frame size")
+		benchOut   = flag.String("bench-out", "", "write the engine perf-trajectory snapshot (BENCH_engine.json) to this file and exit (\"-\" = stdout)")
 	)
 	flag.Parse()
 
+	if *benchOut != "" {
+		if err := writeBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "exbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*experiment, *scale, *trials, *seed, *full); err != nil {
 		fmt.Fprintln(os.Stderr, "exbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeBench runs the perf-trajectory suite and writes the JSON snapshot.
+func writeBench(path string) error {
+	snap, err := perf.RunSuite()
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return err
+	}
+	if path != "-" {
+		for _, r := range snap.Suite {
+			fmt.Printf("%-28s %10.0f ns/op %12.0f allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+			if v, ok := r.Metrics["frames/s"]; ok {
+				fmt.Printf(" %12.0f frames/s", v)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
 }
 
 func run(experiment string, scale float64, trials int, seed uint64, full bool) error {

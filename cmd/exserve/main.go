@@ -9,7 +9,7 @@
 // Usage:
 //
 //	exserve -datasets dashcam,bdd1k -queries 8 -limit 10
-//	        [-workers 4] [-round 4] [-scale 0.05] [-seed 1]
+//	        [-workers 4] [-round 4] [-adaptive] [-scale 0.05] [-seed 1]
 //	        [-shards 1] [-cache 0]
 //	        [-backend sim|http] [-endpoint URL] [-replicas 1]
 //	        [-churn 0] [-admin addr]
@@ -17,6 +17,13 @@
 // -shards N composes each profile from N independently generated shards
 // (one logical repository, N machines' worth of chunks); -cache N enables
 // an N-entry detector memo cache shared by every query on the engine.
+//
+// -adaptive turns on feedback-controlled round sizing: each query's
+// per-round detector quota grows from -round toward the backend's MaxBatch
+// while observed batch latency stays flat and shrinks when latency
+// inflates or a replica's circuit breaker opens. The run then prints an
+// adaptive table: peak/final quotas per query and the grow/shrink
+// counters.
 //
 // -backend http runs every detector call over the backend/httpbatch wire
 // protocol. With no -endpoint, each shard gets its own loopback HTTP
@@ -72,6 +79,7 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base random seed")
 	flag.IntVar(&cfg.shards, "shards", 1, "shards per profile (>1 composes a ShardedSource)")
 	flag.IntVar(&cfg.cache, "cache", 0, "detector memo cache entries (0 = disabled)")
+	flag.BoolVar(&cfg.adaptive, "adaptive", false, "adaptive round sizing: grow each query's per-round quota toward the backend's MaxBatch while latency stays flat")
 	flag.StringVar(&cfg.backend, "backend", "sim", "detector backend: sim (in-process) or http (httpbatch wire protocol)")
 	flag.StringVar(&cfg.endpoint, "endpoint", "", "external httpbatch endpoint URL (http backend only; empty = per-shard loopback servers)")
 	flag.IntVar(&cfg.replicas, "replicas", 1, "replica endpoints per shard behind a health-checked router (http loopback mode)")
@@ -103,6 +111,7 @@ type config struct {
 	seed     uint64
 	shards   int
 	cache    int
+	adaptive bool
 	backend  string
 	endpoint string
 	replicas int
@@ -516,6 +525,7 @@ func run(w io.Writer, cfg config) error {
 		Workers:        cfg.workers,
 		FramesPerRound: cfg.round,
 		CacheEntries:   cfg.cache,
+		AdaptiveRounds: cfg.adaptive,
 	})
 	if err != nil {
 		return err
@@ -616,6 +626,18 @@ func run(w io.Writer, cfg config) error {
 	fmt.Fprintf(w, "\ntotal: %d detector frames in %v wall (%.0f frames/s aggregate); %d rounds, %d detect batches\n",
 		totalFrames, wall.Round(time.Millisecond), float64(totalFrames)/wall.Seconds(),
 		st.Rounds, st.Batches)
+	if cfg.adaptive {
+		avgBatch := 0.0
+		if st.Batches > 0 {
+			avgBatch = float64(st.DetectCalls) / float64(st.Batches)
+		}
+		fmt.Fprintf(w, "\nadaptive rounds: base quota %d, peak %d, avg batch %.1f; %d grows / %d shrinks (%d capacity losses)\n",
+			cfg.round, st.PeakQuota, avgBatch, st.QuotaGrows, st.QuotaShrinks, st.CapacityLosses)
+		fmt.Fprintf(w, "%-3s %-12s %-14s %8s\n", "#", "dataset", "class", "quota")
+		for i, h := range handles {
+			fmt.Fprintf(w, "%-3d %-12s %-14s %8d\n", i, specs[i].src.Name(), specs[i].class, h.RoundQuota())
+		}
+	}
 
 	// Snapshot the stats lists under the lock: the admin server and churn
 	// goroutines stay live (and can attach shards) until run returns.

@@ -244,3 +244,19 @@ func TestRunFlagValidation(t *testing.T) {
 		t.Error("-churn without -shards accepted")
 	}
 }
+
+func TestRunAdaptiveRounds(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig([]string{"dashcam"}, 4, 5)
+	cfg.adaptive = true
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "adaptive rounds: base quota 2") {
+		t.Fatalf("missing adaptive summary:\n%s", out)
+	}
+	if !strings.Contains(out, "quota") {
+		t.Fatalf("missing per-query quota table:\n%s", out)
+	}
+}

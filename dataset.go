@@ -162,13 +162,25 @@ func newDataset(inner *datasets.Dataset, seed uint64, opts ...DatasetOption) *Da
 		o(d)
 	}
 	d.qs = &querySource{
-		id:          sourceIDs.Add(1),
-		name:        inner.Profile.Name,
-		numFrames:   inner.Repo.NumFrames(),
-		fps:         inner.Profile.FPS,
-		chunks:      inner.Chunks,
-		numShards:   1,
-		cacheable:   d.failAfter == 0,
+		id:        sourceIDs.Add(1),
+		name:      inner.Profile.Name,
+		numFrames: inner.Repo.NumFrames(),
+		fps:       inner.Profile.FPS,
+		chunks:    inner.Chunks,
+		numShards: 1,
+		cacheable: d.failAfter == 0,
+		maxBatch: func() int {
+			if d.be == nil {
+				return 0 // the simulated detector batches without bound
+			}
+			return d.be.Hints().MaxBatch
+		},
+		breakerOpens: func() int64 {
+			if sig, ok := d.be.(capacitySignaler); ok {
+				return sig.BreakerOpens()
+			}
+			return 0
+		},
 		decodeCost:  d.dec.Cost,
 		scanSeconds: func(start, end int64) float64 { return d.cost.ScanSeconds(end - start) },
 		groundTruth: d.GroundTruthCount,

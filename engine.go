@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"github.com/exsample/exsample/internal/cache"
 	"github.com/exsample/exsample/internal/core"
 	"github.com/exsample/exsample/internal/engine"
+	"github.com/exsample/exsample/internal/sizer"
 )
 
 // EngineOptions configures a concurrent query engine.
@@ -46,6 +48,22 @@ type EngineOptions struct {
 	// costs change (and, for MaxSeconds-budgeted queries, how many frames
 	// the budget buys). Sources under failure injection bypass the cache.
 	CacheEntries int
+	// AdaptiveRounds opts every query into feedback-controlled round
+	// sizing: an AIMD controller per (query, backend) grows the per-round
+	// detector quota from FramesPerRound toward the backend's
+	// Hints.MaxBatch while observed batch latency stays flat, and shrinks
+	// it multiplicatively when latency inflates (queueing) or a routed
+	// backend's circuit breaker opens (capacity loss). Larger rounds mean
+	// fewer, bigger inference batches — exactly Search's BatchSize
+	// trade-off (§III-F), picked live instead of up front.
+	//
+	// Default off: the static engine stays byte-identical to
+	// Dataset.Search with BatchSize = FramesPerRound. With adaptive
+	// sizing on, the quota schedule (and therefore the pick sequence)
+	// depends on measured latency, so reports are reproducible only
+	// against the same latency trace; the controller itself is a pure
+	// state machine over its observations (see internal/sizer).
+	AdaptiveRounds bool
 }
 
 func (o EngineOptions) withDefaults() EngineOptions {
@@ -93,6 +111,9 @@ type Engine struct {
 	opts  EngineOptions
 	inner *engine.Engine
 	memo  *cache.Cache
+	// quota aggregates adaptive round-sizing adjustments across every
+	// AdaptiveRounds query (all zeros when the option is off).
+	quota sizer.Counters
 }
 
 // NewEngine starts an engine. Callers must Close it to release the
@@ -160,12 +181,31 @@ type EngineStats struct {
 	// group carried. Batches ≤ DetectCalls; the ratio is the realized
 	// inference batch size.
 	Batches int64
+	// QuotaGrows and QuotaShrinks count adaptive round-quota adjustments
+	// across every AdaptiveRounds query: additive increases while batch
+	// latency stays flat, multiplicative decreases on latency inflation or
+	// capacity loss. Both are 0 when AdaptiveRounds is off.
+	QuotaGrows, QuotaShrinks int64
+	// CapacityLosses counts the shrinks (or shrink attempts at the floor)
+	// forced by a backend circuit breaker opening mid-run.
+	CapacityLosses int64
+	// PeakQuota is the largest per-round quota any adaptive query reached
+	// (0 when AdaptiveRounds is off; at least FramesPerRound otherwise).
+	PeakQuota int64
 }
 
 // Stats snapshots the engine's scheduler counters.
 func (e *Engine) Stats() EngineStats {
 	rounds, detects, batches := e.inner.Counters()
-	return EngineStats{Rounds: rounds, DetectCalls: detects, Batches: batches}
+	return EngineStats{
+		Rounds:         rounds,
+		DetectCalls:    detects,
+		Batches:        batches,
+		QuotaGrows:     e.quota.Grows.Load(),
+		QuotaShrinks:   e.quota.Shrinks.Load(),
+		CapacityLosses: e.quota.CapacityLosses.Load(),
+		PeakQuota:      e.quota.Peak.Load(),
+	}
 }
 
 // Submit registers a query against a source — a local Dataset or a
@@ -207,8 +247,32 @@ func (e *Engine) Submit(ctx context.Context, src Source, q Query, opts Options) 
 		run:    run,
 		ctx:    ctx,
 		events: make(chan QueryEvent, e.opts.EventBuffer),
+		static: e.opts.FramesPerRound,
 	}
-	inner, err := e.inner.Submit(&engineQuery{run: run, ctx: ctx, handle: h})
+	eq := &engineQuery{run: run, ctx: ctx, handle: h}
+	var iq engine.Query = eq
+	if e.opts.AdaptiveRounds {
+		// One AIMD controller per (query, backend): the fleet keys its
+		// controllers by the scheduler's shard-affinity key, grows from
+		// FramesPerRound toward the source's tightest backend MaxBatch
+		// hint, and the counters aggregate into EngineStats.
+		fleet, err := sizer.NewFleet(sizer.Config{
+			Min: e.opts.FramesPerRound,
+			Max: run.src.backendMaxBatch(),
+		}, &e.quota)
+		if err != nil {
+			return nil, err
+		}
+		eq.sizer = fleet
+		h.sizer = fleet
+		sq := &sizedQuery{engineQuery: eq}
+		if run.src.breakerOpens != nil {
+			sq.breakerOpens = run.src.breakerOpens
+			sq.lastOpens = sq.breakerOpens()
+		}
+		iq = sq
+	}
+	inner, err := e.inner.Submit(iq)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +311,19 @@ type QueryHandle struct {
 	inner   *engine.Handle
 	events  chan QueryEvent
 	dropped atomic.Int64
+	sizer   *sizer.Fleet // non-nil when AdaptiveRounds is on
+	static  int          // the engine's FramesPerRound
+}
+
+// RoundQuota reports the query's current per-round detector quota: the
+// adaptive controller's live value under AdaptiveRounds, the engine's
+// static FramesPerRound otherwise. It is safe to call while the query
+// runs.
+func (h *QueryHandle) RoundQuota() int {
+	if h.sizer != nil {
+		return h.sizer.Quota()
+	}
+	return h.static
 }
 
 // Events streams one QueryEvent per processed frame. The channel is closed
@@ -309,12 +386,42 @@ func (h *QueryHandle) emit(info StepInfo) {
 
 // engineQuery adapts a queryRun to the internal scheduler's Query
 // interface. Propose/Apply/Done/Finalize run on the scheduler goroutine;
-// DetectBatch runs on pool workers.
+// DetectBatch runs on pool workers — several at once when the round spans
+// multiple affinity groups, which is why the detect scratches cycle
+// through a mutex-guarded free list instead of living on the run.
 type engineQuery struct {
 	run     *queryRun
 	ctx     context.Context
 	handle  *QueryHandle
 	pending []core.Pick // picks proposed this round, consumed by Apply in order
+	frames  []int64     // reused Propose buffer (engine reads it only until the next Propose)
+
+	// sizer, when non-nil, is the AdaptiveRounds feedback controller; the
+	// sizedQuery wrapper exposes it to the scheduler, so the static path
+	// never even type-asserts positive.
+	sizer *sizer.Fleet
+
+	// scratch recycling: DetectBatch pops a scratch (one per in-flight
+	// group), results stay referenced until the round's applies finish,
+	// and the next Propose — which by the scheduling contract happens
+	// strictly after those applies — returns every used scratch to the
+	// free list.
+	scrMu   sync.Mutex
+	scrFree []*detectScratch
+	scrUsed []*detectScratch
+	// obs records, per affinity key, how many of the current round's
+	// group frames actually reached the backend (memo-cache hits resolve
+	// locally in microseconds and carry no backend-latency signal). Written
+	// by DetectBatch under scrMu, consumed by sizedQuery.ObserveBatch on
+	// the scheduler goroutine, cleared at the next Propose. Only populated
+	// when the query is adaptive.
+	obs []groupObs
+}
+
+// groupObs is one group's backend-served frame count this round.
+type groupObs struct {
+	key    uint64
+	misses int
 }
 
 func (q *engineQuery) Done() bool {
@@ -322,33 +429,104 @@ func (q *engineQuery) Done() bool {
 }
 
 func (q *engineQuery) Propose(max int) []int64 {
+	q.reclaimScratch()
 	q.pending = q.pending[:0]
-	frames := make([]int64, 0, max)
-	for len(frames) < max {
+	q.frames = q.frames[:0]
+	for len(q.frames) < max {
 		p, ok := q.run.next()
 		if !ok {
 			break
 		}
 		q.pending = append(q.pending, p)
-		frames = append(frames, p.Frame)
+		q.frames = append(q.frames, p.Frame)
 	}
-	return frames
+	return q.frames
+}
+
+// getScratch pops a free detect scratch (or grows the pool) and records it
+// as in use for the current round.
+func (q *engineQuery) getScratch() *detectScratch {
+	q.scrMu.Lock()
+	defer q.scrMu.Unlock()
+	var s *detectScratch
+	if n := len(q.scrFree); n > 0 {
+		s = q.scrFree[n-1]
+		q.scrFree = q.scrFree[:n-1]
+	} else {
+		s = &detectScratch{}
+	}
+	q.scrUsed = append(q.scrUsed, s)
+	return s
+}
+
+// reclaimScratch returns every scratch used last round to the free list
+// and drops any unconsumed backend-frame observations (error paths leave
+// stragglers). Called from Propose on the scheduler goroutine, after the
+// previous round's applies and before any new DetectBatch can be in
+// flight.
+func (q *engineQuery) reclaimScratch() {
+	q.scrMu.Lock()
+	q.scrFree = append(q.scrFree, q.scrUsed...)
+	q.scrUsed = q.scrUsed[:0]
+	q.obs = q.obs[:0]
+	q.scrMu.Unlock()
+}
+
+// noteObs records a group's backend-served frame count for the sizer.
+func (q *engineQuery) noteObs(key uint64, misses int) {
+	q.scrMu.Lock()
+	q.obs = append(q.obs, groupObs{key: key, misses: misses})
+	q.scrMu.Unlock()
+}
+
+// takeObs consumes the recorded backend-served frame count for a group
+// key (-1 when the group was never recorded, e.g. its call failed).
+func (q *engineQuery) takeObs(key uint64) int {
+	q.scrMu.Lock()
+	defer q.scrMu.Unlock()
+	for i := range q.obs {
+		if q.obs[i].key == key {
+			m := q.obs[i].misses
+			q.obs[i] = q.obs[len(q.obs)-1]
+			q.obs = q.obs[:len(q.obs)-1]
+			return m
+		}
+	}
+	return -1
 }
 
 // DetectBatch runs one affinity group's frames through the query's batched
 // detector — memo cache consulted first, the misses issued as a single
 // backend call — under the query's own context, so a cancellation mid-batch
-// aborts the call and surfaces through QueryHandle.Wait.
+// aborts the call and surfaces through QueryHandle.Wait. Results are
+// returned as pointers into a recycled scratch buffer (boxing a pointer
+// into an interface allocates nothing); the scheduler copies the interface
+// values out before the applies, and the scratch stays untouched until the
+// next Propose reclaims it.
 func (q *engineQuery) DetectBatch(frames []int64) ([]any, error) {
-	results, err := q.run.detectBatch(q.ctx, frames)
+	s := q.getScratch()
+	results, err := q.run.detectBatchInto(q.ctx, frames, s)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]any, len(results))
-	for i := range results {
-		out[i] = results[i]
+	if q.sizer != nil {
+		// Record how many frames the backend actually served: memo-cache
+		// hits resolve locally and must not feed their near-zero latency
+		// into the AIMD controller as if the backend produced it.
+		misses := len(frames)
+		if q.run.memo != nil {
+			misses = len(s.missIdx)
+		}
+		q.noteObs(q.AffinityKey(frames[0]), misses)
 	}
-	return out, nil
+	if cap(s.out) < len(results) {
+		s.out = make([]any, 0, cap(results))
+	}
+	s.out = s.out[:0]
+	for i := range results {
+		s.out = append(s.out, &results[i])
+	}
+	return s.out, nil
 }
 
 // AffinityKey implements engine.Affine: frames of the same (source, shard)
@@ -367,7 +545,7 @@ func (q *engineQuery) Apply(frame int64, dets any) (bool, error) {
 	if p.Frame != frame {
 		return false, fmt.Errorf("exsample: engine applied frame %d out of order (expected %d)", frame, p.Frame)
 	}
-	info, err := q.run.apply(p, dets.(frameResult))
+	info, err := q.run.apply(p, *dets.(*frameResult))
 	if err != nil {
 		return false, err
 	}
@@ -376,3 +554,43 @@ func (q *engineQuery) Apply(frame int64, dets any) (bool, error) {
 }
 
 func (q *engineQuery) Finalize() { close(q.handle.events) }
+
+// sizedQuery opts an engineQuery into the scheduler's adaptive round
+// sizing (engine.Sized). It is a separate wrapper type so the default
+// engine never implements Sized: with AdaptiveRounds off the scheduler's
+// type assertion fails and the static path runs clock-free and
+// byte-identical to before.
+type sizedQuery struct {
+	*engineQuery
+	// breakerOpens polls the source's cumulative breaker-open count (nil
+	// when no backend reports capacity); lastOpens is the edge detector.
+	breakerOpens func() int64
+	lastOpens    int64
+}
+
+// RoundQuota implements engine.Sized: it folds any breaker-open events
+// since the last round into the controller (capacity loss shrinks
+// multiplicatively before the next propose) and returns the fleet's
+// current quota.
+func (q *sizedQuery) RoundQuota(base int) int {
+	if q.breakerOpens != nil {
+		if n := q.breakerOpens(); n > q.lastOpens {
+			q.lastOpens = n
+			q.sizer.CapacityLoss()
+		}
+	}
+	return q.sizer.Quota()
+}
+
+// ObserveBatch implements engine.Sized: one successfully dispatched
+// group's wall latency feeds the (query, backend-key) controller — but
+// charged against the frames the backend actually served, not the group
+// size. A group resolved partly (or wholly) from the memo cache would
+// otherwise report near-zero per-frame latency, collapse the controller's
+// baseline, and make the next genuine backend batch look like queueing.
+// All-hit groups carry no backend signal and are skipped outright.
+func (q *sizedQuery) ObserveBatch(key uint64, frames int, seconds float64) {
+	if misses := q.takeObs(key); misses > 0 {
+		q.sizer.Observe(key, misses, seconds)
+	}
+}

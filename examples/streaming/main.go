@@ -55,21 +55,25 @@ func main() {
 	fmt.Println("(dense glyphs = chunks receiving most samples; the hot 1/16 lights up)")
 }
 
-// allocationBar renders per-chunk sample counts as a density strip.
+// allocationBar renders each chunk's allocation share (the fraction of
+// all samples drawn from it, §IV-A) as a density strip.
 func allocationBar(stats []exsample.ChunkStat) string {
 	if len(stats) == 0 {
 		return ""
 	}
-	var max int64 = 1
+	max := 0.0
 	for _, cs := range stats {
-		if cs.N > max {
-			max = cs.N
+		if cs.Allocation > max {
+			max = cs.Allocation
 		}
+	}
+	if max == 0 {
+		max = 1
 	}
 	levels := []byte(" .:-=+*#%@")
 	var sb strings.Builder
 	for _, cs := range stats {
-		idx := int(cs.N * int64(len(levels)-1) / max)
+		idx := int(cs.Allocation * float64(len(levels)-1) / max)
 		sb.WriteByte(levels[idx])
 	}
 	return sb.String()

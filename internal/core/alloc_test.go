@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/exsample/exsample/internal/video"
+)
+
+// warmSampler builds a sampler and samples until every chunk's
+// within-chunk order has been opened (first visit builds it lazily), so a
+// subsequent allocation measurement sees only the steady-state decision
+// loop.
+func warmSampler(t *testing.T, nChunks int, policy Policy) *Sampler {
+	t.Helper()
+	chunks, err := video.SplitRange(0, int64(nChunks)*4096, nChunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(chunks, Config{Seed: 7, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened := 0
+	seen := make([]bool, nChunks)
+	for opened < nChunks {
+		p, ok := s.Next()
+		if !ok {
+			t.Fatal("sampler exhausted during warmup")
+		}
+		if !seen[p.Chunk] {
+			seen[p.Chunk] = true
+			opened++
+		}
+		if err := s.Update(p.Chunk, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestSamplerDecisionAllocFree: one steady-state Thompson decision —
+// score every chunk's Gamma belief, draw a frame, feed the update back —
+// allocates nothing. This is the §III-F premise (sampling overhead must be
+// negligible next to detector inference) expressed as a regression guard.
+func TestSamplerDecisionAllocFree(t *testing.T) {
+	s := warmSampler(t, 64, Thompson)
+	allocs := testing.AllocsPerRun(200, func() {
+		p, ok := s.Next()
+		if !ok {
+			t.Fatal("sampler exhausted")
+		}
+		if err := s.Update(p.Chunk, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Thompson decision allocates %.2f objects/decision, want 0", allocs)
+	}
+}
+
+// TestSamplerDecisionAllocFreeGreedy: the greedy ablation policy shares
+// the same budget.
+func TestSamplerDecisionAllocFreeGreedy(t *testing.T) {
+	s := warmSampler(t, 64, Greedy)
+	allocs := testing.AllocsPerRun(200, func() {
+		p, ok := s.Next()
+		if !ok {
+			t.Fatal("sampler exhausted")
+		}
+		if err := s.Update(p.Chunk, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("greedy decision allocates %.2f objects/decision, want 0", allocs)
+	}
+}
+
+// TestAllocationInto reuses the caller's buffer and matches Allocation.
+func TestAllocationInto(t *testing.T) {
+	s := warmSampler(t, 8, Thompson)
+	buf := make([]float64, 0, 8)
+	got := s.AllocationInto(buf)
+	want := s.Allocation()
+	if len(got) != len(want) {
+		t.Fatalf("AllocationInto length %d, want %d", len(got), len(want))
+	}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("AllocationInto[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AllocationInto did not reuse the caller's buffer")
+	}
+	allocs := testing.AllocsPerRun(100, func() { got = s.AllocationInto(got) })
+	if allocs > 0 {
+		t.Fatalf("AllocationInto with a warm buffer allocates %.2f objects/call, want 0", allocs)
+	}
+}

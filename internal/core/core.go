@@ -411,14 +411,29 @@ func (s *Sampler) NumChunks() int { return len(s.chunks) }
 func (s *Sampler) Chunks() []video.Chunk { return s.chunks }
 
 // Allocation returns the fraction of samples taken from each chunk, the
-// de-facto weight vector the sampler has converged to (§IV-A).
+// de-facto weight vector the sampler has converged to (§IV-A). It
+// allocates a fresh slice per call; decision-loop callers that poll it per
+// round should use AllocationInto with a reused buffer instead.
 func (s *Sampler) Allocation() []float64 {
-	out := make([]float64, len(s.n))
+	return s.AllocationInto(nil)
+}
+
+// AllocationInto is Allocation writing into dst, growing it only when its
+// capacity is short — the reusable-scores-buffer shape the steady-state
+// engine uses so per-round stats polling stays allocation-free.
+func (s *Sampler) AllocationInto(dst []float64) []float64 {
+	if cap(dst) < len(s.n) {
+		dst = make([]float64, len(s.n))
+	}
+	dst = dst[:len(s.n)]
 	if s.total == 0 {
-		return out
+		for j := range dst {
+			dst[j] = 0
+		}
+		return dst
 	}
 	for j, nj := range s.n {
-		out[j] = float64(nj) / float64(s.total)
+		dst[j] = float64(nj) / float64(s.total)
 	}
-	return out
+	return dst
 }

@@ -3,9 +3,9 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Query is one schedulable unit of work: a distinct-object query whose
@@ -26,12 +26,21 @@ type Query interface {
 	// the very next round's picks (new affinity groups appear, a drained
 	// shard's group retires), while the round in flight when the change
 	// lands still applies normally.
+	//
+	// The engine reads the returned slice only until the next Propose
+	// call, so implementations may reuse one backing buffer across rounds
+	// — the allocation-free steady state the scheduler itself maintains.
 	Propose(max int) []int64
 	// DetectBatch runs the detector on a group of this round's proposed
 	// frames — one affinity group per call — and returns one opaque result
 	// per frame, aligned with frames. It must be concurrency-safe and
 	// deterministic per frame. An error finalizes the query with
 	// ReasonError; none of the round's results are applied.
+	//
+	// The engine copies the results out before the round's applies, so the
+	// returned slice (not the results themselves) may be a reused buffer —
+	// but because one query's groups run concurrently, a buffer must not
+	// be shared between in-flight calls.
 	DetectBatch(frames []int64) ([]any, error)
 	// Apply consumes one frame's detector output. Calls arrive in propose
 	// order on the scheduler goroutine, so the query's discriminator and
@@ -57,6 +66,25 @@ type Affine interface {
 	// only equality matters, but implementations should make keys unique
 	// across sources so two sources' shard 0 do not interleave.
 	AffinityKey(frame int64) uint64
+}
+
+// Sized is an optional Query refinement for adaptive round sizing: the
+// query supplies its own per-round detector quota in place of the engine's
+// static FramesPerRound, and the scheduler feeds back the wall latency of
+// every dispatched DetectBatch group so a feedback controller (see
+// internal/sizer) can close the loop. Queries that do not implement Sized
+// cost the scheduler nothing — no clocks are read on their behalf, which
+// is what keeps the default path byte-identical to the static engine.
+type Sized interface {
+	// RoundQuota returns the query's frame quota for the next round; base
+	// is the engine's static FramesPerRound. Called once per round on the
+	// scheduler goroutine, before Propose. Values below 1 are clamped to 1.
+	RoundQuota(base int) int
+	// ObserveBatch reports one successfully dispatched group's size and
+	// detector wall latency. Calls arrive on the scheduler goroutine after
+	// the round's pool run, in group creation (propose) order; failed
+	// groups are not reported.
+	ObserveBatch(key uint64, frames int, seconds float64)
 }
 
 // Reason records why a query left the engine.
@@ -102,7 +130,8 @@ type Config struct {
 	// FramesPerRound is each query's per-round detector quota (default 1).
 	// Every active query gets the same quota, which is what makes
 	// scheduling fair-share: no query can starve another however greedy
-	// its sampler is.
+	// its sampler is. Sized queries replace the static quota with their
+	// own per-round value.
 	FramesPerRound int
 }
 
@@ -119,13 +148,69 @@ func (c Config) withDefaults() Config {
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("engine: closed")
 
+// job is one query's work within a round: the proposed frames and the
+// per-frame results its groups fill in. Jobs are pooled in the engine's
+// round scratch and reused across rounds.
+type job struct {
+	h      *Handle
+	sized  Sized // non-nil when the query adapts its own quota
+	frames []int64
+	dets   []any
+	err    error // first detect-group error, in group order
+}
+
+// group is one (job, affinity-key) detector dispatch: a maximal same-key
+// subset of a job's frames, in propose order. Groups are pooled and each
+// carries its pool task closure, bound once at allocation, so the
+// steady-state round creates no closures.
+type group struct {
+	j       *job
+	key     uint64
+	frames  []int64
+	idx     []int // positions in j.frames / j.dets
+	err     error
+	seconds float64 // DetectBatch wall latency (Sized queries only)
+	task    func()
+}
+
+// scratch is the engine's reusable per-round working set. It is touched
+// only by the scheduler goroutine (pool workers reach individual groups
+// through their bound tasks), and it is what makes the steady-state round
+// allocation-free: handle snapshot, job and group objects, their frame and
+// index slices, the sorted view and the task list are all recycled.
+type scratch struct {
+	round   []*Handle
+	jobs    []*job
+	groups  []*group
+	njobs   int
+	ngroups int
+	sorted  []*group
+	tasks   []func()
+	wg      sync.WaitGroup
+}
+
+// job returns the next pooled job, growing the pool on first use.
+func (s *scratch) job() *job {
+	if s.njobs < len(s.jobs) {
+		j := s.jobs[s.njobs]
+		s.njobs++
+		j.err = nil
+		return j
+	}
+	j := &job{}
+	s.jobs = append(s.jobs, j)
+	s.njobs++
+	return j
+}
+
 // Engine multiplexes queries onto a shared detector worker pool in
-// lock-step scheduling rounds: every active query proposes up to
-// FramesPerRound frames, all proposals run on the pool as one batch, and
+// lock-step scheduling rounds: every active query proposes up to its
+// round quota of frames, all proposals run on the pool as one batch, and
 // results are applied per query in propose order.
 type Engine struct {
 	cfg  Config
 	pool *Pool
+	scr  scratch
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -141,13 +226,20 @@ type Engine struct {
 
 // New starts an engine and its scheduler goroutine.
 func New(cfg Config) *Engine {
+	e := newEngine(cfg)
+	go e.loop()
+	return e
+}
+
+// newEngine builds the engine without starting the scheduler goroutine —
+// the seam the allocation-regression tests drive rounds through directly.
+func newEngine(cfg Config) *Engine {
 	e := &Engine{
 		cfg:      cfg.withDefaults(),
 		loopDone: make(chan struct{}),
 	}
 	e.pool = NewPool(e.cfg.Workers)
 	e.cond = sync.NewCond(&e.mu)
-	go e.loop()
 	return e
 }
 
@@ -196,31 +288,89 @@ func (e *Engine) Close() {
 func (e *Engine) loop() {
 	defer close(e.loopDone)
 	for {
-		e.mu.Lock()
-		for len(e.active) == 0 && !e.closed {
-			e.cond.Wait()
-		}
-		if len(e.active) == 0 && e.closed {
-			e.mu.Unlock()
+		if !e.runOneRound() {
 			return
 		}
-		round := append([]*Handle(nil), e.active...)
+	}
+}
+
+// runOneRound snapshots the active queries into the reusable round scratch
+// and executes one scheduling round, parking first when the engine is
+// idle. It returns false when the engine has shut down.
+func (e *Engine) runOneRound() bool {
+	e.mu.Lock()
+	for len(e.active) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.active) == 0 && e.closed {
 		e.mu.Unlock()
-		e.runRound(round)
+		return false
+	}
+	e.scr.round = append(e.scr.round[:0], e.active...)
+	e.mu.Unlock()
+	e.runRound(e.scr.round)
+	// Release the snapshot's handle references: finalized queries (and
+	// their full pipelines) must not stay pinned by the recycled backing
+	// array while the engine idles.
+	for i := range e.scr.round {
+		e.scr.round[i] = nil
+	}
+	return true
+}
+
+// group returns the next pooled group, binding its pool task closure once
+// on first allocation.
+func (e *Engine) group(j *job, key uint64) *group {
+	s := &e.scr
+	var g *group
+	if s.ngroups < len(s.groups) {
+		g = s.groups[s.ngroups]
+		g.frames = g.frames[:0]
+		g.idx = g.idx[:0]
+		g.err = nil
+		g.seconds = 0
+	} else {
+		g = &group{}
+		g.task = func() { e.runGroup(g) }
+		s.groups = append(s.groups, g)
+	}
+	s.ngroups++
+	g.j, g.key = j, key
+	return g
+}
+
+// runGroup executes one group's DetectBatch on a pool worker and scatters
+// the results into the job's per-frame slots. Wall latency is measured
+// only for Sized queries, so the static path never reads a clock.
+func (e *Engine) runGroup(g *group) {
+	var start time.Time
+	if g.j.sized != nil {
+		start = time.Now()
+	}
+	dets, err := g.j.h.q.DetectBatch(g.frames)
+	if g.j.sized != nil {
+		g.seconds = time.Since(start).Seconds()
+	}
+	if err == nil && len(dets) != len(g.frames) {
+		err = fmt.Errorf("engine: DetectBatch returned %d results for a %d-frame group", len(dets), len(g.frames))
+	}
+	if err != nil {
+		g.err = err
+		return
+	}
+	for k, i := range g.idx {
+		g.j.dets[i] = dets[k]
 	}
 }
 
 // runRound executes one scheduling round over a snapshot of the active
 // queries: propose, dispatch one DetectBatch per affinity group on the
-// pool, apply in order.
+// pool, apply in order. All per-round state lives in the engine's reusable
+// scratch; the steady state allocates nothing.
 func (e *Engine) runRound(round []*Handle) {
-	type job struct {
-		h      *Handle
-		frames []int64
-		dets   []any
-		err    error // first detect-group error, in group order
-	}
-	var jobs []*job
+	s := &e.scr
+	s.njobs, s.ngroups = 0, 0
+	base := e.cfg.FramesPerRound
 	for _, h := range round {
 		if h.cancelled.Load() {
 			e.finalize(h, ReasonCancelled, nil)
@@ -230,13 +380,27 @@ func (e *Engine) runRound(round []*Handle) {
 			e.finalize(h, ReasonDone, nil)
 			continue
 		}
-		frames := h.q.Propose(e.cfg.FramesPerRound)
+		sized, _ := h.q.(Sized)
+		quota := base
+		if sized != nil {
+			if quota = sized.RoundQuota(base); quota < 1 {
+				quota = 1
+			}
+		}
+		frames := h.q.Propose(quota)
 		if len(frames) == 0 {
 			e.finalize(h, ReasonExhausted, nil)
 			continue
 		}
-		jobs = append(jobs, &job{h: h, frames: frames, dets: make([]any, len(frames))})
+		j := s.job()
+		j.h, j.sized, j.frames = h, sized, frames
+		if cap(j.dets) < len(frames) {
+			j.dets = make([]any, len(frames))
+		} else {
+			j.dets = j.dets[:len(frames)]
+		}
 	}
+	jobs := s.jobs[:s.njobs]
 
 	// Carve each job's frames into affinity groups — maximal same-key
 	// frame sets, in propose order — and dispatch every group as ONE
@@ -245,105 +409,109 @@ func (e *Engine) runRound(round []*Handle) {
 	// a per-shard batch endpoint wants) while preserving propose order
 	// within a key; rounds whose frames all share one key — the common
 	// single-source case — skip the sort.
-	type group struct {
-		j      *job
-		key    uint64
-		frames []int64
-		idx    []int // positions in j.frames / j.dets
-		err    error
-	}
-	var groups []*group
 	var frameCount int64
 	grouped := false
 	for _, j := range jobs {
 		aff, ok := j.h.q.(Affine)
-		first := len(groups) // this job's groups start here
+		first := s.ngroups // this job's groups start here
 		for i, frame := range j.frames {
 			var key uint64
 			if ok {
 				key = aff.AffinityKey(frame)
 			}
 			var g *group
-			for _, cand := range groups[first:] {
+			for _, cand := range s.groups[first:s.ngroups] {
 				if cand.key == key {
 					g = cand
 					break
 				}
 			}
 			if g == nil {
-				g = &group{j: j, key: key}
-				groups = append(groups, g)
+				g = e.group(j, key)
 			}
 			g.frames = append(g.frames, frame)
 			g.idx = append(g.idx, i)
 		}
 		frameCount += int64(len(j.frames))
 	}
-	for i := 1; i < len(groups); i++ {
-		if groups[i].key != groups[i-1].key {
+	created := s.groups[:s.ngroups]
+	for i := 1; i < len(created); i++ {
+		if created[i].key != created[i-1].key {
 			grouped = true
 			break
 		}
 	}
-	created := groups
+	dispatch := created
 	if grouped {
-		groups = append([]*group(nil), created...)
-		sort.SliceStable(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
-	}
-	tasks := make([]func(), len(groups))
-	for i, g := range groups {
-		g := g
-		tasks[i] = func() {
-			dets, err := g.j.h.q.DetectBatch(g.frames)
-			if err == nil && len(dets) != len(g.frames) {
-				err = fmt.Errorf("engine: DetectBatch returned %d results for a %d-frame group", len(dets), len(g.frames))
+		// Stable insertion sort into the reusable sorted view: group
+		// counts are small (queries x shards), and sort.SliceStable would
+		// allocate per call.
+		s.sorted = append(s.sorted[:0], created...)
+		for i := 1; i < len(s.sorted); i++ {
+			g := s.sorted[i]
+			k := i - 1
+			for k >= 0 && s.sorted[k].key > g.key {
+				s.sorted[k+1] = s.sorted[k]
+				k--
 			}
-			if err != nil {
-				g.err = err
-				return
-			}
-			for k, i := range g.idx {
-				g.j.dets[i] = dets[k]
-			}
+			s.sorted[k+1] = g
 		}
+		dispatch = s.sorted
 	}
-	e.pool.Do(tasks)
+	s.tasks = s.tasks[:0]
+	for _, g := range dispatch {
+		s.tasks = append(s.tasks, g.task)
+	}
+	e.pool.DoWith(&s.wg, s.tasks)
 	e.rounds.Add(1)
-	e.batches.Add(int64(len(groups)))
+	e.batches.Add(int64(len(created)))
 	e.detects.Add(frameCount)
 
-	// Propagate group errors to their jobs deterministically: the first
-	// failed group in creation (propose) order wins.
+	// Propagate group errors to their jobs deterministically — the first
+	// failed group in creation (propose) order wins — and feed successful
+	// groups' latency back to their Sized queries in the same order.
 	for _, g := range created {
-		if g.err != nil && g.j.err == nil {
-			g.j.err = g.err
+		if g.err != nil {
+			if g.j.err == nil {
+				g.j.err = g.err
+			}
+			continue
+		}
+		if g.j.sized != nil {
+			g.j.sized.ObserveBatch(g.key, len(g.frames), g.seconds)
 		}
 	}
 
 	for _, j := range jobs {
 		if j.h.cancelled.Load() {
 			e.finalize(j.h, ReasonCancelled, nil)
-			continue
-		}
-		if j.err != nil {
+		} else if j.err != nil {
 			// A failed detector batch poisons the whole round for the
 			// query: none of the round's results are applied, so the
 			// query's partial state stays consistent at the previous
 			// round boundary.
 			e.finalize(j.h, ReasonError, j.err)
-			continue
-		}
-		for i, frame := range j.frames {
-			done, err := j.h.q.Apply(frame, j.dets[i])
-			if err != nil {
-				e.finalize(j.h, ReasonError, err)
-				break
+		} else {
+			for i, frame := range j.frames {
+				done, err := j.h.q.Apply(frame, j.dets[i])
+				if err != nil {
+					e.finalize(j.h, ReasonError, err)
+					break
+				}
+				if done {
+					e.finalize(j.h, ReasonDone, nil)
+					break
+				}
 			}
-			if done {
-				e.finalize(j.h, ReasonDone, nil)
-				break
-			}
 		}
+		// Release detector outputs so recycled jobs do not pin them.
+		for i := range j.dets {
+			j.dets[i] = nil
+		}
+		j.h, j.sized, j.frames = nil, nil, nil
+	}
+	for _, g := range created {
+		g.j = nil
 	}
 }
 

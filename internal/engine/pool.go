@@ -21,10 +21,18 @@ import "sync"
 // Search), bounding total detector concurrency no matter how many queries
 // are in flight.
 type Pool struct {
-	tasks   chan func()
+	tasks   chan task
 	workers int
 	wg      sync.WaitGroup
 	once    sync.Once
+}
+
+// task pairs a unit of work with the batch-completion group it reports to.
+// It travels through the task channel by value, so dispatching a batch
+// allocates nothing beyond whatever the caller's wait group costs.
+type task struct {
+	fn   func()
+	done *sync.WaitGroup
 }
 
 // NewPool starts a pool with the given number of workers (minimum 1).
@@ -33,15 +41,16 @@ func NewPool(workers int) *Pool {
 		workers = 1
 	}
 	p := &Pool{
-		tasks:   make(chan func()),
+		tasks:   make(chan task),
 		workers: workers,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
-			for task := range p.tasks {
-				task()
+			for t := range p.tasks {
+				t.fn()
+				t.done.Done()
 			}
 		}()
 	}
@@ -56,17 +65,21 @@ func (p *Pool) Workers() int { return p.workers }
 // from multiple goroutines, but the usual caller is a single scheduler loop
 // issuing one batch per scheduling round.
 func (p *Pool) Do(tasks []func()) {
+	var wg sync.WaitGroup
+	p.DoWith(&wg, tasks)
+}
+
+// DoWith is Do with a caller-supplied wait group, letting a steady-state
+// caller (the engine's round scheduler) reuse one group across batches
+// instead of heap-allocating a fresh one per round. The group must be
+// otherwise unused; DoWith adds, dispatches and waits.
+func (p *Pool) DoWith(wg *sync.WaitGroup, tasks []func()) {
 	if len(tasks) == 0 {
 		return
 	}
-	var wg sync.WaitGroup
 	wg.Add(len(tasks))
-	for _, task := range tasks {
-		task := task
-		p.tasks <- func() {
-			defer wg.Done()
-			task()
-		}
+	for _, fn := range tasks {
+		p.tasks <- task{fn: fn, done: wg}
 	}
 	wg.Wait()
 }

@@ -1,0 +1,280 @@
+// Package perf is the machine-readable performance trajectory behind
+// BENCH_engine.json: a small, fixed suite of end-to-end engine benchmarks
+// (throughput, sharded fan-out, sampler decision cost, adaptive-vs-static
+// round sizing) measured with explicit op counts and allocation accounting.
+//
+// It exists separately from the go-test benchmarks so cmd/exbench can run
+// the suite from a plain binary (`exbench -bench-out BENCH_engine.json`)
+// and CI can upload the snapshot as an artifact; the go-test benchmarks
+// remain the interactive, -benchmem-friendly view of the same paths.
+package perf
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	exsample "github.com/exsample/exsample"
+	"github.com/exsample/exsample/backend"
+)
+
+// Result is one benchmark's snapshot entry.
+type Result struct {
+	// Name identifies the benchmark; names are stable across snapshots so
+	// trajectories can be diffed.
+	Name string `json:"name"`
+	// Ops is how many times the op ran (after one untimed warmup).
+	Ops int `json:"ops"`
+	// NsPerOp, AllocsPerOp and BytesPerOp are the per-op wall time and
+	// allocation averages over the measured ops.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Metrics carries benchmark-specific values (frames/op, frames/s, ...),
+	// averaged over the measured ops.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the BENCH_engine.json document.
+type Snapshot struct {
+	// GoVersion, GOOS and GOARCH identify the toolchain and platform the
+	// numbers were measured on — the snapshot is a trajectory record, not a
+	// cross-machine contract.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Suite holds one entry per benchmark, in a fixed order.
+	Suite []Result `json:"suite"`
+}
+
+// measure runs op ops times (after one untimed warmup call) and returns
+// wall-time and allocation averages plus the merged benchmark metrics.
+func measure(name string, ops int, op func() (map[string]float64, error)) (Result, error) {
+	if _, err := op(); err != nil {
+		return Result{}, fmt.Errorf("%s: warmup: %w", name, err)
+	}
+	metrics := make(map[string]float64)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		m, err := op()
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: op %d: %w", name, i, err)
+		}
+		for k, v := range m {
+			metrics[k] += v
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	for k := range metrics {
+		metrics[k] /= float64(ops)
+	}
+	return Result{
+		Name:        name,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		Metrics:     metrics,
+	}, nil
+}
+
+// SlowBackend wraps a backend with a simulated wire/inference latency of
+// overhead + perFrame*len(frames) per DetectBatch call — the fixed-cost
+// batch shape (HTTP round trip + per-frame GPU time) that makes adaptive
+// round sizing pay: bigger batches amortize the overhead. maxBatch is the
+// advertised Hints.MaxBatch (0 = unbounded).
+func SlowBackend(inner backend.Backend, overhead, perFrame time.Duration, maxBatch int) backend.Backend {
+	return &slowBackend{inner: inner, overhead: overhead, perFrame: perFrame, maxBatch: maxBatch}
+}
+
+type slowBackend struct {
+	inner    backend.Backend
+	overhead time.Duration
+	perFrame time.Duration
+	maxBatch int
+}
+
+func (b *slowBackend) DetectBatch(ctx context.Context, class string, frames []int64) ([][]backend.Detection, error) {
+	delay := b.overhead + time.Duration(len(frames))*b.perFrame
+	select {
+	case <-time.After(delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return b.inner.DetectBatch(ctx, class, frames)
+}
+
+func (b *slowBackend) Hints() backend.Hints {
+	h := b.inner.Hints()
+	h.MaxBatch = b.maxBatch
+	return h
+}
+
+// engineOp runs n seeded queries on a fresh engine and reports frames/op,
+// results/op and frames/s (detector frames per wall second).
+func engineOp(src exsample.Source, class string, queries, limit int, opts exsample.EngineOptions, maxFrames int64, seed *uint64) (map[string]float64, error) {
+	eng, err := exsample.NewEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	start := time.Now()
+	handles := make([]*exsample.QueryHandle, queries)
+	for i := range handles {
+		*seed++
+		handles[i], err = eng.Submit(context.Background(), src,
+			exsample.Query{Class: class, Limit: limit},
+			exsample.Options{Seed: *seed, MaxFrames: maxFrames})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var frames int64
+	var found int
+	for _, h := range handles {
+		rep, err := h.Wait()
+		if err != nil {
+			return nil, err
+		}
+		frames += rep.FramesProcessed
+		found += len(rep.Results)
+	}
+	secs := time.Since(start).Seconds()
+	m := map[string]float64{
+		"frames/op":  float64(frames),
+		"results/op": float64(found),
+	}
+	if secs > 0 {
+		m["frames/s"] = float64(frames) / secs
+	}
+	return m, nil
+}
+
+// RunSuite measures the whole trajectory suite. It is deliberately small
+// (seconds, not minutes): the snapshot is a smoke-level trajectory, and
+// the go-test benchmarks remain the precision instrument.
+func RunSuite() (*Snapshot, error) {
+	snap := &Snapshot{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+
+	dashcam, err := exsample.OpenProfile("dashcam", 0.05, 3)
+	if err != nil {
+		return nil, err
+	}
+	var seed uint64
+	res, err := measure("engine_throughput_4q", 3, func() (map[string]float64, error) {
+		return engineOp(dashcam, "traffic light", 4, 10,
+			exsample.EngineOptions{Workers: 4, FramesPerRound: 4}, 0, &seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap.Suite = append(snap.Suite, res)
+
+	shards := make([]*exsample.Dataset, 2)
+	for i := range shards {
+		shards[i], err = exsample.Synthesize(exsample.SynthSpec{
+			NumFrames:    80_000,
+			NumInstances: 100,
+			Class:        "car",
+			MeanDuration: 120,
+			SkewFraction: 1.0 / 8,
+			ChunkFrames:  2000,
+			Seed:         uint64(40 + i),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sharded, err := exsample.NewShardedSource("bench", shards...)
+	if err != nil {
+		return nil, err
+	}
+	seed = 100
+	res, err = measure("sharded_throughput_2s_4q", 3, func() (map[string]float64, error) {
+		return engineOp(sharded, "car", 4, 10,
+			exsample.EngineOptions{Workers: 4, FramesPerRound: 4}, 0, &seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap.Suite = append(snap.Suite, res)
+
+	// Sampler decision cost: one 256-frame ExSample search over 128 chunks
+	// with a near-free detector, so decision overhead dominates — the
+	// §III-F "sampling must be negligible" number, with allocs/op as the
+	// regression-sensitive part.
+	synth, err := exsample.Synthesize(exsample.SynthSpec{
+		NumFrames:    1 << 20,
+		NumInstances: 100,
+		MeanDuration: 100,
+		ChunkFrames:  1 << 13,
+		Seed:         9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dseed uint64
+	res, err = measure("sampler_decision_256", 8, func() (map[string]float64, error) {
+		dseed++
+		rep, err := synth.Search(exsample.Query{Class: "object", Limit: 1_000_000},
+			exsample.Options{MaxFrames: 256, Seed: dseed})
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{"frames/op": float64(rep.FramesProcessed)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics["allocs/frame"] = res.AllocsPerOp / 256
+	snap.Suite = append(snap.Suite, res)
+
+	// Adaptive vs static round sizing against a slow fixed-overhead
+	// backend: same repository, same budget, the only difference is
+	// whether the quota may grow. The adaptive arm's frames/s advantage is
+	// the tentpole's acceptance metric.
+	slowSpec := exsample.SynthSpec{
+		NumFrames:    200_000,
+		NumInstances: 300,
+		Class:        "car",
+		MeanDuration: 150,
+		SkewFraction: 1.0 / 16,
+		ChunkFrames:  4000,
+		Seed:         21,
+	}
+	src, err := exsample.Synthesize(slowSpec)
+	if err != nil {
+		return nil, err
+	}
+	slow, err := exsample.Synthesize(slowSpec,
+		exsample.WithBackend(SlowBackend(src.Backend(), 2*time.Millisecond, 20*time.Microsecond, 64)))
+	if err != nil {
+		return nil, err
+	}
+	for _, arm := range []struct {
+		name     string
+		adaptive bool
+	}{
+		{"engine_static_slowbackend", false},
+		{"engine_adaptive_slowbackend", true},
+	} {
+		aseed := uint64(500)
+		res, err = measure(arm.name, 2, func() (map[string]float64, error) {
+			// Frame-budgeted, not result-limited: both arms process the
+			// same 256 frames per query; only the batching differs.
+			return engineOp(slow, "car", 2, 1_000_000,
+				exsample.EngineOptions{Workers: 2, FramesPerRound: 2, AdaptiveRounds: arm.adaptive},
+				256, &aseed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		snap.Suite = append(snap.Suite, res)
+	}
+	return snap, nil
+}

@@ -1,0 +1,361 @@
+// Package sizer implements feedback-controlled round sizing for the query
+// engine: an AIMD (additive-increase, multiplicative-decrease) controller
+// that grows a query's per-round detector quota from the engine's static
+// FramesPerRound toward the backend's batch capacity while the observed
+// batch latency stays flat, and shrinks it multiplicatively when latency
+// inflates (queueing) or a circuit breaker opens (capacity loss).
+//
+// The controller is a pure state machine over the observations it is fed:
+// it never reads the clock itself, so a fixed synthetic latency trace
+// produces a fixed quota schedule — the property the determinism regression
+// tests pin down. The signals it consumes are the ones the serving layer
+// already collects: per-batch wall latency measured by the engine scheduler
+// (the same quantity backend/httpbatch reports per request and
+// backend/router tracks as a per-replica EWMA), and the router's
+// breaker-open counter for capacity-loss events.
+//
+// The per-frame latency model: a batch of q frames costs roughly
+// overhead + q·perFrame seconds, so per-frame latency (seconds/q) FALLS as
+// the quota grows until the backend saturates, then rises as requests
+// queue. AIMD probes that knee: grow by Step while the per-frame EWMA stays
+// within Inflation of the best level observed, halve on inflation. The
+// baseline drifts slowly toward the current EWMA so a backend that becomes
+// permanently slower (fleet churn, model swap) re-anchors instead of
+// pinning the controller at Min forever.
+package sizer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Config parameterizes a Controller. Min is required; everything else has
+// a production-shaped default.
+type Config struct {
+	// Min is the quota floor — the engine's static FramesPerRound, and the
+	// controller's starting point. Required (>= 1).
+	Min int
+	// Max is the quota ceiling, normally the backend's Hints.MaxBatch.
+	// Values <= 0 select Min*DefaultMaxFactor: an unbounded backend still
+	// gets a cap, because a round's picks are drawn before any of its
+	// updates apply (§III-F BatchSize semantics) and unbounded rounds would
+	// trade away sample efficiency, not just latency. Max below Min is
+	// raised to Min.
+	Max int
+	// Step is the additive increase applied after each settled (flat)
+	// observation window (default 1).
+	Step int
+	// Shrink is the multiplicative decrease factor applied on latency
+	// inflation, in (0, 1) (default 0.5).
+	Shrink float64
+	// Inflation is the per-frame latency ratio over the baseline that
+	// counts as queueing and triggers a shrink (default 1.5).
+	Inflation float64
+	// Settle is how many consecutive flat observations are required per
+	// growth step (default 1: grow every flat round, classic AIMD).
+	Settle int
+	// Decay is the EWMA coefficient for the per-frame latency estimate in
+	// (0, 1]; higher weighs recent batches more (default 0.4).
+	Decay float64
+	// Drift is the per-observation relaxation of the baseline toward the
+	// current EWMA when the EWMA is above it, in [0, 1) (default 0.02).
+	// Zero freezes the baseline at the best latency ever observed.
+	Drift float64
+}
+
+// DefaultMaxFactor caps the quota at Min*DefaultMaxFactor when the backend
+// advertises no MaxBatch.
+const DefaultMaxFactor = 16
+
+func (c Config) withDefaults() Config {
+	if c.Max <= 0 {
+		c.Max = c.Min * DefaultMaxFactor
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Step == 0 {
+		c.Step = 1
+	}
+	if c.Shrink == 0 {
+		c.Shrink = 0.5
+	}
+	if c.Inflation == 0 {
+		c.Inflation = 1.5
+	}
+	if c.Settle == 0 {
+		c.Settle = 1
+	}
+	if c.Decay == 0 {
+		c.Decay = 0.4
+	}
+	if c.Drift == 0 {
+		c.Drift = 0.02
+	}
+	return c
+}
+
+// Validate reports an error for out-of-range parameters.
+func (c Config) Validate() error {
+	if c.Min < 1 {
+		return fmt.Errorf("sizer: Min %d below 1", c.Min)
+	}
+	if c.Step < 0 {
+		return fmt.Errorf("sizer: negative Step %d", c.Step)
+	}
+	if c.Shrink < 0 || c.Shrink >= 1 {
+		return fmt.Errorf("sizer: Shrink %v outside [0, 1)", c.Shrink)
+	}
+	if c.Inflation < 0 || (c.Inflation > 0 && c.Inflation < 1) {
+		return fmt.Errorf("sizer: Inflation %v below 1", c.Inflation)
+	}
+	if c.Settle < 0 {
+		return fmt.Errorf("sizer: negative Settle %d", c.Settle)
+	}
+	if c.Decay < 0 || c.Decay > 1 {
+		return fmt.Errorf("sizer: Decay %v outside [0, 1]", c.Decay)
+	}
+	if c.Drift < 0 || c.Drift >= 1 {
+		return fmt.Errorf("sizer: Drift %v outside [0, 1)", c.Drift)
+	}
+	return nil
+}
+
+// Counters aggregates quota adjustments across every controller sharing
+// them (typically all adaptive queries of one engine). All fields are
+// atomics so a stats reader never contends with the scheduler.
+type Counters struct {
+	// Grows and Shrinks count additive increases and multiplicative
+	// decreases; CapacityLosses counts shrinks forced by a breaker opening.
+	Grows, Shrinks, CapacityLosses atomic.Int64
+	// Peak is the largest quota any controller reached.
+	Peak atomic.Int64
+}
+
+func (c *Counters) notePeak(q int) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.Peak.Load()
+		if int64(q) <= cur || c.Peak.CompareAndSwap(cur, int64(q)) {
+			return
+		}
+	}
+}
+
+// Controller is one AIMD quota controller — per (query, backend) in the
+// engine's wiring, where "backend" is the shard-affinity key that routes a
+// round's DetectBatch groups. It is not safe for concurrent use; Fleet
+// adds the locking the engine needs.
+type Controller struct {
+	cfg      Config
+	counters *Counters
+
+	quota    int
+	ewma     float64 // per-frame latency EWMA (0 until the first observation)
+	baseline float64 // best (lowest) per-frame level, with slow upward drift
+	settled  int     // consecutive flat observations since the last change
+}
+
+// NewController builds a controller starting at cfg.Min. counters may be
+// nil.
+func NewController(cfg Config, counters *Counters) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	c := &Controller{cfg: cfg, counters: counters, quota: cfg.Min}
+	c.counters.notePeak(c.quota)
+	return c, nil
+}
+
+// Quota returns the current per-round quota.
+func (c *Controller) Quota() int { return c.quota }
+
+// EWMASeconds returns the current per-frame latency estimate (0 before any
+// observation).
+func (c *Controller) EWMASeconds() float64 { return c.ewma }
+
+// Observe feeds one successful batch observation — frames dispatched and
+// the batch's wall latency in seconds — and adjusts the quota: additive
+// increase after Settle consecutive flat observations, multiplicative
+// decrease when the per-frame EWMA inflates past Inflation times the
+// baseline. Observations with no frames are ignored.
+//
+// The EWMA update is weighted by frames/quota: a sub-quota batch — a
+// sharded query's round split across shards leaves some groups with a
+// handful of frames — overestimates per-frame latency, because the
+// backend's fixed per-call overhead is amortized over fewer frames. Full
+// batches carry full weight (the single-backend case is unchanged), while
+// a 1-frame straggler barely moves the estimate instead of masquerading
+// as queueing and halving the quota.
+func (c *Controller) Observe(frames int, seconds float64) {
+	if frames <= 0 || seconds < 0 {
+		return
+	}
+	per := seconds / float64(frames)
+	weight := float64(frames) / float64(c.quota)
+	if weight > 1 {
+		weight = 1
+	}
+	if c.ewma == 0 {
+		c.ewma = per
+	} else {
+		d := c.cfg.Decay * weight
+		c.ewma = d*per + (1-d)*c.ewma
+	}
+	switch {
+	case c.baseline == 0 || c.ewma < c.baseline:
+		c.baseline = c.ewma
+	default:
+		// Relax toward a persistently higher level so a permanently slower
+		// backend re-anchors the flatness test instead of shrinking forever.
+		c.baseline += c.cfg.Drift * (c.ewma - c.baseline)
+	}
+	if c.ewma > c.cfg.Inflation*c.baseline {
+		c.shrink(false)
+		return
+	}
+	c.settled++
+	if c.settled < c.cfg.Settle || c.quota >= c.cfg.Max {
+		return
+	}
+	c.settled = 0
+	c.quota += c.cfg.Step
+	if c.quota > c.cfg.Max {
+		c.quota = c.cfg.Max
+	}
+	if c.counters != nil {
+		c.counters.Grows.Add(1)
+	}
+	c.counters.notePeak(c.quota)
+}
+
+// CapacityLoss shrinks the quota multiplicatively in response to a
+// capacity-loss event (a replica's circuit breaker opening): the fleet just
+// lost a server, so the sustainable batch rate dropped whatever the latency
+// EWMA still says.
+func (c *Controller) CapacityLoss() { c.shrink(true) }
+
+func (c *Controller) shrink(capacity bool) {
+	c.settled = 0
+	q := int(float64(c.quota) * c.cfg.Shrink)
+	if q < c.cfg.Min {
+		q = c.cfg.Min
+	}
+	if q != c.quota {
+		c.quota = q
+		if c.counters != nil {
+			c.counters.Shrinks.Add(1)
+		}
+	}
+	if capacity && c.counters != nil {
+		c.counters.CapacityLosses.Add(1)
+	}
+}
+
+// Fleet is the engine-facing controller set for one query: one Controller
+// per backend key (the scheduler's shard-affinity key), created lazily on
+// first observation. The query's round quota is the MINIMUM across its
+// controllers — the slowest backend gates the round's wall time, so it
+// gates the quota too. Fleet is safe for concurrent use: quota reads come
+// from stats surfaces while the scheduler observes batches.
+type Fleet struct {
+	mu    sync.Mutex
+	cfg   Config
+	ctrs  map[uint64]*Controller
+	ctr0  *Controller // fast path: the first (and usually only) key
+	key0  uint64
+	quota atomic.Int64 // cached min across controllers
+
+	counters *Counters
+}
+
+// NewFleet builds a fleet. counters may be nil; it is shared with every
+// controller the fleet creates.
+func NewFleet(cfg Config, counters *Counters) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	f := &Fleet{cfg: cfg, counters: counters}
+	f.quota.Store(int64(cfg.Min))
+	counters.notePeak(cfg.Min)
+	return f, nil
+}
+
+// Quota returns the query's current per-round quota: the minimum across
+// its per-backend controllers, cfg.Min before any observation.
+func (f *Fleet) Quota() int { return int(f.quota.Load()) }
+
+// Observe feeds one successful batch observation for the given backend
+// key.
+func (f *Fleet) Observe(key uint64, frames int, seconds float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.controller(key)
+	if c == nil {
+		return
+	}
+	c.Observe(frames, seconds)
+	f.recompute()
+}
+
+// CapacityLoss shrinks every controller — the fleet cannot attribute a
+// breaker-open event to one backend key, and losing a server anywhere
+// reduces the capacity the round competes for.
+func (f *Fleet) CapacityLoss() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ctr0 == nil {
+		// No observations yet: record the event against a synthetic
+		// controller so the shrink applies as soon as sizing starts... a
+		// quota already at Min has nothing to shrink; just count the event.
+		if f.counters != nil {
+			f.counters.CapacityLosses.Add(1)
+		}
+		return
+	}
+	f.ctr0.CapacityLoss()
+	for _, c := range f.ctrs {
+		c.CapacityLoss()
+	}
+	f.recompute()
+}
+
+// controller returns (creating if needed) the controller for key. Callers
+// hold f.mu.
+func (f *Fleet) controller(key uint64) *Controller {
+	if f.ctr0 != nil && f.key0 == key {
+		return f.ctr0
+	}
+	if c, ok := f.ctrs[key]; ok {
+		return c
+	}
+	c, err := NewController(f.cfg, f.counters)
+	if err != nil {
+		return nil
+	}
+	if f.ctr0 == nil {
+		f.ctr0, f.key0 = c, key
+		return c
+	}
+	if f.ctrs == nil {
+		f.ctrs = make(map[uint64]*Controller)
+	}
+	f.ctrs[key] = c
+	return c
+}
+
+// recompute refreshes the cached min quota. Callers hold f.mu.
+func (f *Fleet) recompute() {
+	min := f.ctr0.Quota()
+	for _, c := range f.ctrs {
+		if q := c.Quota(); q < min {
+			min = q
+		}
+	}
+	f.quota.Store(int64(min))
+}

@@ -87,6 +87,13 @@ type queryRun struct {
 	trainSpent  int64
 	trainOrder  *video.UniformOrder
 
+	// seq is the scratch behind detectOne — the sequential Search loop and
+	// Session.Step run one batch at a time on one goroutine, so a single
+	// per-run scratch makes the whole step loop allocation-free between
+	// detector calls. The engine's concurrent groups never use it.
+	seq detectScratch
+	one [1]int64
+
 	rep       *Report
 	maxFrames int64
 	exhausted bool
@@ -102,6 +109,35 @@ type frameResult struct {
 	dets   []track.Detection
 	cost   float64
 	cached bool
+}
+
+// detectScratch is a reusable buffer set for one in-flight detectBatch
+// call: the per-frame results and the memo-cache miss bookkeeping. One
+// scratch serves one call at a time; concurrent batches (the engine runs a
+// query's affinity groups in parallel) each need their own, which the
+// engine recycles through a per-query free list. A nil scratch falls back
+// to fresh allocations — the shape one-shot callers keep.
+type detectScratch struct {
+	res     []frameResult
+	out     []any // engine-side boxed view; unused by run.go itself
+	missIdx []int
+	miss    []int64
+}
+
+// results returns the scratch's result buffer resized to n, growing only
+// when capacity is short.
+func (s *detectScratch) results(n int) []frameResult {
+	if s == nil {
+		return make([]frameResult, n)
+	}
+	if cap(s.res) < n {
+		s.res = make([]frameResult, n)
+	}
+	s.res = s.res[:n]
+	for i := range s.res {
+		s.res[i] = frameResult{}
+	}
+	return s.res
 }
 
 // newQueryRun builds the full per-query pipeline over a Source: detector,
@@ -601,7 +637,14 @@ func (r *queryRun) next() (pick core.Pick, ok bool) {
 // underlying detector call; the error surfaces to the caller with no
 // results applied.
 func (r *queryRun) detectBatch(ctx context.Context, frames []int64) ([]frameResult, error) {
-	out := make([]frameResult, len(frames))
+	return r.detectBatchInto(ctx, frames, nil)
+}
+
+// detectBatchInto is detectBatch writing through the caller's reusable
+// scratch (nil allocates fresh buffers). The returned slice aliases the
+// scratch and is valid until the scratch's next use.
+func (r *queryRun) detectBatchInto(ctx context.Context, frames []int64, scr *detectScratch) ([]frameResult, error) {
+	out := scr.results(len(frames))
 	if r.memo == nil {
 		// Fast path for uncached runs: the whole batch is one detector
 		// call, no index indirection.
@@ -617,7 +660,10 @@ func (r *queryRun) detectBatch(ctx context.Context, frames []int64) ([]frameResu
 		}
 		return out, nil
 	}
-	var missIdx []int
+	missIdx := []int(nil)
+	if scr != nil {
+		missIdx = scr.missIdx[:0]
+	}
 	for i, frame := range frames {
 		key := cache.Key{Source: r.src.id, Class: r.query.Class, Frame: frame}
 		if dets, ok := r.memo.Get(key); ok {
@@ -626,12 +672,23 @@ func (r *queryRun) detectBatch(ctx context.Context, frames []int64) ([]frameResu
 			missIdx = append(missIdx, i)
 		}
 	}
+	if scr != nil {
+		scr.missIdx = missIdx
+	}
 	if len(missIdx) == 0 {
 		return out, nil
 	}
-	miss := make([]int64, len(missIdx))
-	for k, i := range missIdx {
-		miss[k] = frames[i]
+	miss := []int64(nil)
+	if scr != nil {
+		miss = scr.miss[:0]
+	} else {
+		miss = make([]int64, 0, len(missIdx))
+	}
+	for _, i := range missIdx {
+		miss = append(miss, frames[i])
+	}
+	if scr != nil {
+		scr.miss = miss
 	}
 	outs, err := r.detector.DetectBatch(ctx, miss)
 	if err != nil {
@@ -648,9 +705,12 @@ func (r *queryRun) detectBatch(ctx context.Context, frames []int64) ([]frameResu
 }
 
 // detectOne is detectBatch for a single frame — the shape the sequential
-// Search loop and Session's Step use.
+// Search loop and Session's Step use. It runs through the per-run
+// sequential scratch, so the steady-state step loop allocates nothing
+// between detector calls.
 func (r *queryRun) detectOne(ctx context.Context, frame int64) (frameResult, error) {
-	res, err := r.detectBatch(ctx, []int64{frame})
+	r.one[0] = frame
+	res, err := r.detectBatchInto(ctx, r.one[:], &r.seq)
 	if err != nil {
 		return frameResult{}, err
 	}

@@ -18,6 +18,9 @@ import (
 // step loop, so both reproduce Search exactly for the same seed.
 type Session struct {
 	run *queryRun
+	// alloc is the reused per-poll buffer behind ChunkStats' Allocation
+	// column — stats polling every step must not allocate per call.
+	alloc []float64
 }
 
 // StepInfo reports what one Step did.
@@ -103,12 +106,16 @@ func (s *Session) ChunkStats() []ChunkStat {
 	if sampler == nil {
 		return nil
 	}
+	// The allocation fractions come through the session's reused buffer
+	// (core.AllocationInto): live dashboards poll ChunkStats every few
+	// steps, and the per-chunk share is the §IV-A weight vector they plot.
+	s.alloc = sampler.AllocationInto(s.alloc)
 	out := make([]ChunkStat, sampler.NumChunks())
 	for j := range out {
 		n1, n := sampler.Stats(j)
 		c := sampler.Chunks()[j]
 		out[j] = ChunkStat{Chunk: j, Start: c.Start, End: c.End, N1: n1, N: n,
-			Estimate: sampler.PointEstimate(j)}
+			Estimate: sampler.PointEstimate(j), Allocation: s.alloc[j]}
 	}
 	return out
 }
@@ -120,4 +127,8 @@ type ChunkStat struct {
 	N1         int64
 	N          int64
 	Estimate   float64
+	// Allocation is the fraction of all samples drawn from this chunk so
+	// far — the de-facto weight vector the sampler has converged to
+	// (§IV-A); the fractions sum to 1 once sampling has started.
+	Allocation float64
 }

@@ -72,6 +72,22 @@ type shardedTopo struct {
 type shardMember struct {
 	ds      *Dataset
 	detects atomic.Int64 // detector invocations routed here (cache hits excluded)
+	// opensBase is the member backend's cumulative breaker-open count at
+	// the moment it joined the source. The source-level capacity signal
+	// sums (current - base) per member, so attaching a shard whose router
+	// already recorded breaker opens in a previous life does not jump the
+	// total and fire a phantom capacity-loss shrink on running adaptive
+	// queries.
+	opensBase int64
+}
+
+// newShardMember snapshots the backend's breaker baseline at attach time.
+func newShardMember(d *Dataset) *shardMember {
+	m := &shardMember{ds: d}
+	if sig, ok := d.be.(capacitySignaler); ok {
+		m.opensBase = sig.BreakerOpens()
+	}
+	return m
 }
 
 // shardPart builds the address-space description of a dataset.
@@ -111,7 +127,7 @@ func NewShardedSource(name string, shards ...*Dataset) (*ShardedSource, error) {
 		for class, n := range d.inner.CountByClass {
 			counts[class] += n
 		}
-		members[i] = &shardMember{ds: d}
+		members[i] = newShardMember(d)
 	}
 	m, err := shard.New(parts)
 	if err != nil {
@@ -138,6 +154,31 @@ func NewShardedSource(name string, shards ...*Dataset) (*ShardedSource, error) {
 		chunks:    m.Chunks(),
 		numShards: len(shards),
 		cacheable: cacheable,
+		maxBatch: func() int {
+			// The tightest positive per-shard bound: every shard must
+			// accept whatever slice of a round lands on it.
+			min := 0
+			for _, m := range s.topo.Load().members {
+				if m.ds.be == nil {
+					continue
+				}
+				if mb := m.ds.be.Hints().MaxBatch; mb > 0 && (min == 0 || mb < min) {
+					min = mb
+				}
+			}
+			return min
+		},
+		breakerOpens: func() int64 {
+			// Sum of per-member deltas since attach: a valid edge signal
+			// even as the member set grows mid-run.
+			var n int64
+			for _, m := range s.topo.Load().members {
+				if sig, ok := m.ds.be.(capacitySignaler); ok {
+					n += sig.BreakerOpens() - m.opensBase
+				}
+			}
+			return n
+		},
 		shardOf: func(frame int64) int {
 			sh, _ := s.topo.Load().snap.Map.Locate(frame)
 			return sh
@@ -196,7 +237,7 @@ func (s *ShardedSource) AddShard(d *Dataset) (int, error) {
 		counts[class] += n
 	}
 	status := append(append(make([]shard.Status, 0, slot+1), old.snap.Status...), shard.Active)
-	members := append(append(make([]*shardMember, 0, slot+1), old.members...), &shardMember{ds: d})
+	members := append(append(make([]*shardMember, 0, slot+1), old.members...), newShardMember(d))
 	s.topo.Store(&shardedTopo{
 		snap:    &shard.Snapshot{Gen: old.snap.Gen + 1, Map: m, Status: status},
 		members: members,

@@ -47,6 +47,24 @@ type Source interface {
 // memo cache.
 var sourceIDs atomic.Uint64
 
+// capacitySignaler is the structural contract a backend (the router)
+// satisfies to feed capacity-loss events into the adaptive round sizer: a
+// cumulative count of circuit-breaker open transitions. Matched by type
+// assertion so the root package needs no dependency on backend/router.
+type capacitySignaler interface {
+	BreakerOpens() int64
+}
+
+// backendMaxBatch returns the sizer's quota ceiling for the source: the
+// tightest positive MaxBatch across its backends, 0 (meaning "no bound,
+// use the sizer default cap") when no backend reports one.
+func (qs *querySource) backendMaxBatch() int {
+	if qs.maxBatch == nil {
+		return 0
+	}
+	return qs.maxBatch()
+}
+
 // querySource is the internal contract behind Source: everything the query
 // pipeline needs from a repository, expressed in global frame coordinates.
 type querySource struct {
@@ -75,6 +93,15 @@ type querySource struct {
 	// (source, class, frame) — e.g. under failure injection — and the
 	// memo cache must be bypassed.
 	cacheable bool
+	// maxBatch, when non-nil, returns the tightest positive MaxBatch hint
+	// across the source's backends (0 = no bound) — the adaptive round
+	// sizer's quota ceiling. Consulted once per Submit.
+	maxBatch func() int
+	// breakerOpens, when non-nil, returns the cumulative count of circuit
+	// breakers opened across the source's backends (0 when none reports
+	// capacity). The adaptive sizer polls it once per round and treats any
+	// increase as a capacity-loss event.
+	breakerOpens func() int64
 
 	// decodeCost is the charged random-read+decode time for one frame.
 	decodeCost func(frame int64) float64
