@@ -11,6 +11,7 @@ package exsample_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -494,6 +495,100 @@ func BenchmarkAdaptiveRounds(b *testing.B) {
 			if secs := time.Since(start).Seconds(); secs > 0 {
 				b.ReportMetric(float64(frames)/secs, "frames/s")
 			}
+		})
+	}
+}
+
+// BenchmarkStreamIngest measures the live-ingest path end to end: one
+// standing query over a segment ring while a writer appends segments at the
+// consumption rate (each append issued at the previous park boundary —
+// the steady state of a camera that produces video no faster than the
+// engine drains it). Half the appended segments are dead. The arms differ
+// only in the motion gate: gate-off samples the dead segments in full,
+// gate-on pays a strided probe pass and never charges the detector for
+// them, so the alerts/s and frames/op spread is the gate's value.
+func BenchmarkStreamIngest(b *testing.B) {
+	const framesEach = 1000
+	const appends = 6
+	mk := func(seed uint64, dead bool) *exsample.Dataset {
+		spec := exsample.SynthSpec{
+			NumFrames:    framesEach,
+			NumInstances: 40,
+			Class:        "car",
+			MeanDuration: 100,
+			SkewFraction: 1.0 / 8,
+			ChunkFrames:  framesEach / 8,
+			Seed:         seed,
+		}
+		if dead {
+			spec.NumInstances = 1
+			spec.MeanDuration = 1
+		}
+		ds, err := exsample.Synthesize(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ds
+	}
+	for _, arm := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"gate-off", 0},
+		{"gate-on", 0.12},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var alerts, frames int64
+			var gateSeconds float64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				s, err := exsample.NewStreamSource(
+					exsample.StreamConfig{Retention: 4, MotionThreshold: arm.threshold},
+					mk(uint64(7000+i), false))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := exsample.NewEngine(exsample.EngineOptions{
+					Workers:        4,
+					FramesPerRound: 4,
+					EventBuffer:    1 << 15,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h, err := eng.SubmitStanding(context.Background(), s,
+					exsample.Query{Class: "car"}, exsample.Options{Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				waitPark := func() {
+					for !h.Parked() {
+						time.Sleep(100 * time.Microsecond)
+					}
+				}
+				waitPark()
+				for a := 1; a <= appends; a++ {
+					if _, err := s.Append(mk(uint64(7000+i*100+a), a%2 == 0)); err != nil {
+						b.Fatal(err)
+					}
+					waitPark()
+				}
+				h.Cancel()
+				rep, err := h.Wait()
+				if err != nil && !errors.Is(err, context.Canceled) {
+					b.Fatal(err)
+				}
+				alerts += int64(len(rep.Results))
+				frames += rep.FramesProcessed
+				gateSeconds += s.StreamStats().GateSeconds
+				eng.Close()
+			}
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(alerts)/secs, "alerts/s")
+				b.ReportMetric(float64(frames)/secs, "frames/s")
+			}
+			b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+			b.ReportMetric(gateSeconds/float64(b.N), "gate-s/op")
 		})
 	}
 }

@@ -260,3 +260,53 @@ func TestRunAdaptiveRounds(t *testing.T) {
 		t.Fatalf("missing per-query quota table:\n%s", out)
 	}
 }
+
+func TestRunStreamMode(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig(nil, 3, 0)
+	cfg.stream = true
+	cfg.segments = 6
+	cfg.segFrames = 1000
+	cfg.retention = 4
+	cfg.gate = 0.12
+	cfg.interval = time.Millisecond
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"stream: 3 standing queries",
+		"append: slot 1",
+		"gated=true",
+		"alert: query 0",
+		"segments of camera:",
+		"gated",
+		"evicted",
+		"parks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in stream-mode output:\n%s", want, out)
+		}
+	}
+	// Standing queries must have parked at least once each and woken on
+	// live appends.
+	if strings.Contains(out, "0 parks, 0 wakes") {
+		t.Fatalf("park/wake never exercised:\n%s", out)
+	}
+
+	bad := cfg
+	bad.shards = 2
+	if err := run(&buf, bad); err == nil {
+		t.Error("-stream with -shards accepted")
+	}
+	bad = cfg
+	bad.backend = "http"
+	if err := run(&buf, bad); err == nil {
+		t.Error("-stream with http backend accepted")
+	}
+	bad = cfg
+	bad.segFrames = 4
+	if err := run(&buf, bad); err == nil {
+		t.Error("tiny segment frames accepted")
+	}
+}

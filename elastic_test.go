@@ -294,15 +294,15 @@ func TestElasticAllDrainingErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := Query{Class: "car", Limit: 1}
-	if _, err := ss.Search(q, Options{Seed: 1}); err == nil {
-		t.Error("Search on an all-draining source accepted")
+	if _, err := ss.Search(q, Options{Seed: 1}); !errors.Is(err, ErrNoActiveShards) {
+		t.Errorf("Search on an all-draining source: %v, want ErrNoActiveShards", err)
 	}
-	if _, err := ss.NewSession(q, Options{Seed: 1}); err == nil {
-		t.Error("NewSession on an all-draining source accepted")
+	if _, err := ss.NewSession(q, Options{Seed: 1}); !errors.Is(err, ErrNoActiveShards) {
+		t.Errorf("NewSession on an all-draining source: %v, want ErrNoActiveShards", err)
 	}
 	e := newTestEngine(t, EngineOptions{Workers: 1})
-	if _, err := e.Submit(context.Background(), ss, q, Options{Seed: 1}); err == nil {
-		t.Error("Engine.Submit on an all-draining source accepted")
+	if _, err := e.Submit(context.Background(), ss, q, Options{Seed: 1}); !errors.Is(err, ErrNoActiveShards) {
+		t.Errorf("Engine.Submit on an all-draining source: %v, want ErrNoActiveShards", err)
 	}
 	// Attaching a fresh shard re-opens the source.
 	if _, err := ss.AddShard(smallDataset(t)); err != nil {

@@ -192,11 +192,18 @@ type EngineStats struct {
 	// PeakQuota is the largest per-round quota any adaptive query reached
 	// (0 when AdaptiveRounds is off; at least FramesPerRound otherwise).
 	PeakQuota int64
+	// Parks and Wakes count standing-query lifecycle transitions: a park
+	// is a standing query going dormant after a round in which it had
+	// nothing to propose, a wake is a dormant query re-entering the
+	// schedule (on append or cancellation). Both are 0 when no standing
+	// query was ever submitted.
+	Parks, Wakes int64
 }
 
 // Stats snapshots the engine's scheduler counters.
 func (e *Engine) Stats() EngineStats {
 	rounds, detects, batches := e.inner.Counters()
+	parks, wakes := e.inner.ParkCounters()
 	return EngineStats{
 		Rounds:         rounds,
 		DetectCalls:    detects,
@@ -205,6 +212,8 @@ func (e *Engine) Stats() EngineStats {
 		QuotaShrinks:   e.quota.Shrinks.Load(),
 		CapacityLosses: e.quota.CapacityLosses.Load(),
 		PeakQuota:      e.quota.Peak.Load(),
+		Parks:          parks,
+		Wakes:          wakes,
 	}
 }
 
@@ -239,15 +248,74 @@ func (e *Engine) Submit(ctx context.Context, src Source, q Query, opts Options) 
 	if opts.ProxyTrainPositives > 0 {
 		return nil, fmt.Errorf("exsample: engine queries do not support the proxy training phase")
 	}
-	run, err := newQueryRun(src, q, opts, e.memo)
+	run, err := newQueryRun(src, q, opts, e.memo, false)
 	if err != nil {
 		return nil, err
 	}
+	return e.submitRun(ctx, src, run, false)
+}
+
+// SubmitStanding registers a standing query against a live source and
+// returns its handle. A standing query never exhausts: when it has sampled
+// every active frame it parks — leaving the scheduler's hot loop entirely —
+// and wakes when the source appends a segment (sources that grow implement
+// an internal append notification; StreamSource and ShardedSource both do).
+// Events stream incrementally exactly as for Submit; the query ends only
+// when cancelled, its context fires, or an explicit opts.MaxFrames /
+// opts.MaxSeconds budget is spent.
+//
+// Relative to Submit, validation is relaxed and tightened in opposite
+// directions: q.Limit and q.RecallTarget are optional (an alert query can
+// run open-ended, and its class may have no instances — or no frames at
+// all — yet), while opts.NumChunks and opts.AutoChunk are rejected because
+// a standing query must follow the source's live chunk topology for
+// appended segments to become sampler arms. Determinism matches Submit:
+// with a fixed seed, a standing query that has consumed a given segment
+// history reports byte-identically to an offline Search over the retained
+// segments (see StreamSource).
+func (e *Engine) SubmitStanding(ctx context.Context, src Source, q Query, opts Options) (*QueryHandle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if q.Class == "" {
+		return nil, fmt.Errorf("exsample: query needs a class")
+	}
+	if q.Limit < 0 {
+		return nil, fmt.Errorf("exsample: negative limit %d", q.Limit)
+	}
+	if q.RecallTarget < 0 || q.RecallTarget > 1 {
+		return nil, fmt.Errorf("exsample: recall target %v outside [0,1]", q.RecallTarget)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BatchSize > 1 || opts.Parallelism > 1 {
+		return nil, fmt.Errorf("exsample: the engine schedules batching itself; set EngineOptions.FramesPerRound instead of BatchSize/Parallelism")
+	}
+	if opts.AutoChunk || opts.NumChunks > 0 {
+		return nil, fmt.Errorf("exsample: standing queries follow the source's live chunk topology; NumChunks/AutoChunk cannot apply")
+	}
+	if opts.ProxyTrainPositives > 0 {
+		return nil, fmt.Errorf("exsample: engine queries do not support the proxy training phase")
+	}
+	run, err := newQueryRun(src, q, opts, e.memo, true)
+	if err != nil {
+		return nil, err
+	}
+	return e.submitRun(ctx, src, run, true)
+}
+
+// submitRun is the shared tail of Submit and SubmitStanding: it builds the
+// handle and scheduler adapter, wraps for adaptive sizing and/or standing
+// semantics, subscribes standing queries to the source's append
+// notifications, and hands the query to the internal scheduler.
+func (e *Engine) submitRun(ctx context.Context, src Source, run *queryRun, standing bool) (*QueryHandle, error) {
 	h := &QueryHandle{
-		run:    run,
-		ctx:    ctx,
-		events: make(chan QueryEvent, e.opts.EventBuffer),
-		static: e.opts.FramesPerRound,
+		run:      run,
+		ctx:      ctx,
+		events:   make(chan QueryEvent, e.opts.EventBuffer),
+		static:   e.opts.FramesPerRound,
+		standing: standing,
 	}
 	eq := &engineQuery{run: run, ctx: ctx, handle: h}
 	var iq engine.Query = eq
@@ -271,13 +339,47 @@ func (e *Engine) Submit(ctx context.Context, src Source, q Query, opts Options) 
 			sq.lastOpens = sq.breakerOpens()
 		}
 		iq = sq
+		if standing {
+			iq = &sizedStandingQuery{sizedQuery: sq}
+		}
+	} else if standing {
+		iq = &standingQuery{engineQuery: eq}
+	}
+	var wakeTarget atomic.Pointer[engine.Handle]
+	if standing {
+		// Subscribe to appends before the scheduler can run (and so before
+		// Finalize — which runs the unsubscribe — can possibly fire). The
+		// callback routes through an atomic pointer because the inner
+		// handle does not exist until Submit returns; a notification in
+		// that window is harmless, since a query cannot be parked before
+		// its first round and its first round sees all current segments.
+		if n, ok := src.(appendNotifier); ok {
+			h.unsub = n.onAppend(func() {
+				if ih := wakeTarget.Load(); ih != nil {
+					ih.Wake()
+				}
+			})
+		}
 	}
 	inner, err := e.inner.Submit(iq)
 	if err != nil {
+		if h.unsub != nil {
+			h.unsub()
+		}
 		return nil, err
 	}
+	wakeTarget.Store(inner)
 	h.inner = inner
 	return h, nil
+}
+
+// appendNotifier is the structural seam a growing source implements so
+// standing queries can be woken when new frames arrive. onAppend registers
+// a callback invoked (on the appender's goroutine, after the new topology
+// is published) for every segment that becomes samplable, and returns a
+// cancel function. ShardedSource and StreamSource implement it.
+type appendNotifier interface {
+	onAppend(fn func()) (cancel func())
 }
 
 // Close cancels every in-flight query and shuts the engine down, blocking
@@ -313,7 +415,22 @@ type QueryHandle struct {
 	dropped atomic.Int64
 	sizer   *sizer.Fleet // non-nil when AdaptiveRounds is on
 	static  int          // the engine's FramesPerRound
+	// standing marks a SubmitStanding query; unsub (non-nil only then, and
+	// only for growing sources) cancels the append-wake subscription. It is
+	// written before the scheduler can observe the query and read once by
+	// Finalize on the scheduler goroutine.
+	standing bool
+	unsub    func()
 }
+
+// Standing reports whether this handle belongs to a standing
+// (SubmitStanding) query.
+func (h *QueryHandle) Standing() bool { return h.standing }
+
+// Parked reports whether a standing query is currently dormant — it has
+// sampled every active frame and left the scheduling loop until the source
+// appends. Always false for bounded queries and for finished queries.
+func (h *QueryHandle) Parked() bool { return h.inner.Parked() }
 
 // RoundQuota reports the query's current per-round detector quota: the
 // adaptive controller's live value under AdaptiveRounds, the engine's
@@ -553,7 +670,28 @@ func (q *engineQuery) Apply(frame int64, dets any) (bool, error) {
 	return q.run.done(), nil
 }
 
-func (q *engineQuery) Finalize() { close(q.handle.events) }
+func (q *engineQuery) Finalize() {
+	if q.handle.unsub != nil {
+		q.handle.unsub()
+	}
+	close(q.handle.events)
+}
+
+// standingQuery opts an engineQuery into the scheduler's park/wake
+// lifecycle (engine.Standing). Like sizedQuery, it is a separate wrapper
+// type so a bounded query never implements the optional interface: the
+// scheduler's type assertion fails and exhaustion stays terminal.
+type standingQuery struct{ *engineQuery }
+
+// StandingQuery implements engine.Standing.
+func (q *standingQuery) StandingQuery() bool { return true }
+
+// sizedStandingQuery combines adaptive round sizing with the standing
+// lifecycle for SubmitStanding under EngineOptions.AdaptiveRounds.
+type sizedStandingQuery struct{ *sizedQuery }
+
+// StandingQuery implements engine.Standing.
+func (q *sizedStandingQuery) StandingQuery() bool { return true }
 
 // sizedQuery opts an engineQuery into the scheduler's adaptive round
 // sizing (engine.Sized). It is a separate wrapper type so the default

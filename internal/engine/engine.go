@@ -87,6 +87,23 @@ type Sized interface {
 	ObserveBatch(key uint64, frames int, seconds float64)
 }
 
+// Standing is an optional Query refinement for queries over live sources:
+// an exhausted repository is a pause, not an ending. When a standing
+// query's Propose returns no frames, the scheduler parks the handle —
+// removes it from the round schedule with no terminal Reason and its full
+// pipeline state intact — instead of finalizing it with ReasonExhausted.
+// Handle.Wake re-admits it, typically from a source's append notification;
+// a wake that races an in-flight round is remembered, so an append can
+// never be lost between Propose observing emptiness and the park landing.
+// Parked queries cost the scheduler nothing: the loop idles exactly as if
+// they did not exist.
+type Standing interface {
+	// StandingQuery reports whether the query wants park-on-exhaustion
+	// semantics. Implementations return a constant; the scheduler checks it
+	// only when a Propose comes back empty.
+	StandingQuery() bool
+}
+
 // Reason records why a query left the engine.
 type Reason int
 
@@ -215,11 +232,17 @@ type Engine struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	active []*Handle
+	// parked holds standing queries whose repositories are drained: off the
+	// round schedule, never finalized, waiting for a Wake. They do not keep
+	// the scheduler awake.
+	parked []*Handle
 	closed bool
 
 	rounds  atomic.Int64
 	detects atomic.Int64
 	batches atomic.Int64
+	parks   atomic.Int64
+	wakes   atomic.Int64
 
 	loopDone chan struct{}
 }
@@ -252,6 +275,12 @@ func (e *Engine) Counters() (rounds, detects, batches int64) {
 	return e.rounds.Load(), e.detects.Load(), e.batches.Load()
 }
 
+// ParkCounters returns how many times standing queries were parked on an
+// exhausted repository and woken back onto the schedule.
+func (e *Engine) ParkCounters() (parks, wakes int64) {
+	return e.parks.Load(), e.wakes.Load()
+}
+
 // Submit registers a query and returns its handle. The query starts
 // participating in the next scheduling round.
 func (e *Engine) Submit(q Query) (*Handle, error) {
@@ -260,7 +289,7 @@ func (e *Engine) Submit(q Query) (*Handle, error) {
 	if e.closed {
 		return nil, ErrClosed
 	}
-	h := &Handle{q: q, done: make(chan struct{})}
+	h := &Handle{e: e, q: q, done: make(chan struct{})}
 	e.active = append(e.active, h)
 	e.cond.Signal()
 	return h, nil
@@ -276,6 +305,15 @@ func (e *Engine) Close() {
 		for _, h := range e.active {
 			h.cancelled.Store(true)
 		}
+		// Parked standing queries re-enter the schedule cancelled, so the
+		// final rounds finalize them like any other cancellation — nobody
+		// blocked in Wait is left hanging on a handle with no schedule.
+		for _, h := range e.parked {
+			h.cancelled.Store(true)
+			h.parked = false
+			e.active = append(e.active, h)
+		}
+		e.parked = e.parked[:0]
 		e.cond.Signal()
 	}
 	e.mu.Unlock()
@@ -389,6 +427,15 @@ func (e *Engine) runRound(round []*Handle) {
 		}
 		frames := h.q.Propose(quota)
 		if len(frames) == 0 {
+			// A drained repository finalizes a bounded query but only parks
+			// a standing one. park may decline — a wake raced in (new data
+			// is already there), the handle was cancelled, or the engine is
+			// closing — and then the handle simply stays on the schedule:
+			// the next round re-proposes or settles it.
+			if st, ok := h.q.(Standing); ok && st.StandingQuery() {
+				e.park(h)
+				continue
+			}
 			e.finalize(h, ReasonExhausted, nil)
 			continue
 		}
@@ -515,6 +562,56 @@ func (e *Engine) runRound(round []*Handle) {
 	}
 }
 
+// park removes a standing handle from the round schedule without
+// finalizing it: no Reason is published, Wait keeps blocking, and the
+// query's pipeline state stays exactly where the last apply left it.
+// Parking is declined — and the handle stays active — when a wake arrived
+// since the round snapshot was taken (the append's frames must be
+// proposed, not slept through), when the handle was cancelled, or when the
+// engine is closing. It reports whether the handle was parked.
+func (e *Engine) park(h *Handle) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if h.wakePending || h.cancelled.Load() || e.closed {
+		h.wakePending = false
+		return false
+	}
+	for i, a := range e.active {
+		if a == h {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			break
+		}
+	}
+	h.parked = true
+	e.parked = append(e.parked, h)
+	e.parks.Add(1)
+	return true
+}
+
+// wake re-admits a parked handle to the schedule. Waking a handle that is
+// not parked — it is mid-round, still active, or already finalized — sets
+// a pending flag instead, so a park racing this wake is declined and the
+// appended frames are proposed next round. Wakes are idempotent.
+func (e *Engine) wake(h *Handle) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !h.parked {
+		h.wakePending = true
+		return
+	}
+	h.parked = false
+	h.wakePending = false
+	for i, a := range e.parked {
+		if a == h {
+			e.parked = append(e.parked[:i], e.parked[i+1:]...)
+			break
+		}
+	}
+	e.active = append(e.active, h)
+	e.wakes.Add(1)
+	e.cond.Signal()
+}
+
 // finalize removes a handle from the schedule and publishes its outcome.
 func (e *Engine) finalize(h *Handle, reason Reason, err error) {
 	e.mu.Lock()
@@ -532,17 +629,43 @@ func (e *Engine) finalize(h *Handle, reason Reason, err error) {
 
 // Handle tracks one submitted query.
 type Handle struct {
+	e         *Engine
 	q         Query
 	cancelled atomic.Bool
-	done      chan struct{}
-	reason    Reason
-	err       error
+	// parked and wakePending are guarded by e.mu: parked marks a standing
+	// query waiting off-schedule for new data; wakePending remembers a wake
+	// that arrived while the handle was on the schedule, so an in-flight
+	// round's empty Propose cannot park over it (the lost-wakeup race).
+	parked      bool
+	wakePending bool
+	done        chan struct{}
+	reason      Reason
+	err         error
 }
 
 // Cancel asks the engine to stop the query. The cancellation takes effect
 // at the next round boundary; in-flight detector calls complete but their
-// results are discarded unapplied.
-func (h *Handle) Cancel() { h.cancelled.Store(true) }
+// results are discarded unapplied. A parked standing query is woken so the
+// cancellation finalizes it promptly.
+func (h *Handle) Cancel() {
+	h.cancelled.Store(true)
+	h.e.wake(h)
+}
+
+// Wake re-admits a parked standing query to the schedule — the call a live
+// source makes when a segment lands. Waking a handle that is not parked is
+// remembered (never lost) and otherwise free; waking one that is already
+// finalized is a no-op.
+func (h *Handle) Wake() { h.e.wake(h) }
+
+// Parked reports whether the query is currently parked: a standing query
+// whose repository is drained, waiting for a Wake. A parked query has no
+// terminal Reason and Wait keeps blocking.
+func (h *Handle) Parked() bool {
+	h.e.mu.Lock()
+	defer h.e.mu.Unlock()
+	return h.parked
+}
 
 // Wait blocks until the query is finalized and returns the Apply error, if
 // any.

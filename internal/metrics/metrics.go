@@ -25,10 +25,13 @@ type RecallCurve struct {
 }
 
 // NewRecallCurve creates a curve for a query with the given number of
-// distinct ground-truth instances.
+// distinct ground-truth instances. A zero population is legal — a standing
+// query can be registered against a live source before any segment
+// containing its class has arrived — and reports zero recall until
+// SetTotal grows the denominator.
 func NewRecallCurve(totalInstances int) (*RecallCurve, error) {
-	if totalInstances <= 0 {
-		return nil, fmt.Errorf("metrics: totalInstances must be positive, got %d", totalInstances)
+	if totalInstances < 0 {
+		return nil, fmt.Errorf("metrics: totalInstances must be non-negative, got %d", totalInstances)
 	}
 	return &RecallCurve{total: totalInstances, seen: make(map[int]bool)}, nil
 }
@@ -63,8 +66,12 @@ func (rc *RecallCurve) SetTotal(totalInstances int) {
 	}
 }
 
-// Recall returns the fraction of distinct instances discovered so far.
+// Recall returns the fraction of distinct instances discovered so far (0
+// while the measured population is still empty).
 func (rc *RecallCurve) Recall() float64 {
+	if rc.total == 0 {
+		return 0
+	}
 	return float64(len(rc.seen)) / float64(rc.total)
 }
 

@@ -30,8 +30,22 @@ func TestRecallCurveBasics(t *testing.T) {
 }
 
 func TestNewRecallCurveValidation(t *testing.T) {
-	if _, err := NewRecallCurve(0); err == nil {
-		t.Error("zero instances accepted")
+	if _, err := NewRecallCurve(-1); err == nil {
+		t.Error("negative instances accepted")
+	}
+	// Zero is legal: a standing query can start before its class has any
+	// population; recall reads 0 until SetTotal grows the denominator.
+	rc, err := NewRecallCurve(0)
+	if err != nil {
+		t.Fatalf("zero instances rejected: %v", err)
+	}
+	if got := rc.Recall(); got != 0 {
+		t.Errorf("empty-population recall = %v, want 0", got)
+	}
+	rc.Observe(1, 1, []int{0})
+	rc.SetTotal(2)
+	if got := rc.Recall(); got != 0.5 {
+		t.Errorf("recall after SetTotal = %v, want 0.5", got)
 	}
 }
 

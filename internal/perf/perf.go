@@ -155,6 +155,89 @@ func engineOp(src exsample.Source, class string, queries, limit int, opts exsamp
 	return m, nil
 }
 
+// streamOp runs one full live-ingest cycle: a standing query over a
+// segment ring, a writer appending segments (half of them dead) at the
+// consumption rate — each append issued at the previous park boundary —
+// and a cancel once the schedule drains. Reported metrics are alerts/s
+// (distinct objects surfaced per wall second), frames/op and the charged
+// gate probe cost.
+func streamOp(threshold float64, seedBase uint64) (map[string]float64, error) {
+	const framesEach = 1000
+	const appends = 6
+	mk := func(seed uint64, dead bool) (*exsample.Dataset, error) {
+		spec := exsample.SynthSpec{
+			NumFrames:    framesEach,
+			NumInstances: 40,
+			Class:        "car",
+			MeanDuration: 100,
+			SkewFraction: 1.0 / 8,
+			ChunkFrames:  framesEach / 8,
+			Seed:         seed,
+		}
+		if dead {
+			spec.NumInstances = 1
+			spec.MeanDuration = 1
+		}
+		return exsample.Synthesize(spec)
+	}
+	first, err := mk(seedBase, false)
+	if err != nil {
+		return nil, err
+	}
+	s, err := exsample.NewStreamSource(
+		exsample.StreamConfig{Retention: 4, MotionThreshold: threshold}, first)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := exsample.NewEngine(exsample.EngineOptions{
+		Workers:        4,
+		FramesPerRound: 4,
+		EventBuffer:    1 << 15,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	start := time.Now()
+	h, err := eng.SubmitStanding(context.Background(), s,
+		exsample.Query{Class: "car"}, exsample.Options{Seed: seedBase})
+	if err != nil {
+		return nil, err
+	}
+	waitPark := func() {
+		for !h.Parked() {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	waitPark()
+	for a := 1; a <= appends; a++ {
+		seg, err := mk(seedBase+uint64(a), a%2 == 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Append(seg); err != nil {
+			return nil, err
+		}
+		waitPark()
+	}
+	h.Cancel()
+	rep, err := h.Wait()
+	if err != nil && err != context.Canceled {
+		return nil, err
+	}
+	secs := time.Since(start).Seconds()
+	m := map[string]float64{
+		"frames/op": float64(rep.FramesProcessed),
+		"alerts/op": float64(len(rep.Results)),
+		"gate-s/op": s.StreamStats().GateSeconds,
+	}
+	if secs > 0 {
+		m["alerts/s"] = float64(len(rep.Results)) / secs
+		m["frames/s"] = float64(rep.FramesProcessed) / secs
+	}
+	return m, nil
+}
+
 // RunSuite measures the whole trajectory suite. It is deliberately small
 // (seconds, not minutes): the snapshot is a smoke-level trajectory, and
 // the go-test benchmarks remain the precision instrument.
@@ -270,6 +353,28 @@ func RunSuite() (*Snapshot, error) {
 			return engineOp(slow, "car", 2, 1_000_000,
 				exsample.EngineOptions{Workers: 2, FramesPerRound: 2, AdaptiveRounds: arm.adaptive},
 				256, &aseed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		snap.Suite = append(snap.Suite, res)
+	}
+
+	// Live streaming ingest with the motion gate off and on: same append
+	// schedule (half the segments dead), paced at park boundaries. The
+	// gated arm's smaller frames/op at comparable alerts/op is the gate's
+	// detector saving made visible in the trajectory.
+	for _, arm := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"stream_ingest_gate_off", 0},
+		{"stream_ingest_gate_on", 0.12},
+	} {
+		sseed := uint64(7000)
+		res, err = measure(arm.name, 2, func() (map[string]float64, error) {
+			sseed += 100
+			return streamOp(arm.threshold, sseed)
 		})
 		if err != nil {
 			return nil, err

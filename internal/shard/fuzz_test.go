@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/exsample/exsample/internal/video"
+)
+
+// refPart is the fuzz harness's reference model of one attached shard: the
+// inputs New/Extend were given, kept so every address translation can be
+// checked against first principles after each mutation.
+type refPart struct {
+	frames int64
+	chunks []video.Chunk
+	bound  int
+}
+
+// buildPart derives one shard description from two fuzz bytes: a frame
+// count in [1, 256], a chunk split in [1, 8] pieces and a truth-id bound in
+// [0, 15]. Every byte pair yields a valid part, so the fuzzer explores
+// sequences rather than fighting validation.
+func buildPart(a, b byte) refPart {
+	frames := int64(a) + 1
+	splits := int(b&0x07) + 1
+	if int64(splits) > frames {
+		splits = int(frames)
+	}
+	chunks, err := video.SplitRange(0, frames, splits)
+	if err != nil {
+		panic(err)
+	}
+	return refPart{frames: frames, chunks: chunks, bound: int(b >> 4)}
+}
+
+func (p refPart) part() Part {
+	return Part{NumFrames: p.frames, Chunks: p.chunks, TruthIDBound: p.bound}
+}
+
+// FuzzMapRoundTrip drives Extend-then-evict sequences decoded from the fuzz
+// input and checks, after every mutation, that the frame, chunk and
+// truth-id remappings stay a loss-free round-trip bijection and that the
+// snapshot's active/fenced view is consistent with the per-shard statuses.
+// Evictions are status transitions (Draining/Gated), exactly as the stream
+// ring performs them — the address space itself is append-only.
+func FuzzMapRoundTrip(f *testing.F) {
+	f.Add([]byte{0x10, 0x21})
+	f.Add([]byte{0xff, 0x73, 0x00, 0x00, 0x40, 0x12})
+	f.Add([]byte{0x05, 0x31, 0x80, 0x02, 0x81, 0x00, 0x82, 0x01, 0x07, 0xf2})
+	f.Add([]byte{0x2a, 0x17, 0x83, 0x00, 0x84, 0x01, 0x85, 0x02, 0x13, 0x55, 0x86, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip("need at least one part")
+		}
+		// First pair always builds the initial map.
+		parts := []refPart{buildPart(data[0], data[1])}
+		m, err := New([]Part{parts[0].part()})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		status := []Status{Active}
+		gen := uint64(1)
+		checkMap(t, m, parts)
+		checkSnapshot(t, &Snapshot{Gen: gen, Map: m, Status: status}, parts)
+
+		for i := 2; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			if op&0x80 != 0 && len(parts) > 0 {
+				// Evict: fence the addressed shard without touching the map.
+				// The high bit of arg picks the fence flavor; re-fencing an
+				// already fenced shard is a no-op by design.
+				idx := int(op&0x7f) % len(parts)
+				if arg&0x80 != 0 {
+					status[idx] = Gated
+				} else {
+					status[idx] = Draining
+				}
+			} else {
+				prev := m
+				prevFrames := prev.NumFrames()
+				prevChunks := len(prev.Chunks())
+				p := buildPart(op, arg)
+				m, err = m.Extend(p.part())
+				if err != nil {
+					t.Fatalf("Extend part %d: %v", len(parts), err)
+				}
+				parts = append(parts, p)
+				status = append(status, Active)
+				// Extend must not mutate the receiver: the old map is a
+				// published snapshot other queries still read through.
+				if prev.NumFrames() != prevFrames || len(prev.Chunks()) != prevChunks {
+					t.Fatalf("Extend mutated its receiver: frames %d->%d chunks %d->%d",
+						prevFrames, prev.NumFrames(), prevChunks, len(prev.Chunks()))
+				}
+			}
+			gen++
+			checkMap(t, m, parts)
+			checkSnapshot(t, &Snapshot{Gen: gen, Map: m, Status: status}, parts)
+		}
+	})
+}
+
+// checkMap verifies the address translations against the reference parts.
+func checkMap(t *testing.T, m *Map, parts []refPart) {
+	t.Helper()
+	if m.NumShards() != len(parts) {
+		t.Fatalf("NumShards = %d, want %d", m.NumShards(), len(parts))
+	}
+	var total int64
+	for _, p := range parts {
+		total += p.frames
+	}
+	if m.NumFrames() != total {
+		t.Fatalf("NumFrames = %d, want %d", m.NumFrames(), total)
+	}
+
+	// Frame space: Global and Locate must be mutual inverses on every
+	// shard's boundary and midpoint frames, and offsets must be the exact
+	// prefix sums.
+	var off int64
+	for i, p := range parts {
+		if got := m.Offset(i); got != off {
+			t.Fatalf("Offset(%d) = %d, want %d", i, got, off)
+		}
+		if got := m.ShardFrames(i); got != p.frames {
+			t.Fatalf("ShardFrames(%d) = %d, want %d", i, got, p.frames)
+		}
+		for _, local := range []int64{0, p.frames / 2, p.frames - 1} {
+			g := m.Global(i, local)
+			if g != off+local {
+				t.Fatalf("Global(%d, %d) = %d, want %d", i, local, g, off+local)
+			}
+			sh, back := m.Locate(g)
+			if sh != i || back != local {
+				t.Fatalf("Locate(%d) = (%d, %d), want (%d, %d)", g, sh, back, i, local)
+			}
+		}
+		off += p.frames
+	}
+
+	// Chunk space: global ids are sequential in shard order and each global
+	// chunk is its local chunk translated by the owning shard's offset.
+	chunks := m.Chunks()
+	j := 0
+	off = 0
+	for i, p := range parts {
+		for _, lc := range p.chunks {
+			if j >= len(chunks) {
+				t.Fatalf("chunk space too small: %d chunks, need more for shard %d", len(chunks), i)
+			}
+			gc := chunks[j]
+			if gc.ID != j {
+				t.Fatalf("chunk %d has ID %d", j, gc.ID)
+			}
+			if m.ChunkShard(j) != i {
+				t.Fatalf("ChunkShard(%d) = %d, want %d", j, m.ChunkShard(j), i)
+			}
+			if gc.Start != lc.Start+off || gc.End != lc.End+off {
+				t.Fatalf("chunk %d = [%d, %d), want [%d, %d)", j, gc.Start, gc.End, lc.Start+off, lc.End+off)
+			}
+			j++
+		}
+		off += p.frames
+	}
+	if j != len(chunks) {
+		t.Fatalf("chunk space has %d chunks, reference has %d", len(chunks), j)
+	}
+
+	// Truth-id space: per-shard round-trips, disjoint global ranges in
+	// shard order, and negative (false-positive) ids passing through
+	// untouched.
+	prevMax := -1
+	for i, p := range parts {
+		if p.bound == 0 {
+			continue
+		}
+		for _, local := range []int{0, p.bound - 1} {
+			g := m.GlobalTruthID(i, local)
+			if back := m.LocalTruthID(i, g); back != local {
+				t.Fatalf("truth round-trip shard %d: local %d -> global %d -> %d", i, local, g, back)
+			}
+		}
+		lo, hi := m.GlobalTruthID(i, 0), m.GlobalTruthID(i, p.bound-1)
+		if lo <= prevMax {
+			t.Fatalf("shard %d truth range [%d, %d] overlaps previous max %d", i, lo, hi, prevMax)
+		}
+		prevMax = hi
+	}
+	for i := range parts {
+		if got := m.GlobalTruthID(i, -7); got != -7 {
+			t.Fatalf("GlobalTruthID(%d, -7) = %d, want passthrough", i, got)
+		}
+		if got := m.LocalTruthID(i, -7); got != -7 {
+			t.Fatalf("LocalTruthID(%d, -7) = %d, want passthrough", i, got)
+		}
+	}
+}
+
+// checkSnapshot verifies the fence view: every chunk and frame is pickable
+// iff its owning shard is Active.
+func checkSnapshot(t *testing.T, snap *Snapshot, parts []refPart) {
+	t.Helper()
+	wantActive := 0
+	for i := range parts {
+		if snap.Status[i] == Active {
+			wantActive++
+		}
+		if got := snap.ShardActive(i); got != (snap.Status[i] == Active) {
+			t.Fatalf("ShardActive(%d) = %v with status %v", i, got, snap.Status[i])
+		}
+	}
+	if snap.NumActive() != wantActive {
+		t.Fatalf("NumActive = %d, want %d", snap.NumActive(), wantActive)
+	}
+	for j := range snap.Map.Chunks() {
+		sh := snap.Map.ChunkShard(j)
+		if got := snap.ChunkActive(j); got != snap.ShardActive(sh) {
+			t.Fatalf("ChunkActive(%d) = %v, owning shard %d is %v", j, got, sh, snap.Status[sh])
+		}
+	}
+	for i, p := range parts {
+		for _, local := range []int64{0, p.frames - 1} {
+			g := snap.Map.Global(i, local)
+			if got := snap.FrameActive(g); got != snap.ShardActive(i) {
+				t.Fatalf("FrameActive(%d) = %v, owning shard %d is %v", g, got, i, snap.Status[i])
+			}
+		}
+	}
+}

@@ -186,6 +186,13 @@ const (
 	// addressable for applies, extends and decode-cost lookups — but
 	// receive no new picks: their chunks are fenced out of every sampler.
 	Draining
+	// Gated shards are fenced exactly like Draining ones — addressable but
+	// never picked — for a different reason: a cheap pre-filter (the stream
+	// motion gate) judged their content dead, so spending detector budget
+	// on them would be waste. Unlike Draining, the state is reversible: a
+	// gated shard can be readmitted to Active, at which point its chunks
+	// rejoin every running sampler with their belief state intact.
+	Gated
 )
 
 // String returns the status name.
@@ -195,6 +202,8 @@ func (s Status) String() string {
 		return "active"
 	case Draining:
 		return "draining"
+	case Gated:
+		return "gated"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}

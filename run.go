@@ -97,6 +97,12 @@ type queryRun struct {
 	rep       *Report
 	maxFrames int64
 	exhausted bool
+	// standing marks a live-source query with park-on-exhaustion
+	// semantics: next reporting false is a pause (the engine parks the
+	// query until the source appends), never a latch, and the repository
+	// running dry is not a stopping condition. Standing runs always ride
+	// the elastic sampler path.
+	standing bool
 	// err records a mid-run pipeline rebuild failure (re-chunk, scorer);
 	// surfaced by the next apply and by Search's driver.
 	err error
@@ -147,7 +153,12 @@ func (s *detectScratch) results(n int) []frameResult {
 // output is not a pure function of the frame, e.g. under failure
 // injection). Callers are responsible for validating q and opts first
 // (Session deliberately accepts queries without a stopping condition).
-func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun, error) {
+//
+// standing selects park-on-exhaustion semantics for live sources: the run
+// tolerates an empty active shard set and an empty class population at
+// submission (both may arrive with a later append), and exhaustion never
+// latches. Standing runs require an elastic topology.
+func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache, standing bool) (*queryRun, error) {
 	if s == nil {
 		return nil, fmt.Errorf("exsample: nil Source (open a Dataset or compose a ShardedSource first)")
 	}
@@ -158,9 +169,11 @@ func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun,
 	var snap *shard.Snapshot
 	if src.topology != nil {
 		snap = src.topology()
-		if snap.NumActive() == 0 {
-			return nil, fmt.Errorf("exsample: source %q has no active shards (every shard is draining); attach one with AddShard first", src.name)
+		if snap.NumActive() == 0 && !standing {
+			return nil, fmt.Errorf("exsample: source %q: %w (every shard is draining or gated; attach one with AddShard first)", src.name, ErrNoActiveShards)
 		}
+	} else if standing {
+		return nil, fmt.Errorf("exsample: standing queries need a live source (a ShardedSource or StreamSource); %q has a fixed topology", src.name)
 	}
 	total, err := src.groundTruth(q.Class)
 	if err != nil {
@@ -182,7 +195,7 @@ func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun,
 				total += src.shardTruth(q.Class, i)
 			}
 		}
-		if total <= 0 {
+		if total <= 0 && !standing {
 			return nil, fmt.Errorf("exsample: class %q has no instances on any active shard of %q", q.Class, src.name)
 		}
 	}
@@ -230,6 +243,7 @@ func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache) (*queryRun,
 		truthTotal: total,
 		rep:        &Report{Strategy: opts.Strategy},
 		maxFrames:  maxFrames,
+		standing:   standing,
 	}
 	if err := r.initStrategy(); err != nil {
 		return nil, err
@@ -555,8 +569,11 @@ func (r *queryRun) activeFrame(frame int64) bool {
 
 // next draws the next frame from the strategy's order. Chunk is -1 for
 // non-chunked strategies. ok is false when the repository is exhausted;
-// once false, it stays false (an elastic attach does not resurrect an
-// exhausted query — the engine has already finalized it).
+// for bounded runs, once false it stays false (an elastic attach does not
+// resurrect an exhausted query — the engine has already finalized it).
+// Standing runs never latch: the engine parks them on false and a later
+// append makes next productive again, because the sampler's arm set grows
+// at the syncTopology that follows the wake.
 func (r *queryRun) next() (pick core.Pick, ok bool) {
 	if r.exhausted || r.err != nil {
 		return core.Pick{}, false
@@ -609,7 +626,9 @@ func (r *queryRun) next() (pick core.Pick, ok bool) {
 					return p, true
 				}
 			}
-			r.exhausted = true
+			if !r.standing {
+				r.exhausted = true
+			}
 			return core.Pick{}, false
 		}
 		return p, true
@@ -617,7 +636,9 @@ func (r *queryRun) next() (pick core.Pick, ok bool) {
 	for {
 		frame, ook := r.order.Next()
 		if !ook {
-			r.exhausted = true
+			if !r.standing {
+				r.exhausted = true
+			}
 			return core.Pick{}, false
 		}
 		if !r.activeFrame(frame) {
@@ -821,12 +842,35 @@ func (r *queryRun) stopRequested() bool {
 
 // done is the full Search stopping condition: query satisfaction plus the
 // frame and charged-time budgets. The Engine finalizes a query when this
-// reports true.
+// reports true. Standing runs answer with standingDone — the
+// repository-size-derived frame budget does not apply to a repository that
+// grows while the query is registered.
 func (r *queryRun) done() bool {
+	if r.standing {
+		return r.standingDone()
+	}
 	if r.stopRequested() {
 		return true
 	}
 	if r.rep.FramesProcessed >= r.maxFrames {
+		return true
+	}
+	if r.opts.MaxSeconds > 0 && r.rep.TotalSeconds() >= r.opts.MaxSeconds {
+		return true
+	}
+	return false
+}
+
+// standingDone is the standing query's stopping condition: only explicit,
+// user-set bounds count. The repository running dry is a pause (the engine
+// parks the query), and the repository-size-derived frame budget that
+// terminates a bounded run is meaningless when the repository grows while
+// the query is registered.
+func (r *queryRun) standingDone() bool {
+	if r.stopRequested() {
+		return true
+	}
+	if r.opts.MaxFrames > 0 && r.rep.FramesProcessed >= r.opts.MaxFrames {
 		return true
 	}
 	if r.opts.MaxSeconds > 0 && r.rep.TotalSeconds() >= r.opts.MaxSeconds {

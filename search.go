@@ -30,7 +30,7 @@ func SearchSource(src Source, q Query, opts Options) (*Report, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	run, err := newQueryRun(src, q, opts, nil)
+	run, err := newQueryRun(src, q, opts, nil, false)
 	if err != nil {
 		return nil, err
 	}

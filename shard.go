@@ -54,6 +54,42 @@ type ShardedSource struct {
 	// through the topo pointer and never block.
 	mu   sync.Mutex
 	topo atomic.Pointer[shardedTopo]
+
+	// subs are append-notification callbacks (keyed for cancellation):
+	// standing queries subscribe so a segment attach wakes them out of
+	// their park. Callbacks run after the new topology is published, off
+	// the topology lock, and must be cheap and non-blocking.
+	subsMu  sync.Mutex
+	subs    map[int]func()
+	nextSub int
+}
+
+// onAppend registers fn to run after every shard attach that adds
+// sampleable frames, returning a cancel function. It is the wake-on-append
+// seam for standing queries; fn runs on the appender's goroutine.
+func (s *ShardedSource) onAppend(fn func()) (cancel func()) {
+	s.subsMu.Lock()
+	defer s.subsMu.Unlock()
+	if s.subs == nil {
+		s.subs = make(map[int]func())
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = fn
+	return func() {
+		s.subsMu.Lock()
+		delete(s.subs, id)
+		s.subsMu.Unlock()
+	}
+}
+
+// notifyAppend runs every subscribed append callback.
+func (s *ShardedSource) notifyAppend() {
+	s.subsMu.Lock()
+	for _, fn := range s.subs {
+		fn()
+	}
+	s.subsMu.Unlock()
 }
 
 // shardedTopo is one immutable generation of the composed repository:
@@ -215,6 +251,16 @@ func NewShardedSource(name string, shards ...*Dataset) (*ShardedSource, error) {
 // construction — attaching one later would silently poison the memo cache
 // of queries already running with cacheable output — and are rejected.
 func (s *ShardedSource) AddShard(d *Dataset) (int, error) {
+	return s.addShardStatus(d, shard.Active)
+}
+
+// addShardStatus is AddShard with an explicit initial lifecycle state —
+// the seam the stream motion gate uses to attach a dead segment already
+// fenced, so no query can sample it during the window between the attach
+// and a separate gate flip. Attaching an Active shard notifies append
+// subscribers (parked standing queries wake); a Gated attach adds nothing
+// sampleable and stays silent.
+func (s *ShardedSource) addShardStatus(d *Dataset, st shard.Status) (int, error) {
 	if d == nil {
 		return 0, fmt.Errorf("exsample: cannot attach a nil shard")
 	}
@@ -222,10 +268,10 @@ func (s *ShardedSource) AddShard(d *Dataset) (int, error) {
 		return 0, fmt.Errorf("exsample: failure-injected shards must be composed at construction, not attached live")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	old := s.topo.Load()
 	m, err := old.snap.Map.Extend(shardPart(d))
 	if err != nil {
+		s.mu.Unlock()
 		return 0, err
 	}
 	slot := len(old.members)
@@ -236,14 +282,55 @@ func (s *ShardedSource) AddShard(d *Dataset) (int, error) {
 	for class, n := range d.inner.CountByClass {
 		counts[class] += n
 	}
-	status := append(append(make([]shard.Status, 0, slot+1), old.snap.Status...), shard.Active)
+	status := append(append(make([]shard.Status, 0, slot+1), old.snap.Status...), st)
 	members := append(append(make([]*shardMember, 0, slot+1), old.members...), newShardMember(d))
 	s.topo.Store(&shardedTopo{
 		snap:    &shard.Snapshot{Gen: old.snap.Gen + 1, Map: m, Status: status},
 		members: members,
 		counts:  counts,
 	})
+	s.mu.Unlock()
+	if st == shard.Active {
+		s.notifyAppend()
+	}
 	return slot, nil
+}
+
+// setShardStatus flips shard i between Active and Gated — the reversible
+// fence behind the stream motion gate. Draining is terminal and owned by
+// DrainShard: a draining shard cannot be flipped, and this method cannot
+// drain. Readmitting a shard to Active notifies append subscribers, since
+// its frames just became sampleable again.
+func (s *ShardedSource) setShardStatus(i int, st shard.Status) error {
+	if st != shard.Active && st != shard.Gated {
+		return fmt.Errorf("exsample: setShardStatus only flips between active and gated, got %v", st)
+	}
+	s.mu.Lock()
+	old := s.topo.Load()
+	if i < 0 || i >= len(old.members) {
+		s.mu.Unlock()
+		return fmt.Errorf("exsample: shard %d out of range [0, %d)", i, len(old.members))
+	}
+	if old.snap.Status[i] == shard.Draining {
+		s.mu.Unlock()
+		return fmt.Errorf("exsample: shard %d is draining and cannot be regated", i)
+	}
+	if old.snap.Status[i] == st {
+		s.mu.Unlock()
+		return nil
+	}
+	status := append(make([]shard.Status, 0, len(old.snap.Status)), old.snap.Status...)
+	status[i] = st
+	s.topo.Store(&shardedTopo{
+		snap:    &shard.Snapshot{Gen: old.snap.Gen + 1, Map: old.snap.Map, Status: status},
+		members: old.members,
+		counts:  old.counts,
+	})
+	s.mu.Unlock()
+	if st == shard.Active {
+		s.notifyAppend()
+	}
+	return nil
 }
 
 // DrainShard retires shard i: detector batches already in flight finish
@@ -252,8 +339,9 @@ func (s *ShardedSource) AddShard(d *Dataset) (int, error) {
 // picks route to the shard. The shard's dataset stays resident — frames
 // already processed remain decodable and their detections extendable — so
 // draining never perturbs the belief state built from the shard's past
-// samples. Draining the last active shard is allowed; new queries then
-// fail with a clear error until a shard is attached.
+// samples. Draining the last active shard is allowed; new bounded queries
+// then fail with ErrNoActiveShards until a shard is attached, while
+// standing queries park and wait.
 func (s *ShardedSource) DrainShard(i int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -356,7 +444,8 @@ type ShardStat struct {
 	Shard int
 	// Name is the underlying dataset's profile name.
 	Name string
-	// Status is the shard's lifecycle state: "active" or "draining".
+	// Status is the shard's lifecycle state: "active", "draining" or
+	// "gated" (fenced by the stream motion gate).
 	Status string
 	// NumFrames is the shard's repository size.
 	NumFrames int64

@@ -1,6 +1,7 @@
 package exsample
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"github.com/exsample/exsample/internal/detect"
@@ -8,6 +9,13 @@ import (
 	"github.com/exsample/exsample/internal/shard"
 	"github.com/exsample/exsample/internal/video"
 )
+
+// ErrNoActiveShards is returned (wrapped, with the source's name) when a
+// bounded query is submitted against an elastic source whose every shard
+// is draining or gated — there is nothing to sample and the query could
+// never make progress. Match it with errors.Is. Standing queries are the
+// exception: they park until the next append instead of failing.
+var ErrNoActiveShards = errors.New("no active shards")
 
 // Source is the seam between the query pipeline (Search, Session, Engine)
 // and a video repository: a frame layout, a chunk layout, a detector
