@@ -593,6 +593,106 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkGlobalBudget measures what the scheduler-level marginal-value
+// budget buys on a mixed fleet: 8 concurrent queries — 4 hot (a dense
+// repository, high expected results per frame) and 4 cold (a near-empty
+// one, random order, marginal value decaying toward zero) — run under
+// fair-share and under a global budget, each arm stopped at the same total
+// detector-call budget so the cost side is held equal. Fair-share spends
+// half the detector on the cold queries; the budget arm pins them to the
+// floor and steers the surplus to the hot queries, so the spread in
+// results/kdetect (aggregate distinct results per thousand detector
+// calls) is pure scheduling win — the PR's ≥1.5x acceptance ratio.
+func BenchmarkGlobalBudget(b *testing.B) {
+	// The hot repository is tuned so the fleet stays far from exhausting it
+	// at the detector budget below — results scale linearly with the frames
+	// a query is granted, so the metric reads scheduling, not saturation.
+	hotSpec := exsample.SynthSpec{
+		NumFrames:    200_000,
+		NumInstances: 5000,
+		Class:        "car",
+		MeanDuration: 4,
+		SkewFraction: 1.0 / 4,
+		ChunkFrames:  4000,
+		Seed:         31,
+	}
+	coldSpec := hotSpec
+	coldSpec.NumInstances = 2
+	coldSpec.MeanDuration = 10
+	coldSpec.Seed = 32
+	dsHot, err := exsample.Synthesize(hotSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsCold, err := exsample.Synthesize(coldSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const detectBudget = 6000
+	for _, arm := range []struct {
+		name string
+		opts exsample.EngineOptions
+	}{
+		{"fair-share", exsample.EngineOptions{Workers: 4, FramesPerRound: 16}},
+		{"global-budget", exsample.EngineOptions{Workers: 4, FramesPerRound: 16,
+			GlobalBudget: 40, FloorQuota: 1}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var found, detects int64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				eng, err := exsample.NewEngine(arm.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var handles []*exsample.QueryHandle
+				for qi := 0; qi < 4; qi++ {
+					h, err := eng.Submit(context.Background(), dsHot,
+						exsample.Query{Class: "car", Limit: 1 << 30},
+						exsample.Options{Seed: uint64(i*8 + qi + 1)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles = append(handles, h)
+				}
+				for qi := 0; qi < 4; qi++ {
+					h, err := eng.Submit(context.Background(), dsCold,
+						exsample.Query{Class: "car", Limit: 1 << 30},
+						exsample.Options{Strategy: exsample.StrategyRandom,
+							Seed: uint64(i*8 + qi + 5)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles = append(handles, h)
+				}
+				for eng.Stats().DetectCalls < detectBudget {
+					time.Sleep(100 * time.Microsecond)
+				}
+				for _, h := range handles {
+					h.Cancel()
+				}
+				for _, h := range handles {
+					rep, err := h.Wait()
+					if err != nil && !errors.Is(err, context.Canceled) {
+						b.Fatal(err)
+					}
+					found += int64(len(rep.Results))
+				}
+				detects += eng.Stats().DetectCalls
+				eng.Close()
+			}
+			b.ReportMetric(float64(found)/float64(b.N), "results/op")
+			b.ReportMetric(float64(detects)/float64(b.N), "detects/op")
+			if detects > 0 {
+				b.ReportMetric(float64(found)/float64(detects)*1000, "results/kdetect")
+			}
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(found)/secs, "results/s")
+			}
+		})
+	}
+}
+
 // BenchmarkBackendBatch measures the httpbatch wire path end to end — a
 // loopback server wrapping the simulated detector, an httpbatch client on
 // the query side — at batch sizes 1, 8 and 32. The reported frames/s is

@@ -7,16 +7,30 @@
 //	exbench -experiment fig2|fig3|fig4|table1|fig5|fig6|ablation|extensions|all
 //	        [-scale 0.05] [-trials N] [-seed N] [-full]
 //	exbench -bench-out BENCH_engine.json
+//	exbench -bench-compare BENCH_engine.json [-bench-tolerance 0.25]
+//	exbench ... [-cpuprofile FILE] [-memprofile FILE]
 //
 // -full runs fig3/fig4 at the paper's 16M-frame size (slow).
 //
 // -bench-out FILE skips the paper experiments and instead runs the engine
 // performance-trajectory suite (internal/perf): engine/sharded throughput,
-// sampler decision cost with allocation accounting, and adaptive-vs-static
-// round sizing against a slow simulated backend. The machine-readable
-// snapshot is written to FILE (and echoed to stdout when FILE is "-");
-// the committed BENCH_engine.json and the CI artifact both come from this
-// mode.
+// sampler decision cost with allocation accounting, adaptive-vs-static
+// round sizing against a slow simulated backend, and fair-share vs
+// global-budget scheduling on a mixed fleet. The machine-readable snapshot
+// is written to FILE (and echoed to stdout when FILE is "-"); the
+// committed BENCH_engine.json and the CI artifact both come from this mode.
+//
+// -bench-compare FILE runs the same suite fresh and compares its headline
+// throughput metrics (frames/s, results/kdetect) against the committed
+// snapshot in FILE for the low-noise gating rows (engine throughput and
+// the two scheduling arms), exiting nonzero when any gated metric
+// regresses by more than -bench-tolerance (default 0.25). Rows present on
+// only one side are reported and skipped, so the check survives suite
+// growth. This is the CI bench-regression smoke.
+//
+// -cpuprofile / -memprofile write pprof profiles covering whichever mode
+// ran — paper experiment, suite snapshot or comparison — for digging into
+// scheduler or sampler hot spots without rigging up a go-test harness.
 package main
 
 import (
@@ -24,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/exsample/exsample/internal/bench"
 	"github.com/exsample/exsample/internal/perf"
@@ -37,20 +53,132 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "seed override (0 = experiment default)")
 		full       = flag.Bool("full", false, "run fig3/fig4 at the paper's full 16M-frame size")
 		benchOut   = flag.String("bench-out", "", "write the engine perf-trajectory snapshot (BENCH_engine.json) to this file and exit (\"-\" = stdout)")
+		benchCmp   = flag.String("bench-compare", "", "run the perf-trajectory suite and fail on throughput regression against this committed snapshot")
+		benchTol   = flag.Float64("bench-tolerance", 0.25, "allowed fractional throughput regression for -bench-compare")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	if *benchOut != "" {
-		if err := writeBench(*benchOut); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "exbench:", err)
 			os.Exit(1)
 		}
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "exbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	if err := run(*experiment, *scale, *trials, *seed, *full); err != nil {
-		fmt.Fprintln(os.Stderr, "exbench:", err)
-		os.Exit(1)
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "exbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "exbench:", err)
+			}
+		}()
 	}
+
+	// exit defers the profile flushes above before terminating.
+	code := 0
+	switch {
+	case *benchCmp != "":
+		if err := compareBench(*benchCmp, *benchTol); err != nil {
+			fmt.Fprintln(os.Stderr, "exbench:", err)
+			code = 1
+		}
+	case *benchOut != "":
+		if err := writeBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "exbench:", err)
+			code = 1
+		}
+	default:
+		if err := run(*experiment, *scale, *trials, *seed, *full); err != nil {
+			fmt.Fprintln(os.Stderr, "exbench:", err)
+			code = 1
+		}
+	}
+	if code != 0 {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(code)
+	}
+}
+
+// compareMetrics are the headline throughput numbers the regression smoke
+// watches; higher is better for every one of them.
+var compareMetrics = []string{"frames/s", "results/kdetect"}
+
+// compareRows are the suite rows stable enough to gate on: the end-to-end
+// engine throughput row and the two scheduling arms, whose detector-call
+// normalization makes them nearly noise-free. The remaining rows (sharded
+// fan-out, stream ingest) swing past 20% run to run on shared hardware and
+// stay report-only.
+var compareRows = map[string]bool{
+	"engine_throughput_4q":           true,
+	"engine_fairshare_mixedfleet":    true,
+	"engine_globalbudget_mixedfleet": true,
+}
+
+// compareBench runs the perf suite fresh and fails when any watched metric
+// of any row shared with the committed snapshot regresses by more than tol.
+func compareBench(path string, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed perf.Snapshot
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	fresh, err := perf.RunSuite()
+	if err != nil {
+		return err
+	}
+	freshByName := make(map[string]perf.Result, len(fresh.Suite))
+	for _, r := range fresh.Suite {
+		freshByName[r.Name] = r
+	}
+	var failures int
+	for _, want := range committed.Suite {
+		if !compareRows[want.Name] {
+			continue
+		}
+		got, ok := freshByName[want.Name]
+		if !ok {
+			fmt.Printf("%-32s committed row missing from fresh suite, skipped\n", want.Name)
+			continue
+		}
+		for _, metric := range compareMetrics {
+			base, ok := want.Metrics[metric]
+			if !ok || base <= 0 {
+				continue
+			}
+			cur := got.Metrics[metric]
+			ratio := cur / base
+			status := "ok"
+			if ratio < 1-tol {
+				status = "REGRESSION"
+				failures++
+			}
+			fmt.Printf("%-32s %-16s %12.0f -> %12.0f  (%+5.1f%%)  %s\n",
+				want.Name, metric, base, cur, (ratio-1)*100, status)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d metric(s) regressed more than %.0f%% against %s", failures, tol*100, path)
+	}
+	return nil
 }
 
 // writeBench runs the perf-trajectory suite and writes the JSON snapshot.

@@ -10,7 +10,7 @@
 //
 //	exserve -datasets dashcam,bdd1k -queries 8 -limit 10
 //	        [-workers 4] [-round 4] [-adaptive] [-scale 0.05] [-seed 1]
-//	        [-shards 1] [-cache 0]
+//	        [-budget 0] [-floor 1] [-shards 1] [-cache 0]
 //	        [-backend sim|http] [-endpoint URL] [-replicas 1]
 //	        [-churn 0] [-admin addr]
 //
@@ -24,6 +24,15 @@
 // inflates or a replica's circuit breaker opens. The run then prints an
 // adaptive table: peak/final quotas per query and the grow/shrink
 // counters.
+//
+// -budget N replaces fair-share scheduling with one engine-level budget of
+// N frames per round, divided across the queries by marginal value (each
+// query's expected new results per frame under its Thompson beliefs);
+// -floor M guarantees every query at least M frames per round so nothing
+// starves. -round (or the adaptive controller's live quota) becomes each
+// query's per-round cap. The run then prints a budget table: frames
+// granted vs the fair-share request per query, and the engine-level grant
+// ratio — how hard the budget squeezed the fleet.
 //
 // -backend http runs every detector call over the backend/httpbatch wire
 // protocol. With no -endpoint, each shard gets its own loopback HTTP
@@ -89,6 +98,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "shards per profile (>1 composes a ShardedSource)")
 	flag.IntVar(&cfg.cache, "cache", 0, "detector memo cache entries (0 = disabled)")
 	flag.BoolVar(&cfg.adaptive, "adaptive", false, "adaptive round sizing: grow each query's per-round quota toward the backend's MaxBatch while latency stays flat")
+	flag.IntVar(&cfg.budget, "budget", 0, "engine-level frames-per-round budget divided across queries by marginal value (0 = fair-share)")
+	flag.IntVar(&cfg.floor, "floor", 1, "per-round frame floor every query is guaranteed under -budget")
 	flag.StringVar(&cfg.backend, "backend", "sim", "detector backend: sim (in-process) or http (httpbatch wire protocol)")
 	flag.StringVar(&cfg.endpoint, "endpoint", "", "external httpbatch endpoint URL (http backend only; empty = per-shard loopback servers)")
 	flag.IntVar(&cfg.replicas, "replicas", 1, "replica endpoints per shard behind a health-checked router (http loopback mode)")
@@ -127,6 +138,8 @@ type config struct {
 	shards   int
 	cache    int
 	adaptive bool
+	budget   int
+	floor    int
 	backend  string
 	endpoint string
 	replicas int
@@ -509,6 +522,8 @@ func runStream(w io.Writer, cfg config) error {
 		FramesPerRound: cfg.round,
 		CacheEntries:   cfg.cache,
 		AdaptiveRounds: cfg.adaptive,
+		GlobalBudget:   cfg.budget,
+		FloorQuota:     cfg.floor,
 		EventBuffer:    1 << 15,
 	})
 	if err != nil {
@@ -714,6 +729,8 @@ func run(w io.Writer, cfg config) error {
 		FramesPerRound: cfg.round,
 		CacheEntries:   cfg.cache,
 		AdaptiveRounds: cfg.adaptive,
+		GlobalBudget:   cfg.budget,
+		FloorQuota:     cfg.floor,
 	})
 	if err != nil {
 		return err
@@ -824,6 +841,25 @@ func run(w io.Writer, cfg config) error {
 		fmt.Fprintf(w, "%-3s %-12s %-14s %8s\n", "#", "dataset", "class", "quota")
 		for i, h := range handles {
 			fmt.Fprintf(w, "%-3d %-12s %-14s %8d\n", i, specs[i].src.Name(), specs[i].class, h.RoundQuota())
+		}
+	}
+	if cfg.budget > 0 {
+		ratio := 0.0
+		if st.BudgetRequested > 0 {
+			ratio = float64(st.BudgetGranted) / float64(st.BudgetRequested)
+		}
+		fmt.Fprintf(w, "\nglobal budget: %d frames/round, floor %d; granted %d of %d requested (%.1f%%)\n",
+			cfg.budget, cfg.floor, st.BudgetGranted, st.BudgetRequested, ratio*100)
+		fmt.Fprintf(w, "%-3s %-12s %-14s %10s %10s %7s\n",
+			"#", "dataset", "class", "granted", "requested", "share%")
+		for i, h := range handles {
+			g, r := h.BudgetCounters()
+			share := 0.0
+			if st.BudgetGranted > 0 {
+				share = float64(g) / float64(st.BudgetGranted) * 100
+			}
+			fmt.Fprintf(w, "%-3d %-12s %-14s %10d %10d %7.1f\n",
+				i, specs[i].src.Name(), specs[i].class, g, r, share)
 		}
 	}
 

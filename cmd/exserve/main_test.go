@@ -261,6 +261,23 @@ func TestRunAdaptiveRounds(t *testing.T) {
 	}
 }
 
+func TestRunGlobalBudget(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig([]string{"dashcam"}, 4, 5)
+	cfg.budget = 6
+	cfg.floor = 1
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "global budget: 6 frames/round, floor 1") {
+		t.Fatalf("missing budget summary:\n%s", out)
+	}
+	if !strings.Contains(out, "granted") || !strings.Contains(out, "requested") {
+		t.Fatalf("missing per-query budget table:\n%s", out)
+	}
+}
+
 func TestRunStreamMode(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := testConfig(nil, 3, 0)

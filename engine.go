@@ -64,6 +64,27 @@ type EngineOptions struct {
 	// against the same latency trace; the controller itself is a pure
 	// state machine over its observations (see internal/sizer).
 	AdaptiveRounds bool
+	// GlobalBudget, when positive, replaces fair-share scheduling with one
+	// engine-level frames-per-round budget divided across the active
+	// queries by marginal value — each query's expected new results per
+	// frame, read off its Thompson beliefs (the arg-max arm's
+	// prior-smoothed point estimate, Eq. III.1). Hot queries get more
+	// frames, nearly exhausted ones decay toward FloorQuota, and a
+	// standing query that just woke re-enters at its prior belief.
+	// FramesPerRound (or, under AdaptiveRounds, the AIMD controller's
+	// live quota) becomes each query's per-round *cap*: the budget
+	// decides who deserves frames, the cap bounds how many one query's
+	// batch may carry. A single query — or any fleet of queries with
+	// identical beliefs — receives exactly its fair share, so seeded
+	// reports stay byte-identical to the fair-share scheduler whenever
+	// the budget covers the fleet's caps.
+	GlobalBudget int
+	// FloorQuota is the per-round minimum every active query is granted
+	// under GlobalBudget, whatever its marginal value (default 1; values
+	// <= 0 select the default). The floor is what keeps a zero-value
+	// query live: it still drains its repository and terminates instead
+	// of starving. Ignored when GlobalBudget is 0.
+	FloorQuota int
 }
 
 func (o EngineOptions) withDefaults() EngineOptions {
@@ -75,6 +96,12 @@ func (o EngineOptions) withDefaults() EngineOptions {
 	}
 	if o.EventBuffer == 0 {
 		o.EventBuffer = 256
+	}
+	if o.GlobalBudget < 0 {
+		o.GlobalBudget = 0
+	}
+	if o.GlobalBudget > 0 && o.FloorQuota <= 0 {
+		o.FloorQuota = 1
 	}
 	return o
 }
@@ -128,6 +155,8 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 		inner: engine.New(engine.Config{
 			Workers:        opts.Workers,
 			FramesPerRound: opts.FramesPerRound,
+			GlobalBudget:   opts.GlobalBudget,
+			FloorQuota:     opts.FloorQuota,
 		}),
 	}
 	if opts.CacheEntries > 0 {
@@ -198,22 +227,33 @@ type EngineStats struct {
 	// schedule (on append or cancellation). Both are 0 when no standing
 	// query was ever submitted.
 	Parks, Wakes int64
+	// BudgetGranted and BudgetRequested account for the global
+	// marginal-value allocator (both 0 when GlobalBudget is off).
+	// BudgetGranted sums the frames the planner actually granted across
+	// all rounds and queries; BudgetRequested sums the per-round caps the
+	// same queries would have received under fair-share. Their ratio is
+	// the scheduling pressure: well below 1 means the budget is the
+	// binding constraint and frames are being steered by marginal value.
+	BudgetGranted, BudgetRequested int64
 }
 
 // Stats snapshots the engine's scheduler counters.
 func (e *Engine) Stats() EngineStats {
 	rounds, detects, batches := e.inner.Counters()
 	parks, wakes := e.inner.ParkCounters()
+	granted, requested := e.inner.BudgetCounters()
 	return EngineStats{
-		Rounds:         rounds,
-		DetectCalls:    detects,
-		Batches:        batches,
-		QuotaGrows:     e.quota.Grows.Load(),
-		QuotaShrinks:   e.quota.Shrinks.Load(),
-		CapacityLosses: e.quota.CapacityLosses.Load(),
-		PeakQuota:      e.quota.Peak.Load(),
-		Parks:          parks,
-		Wakes:          wakes,
+		Rounds:          rounds,
+		DetectCalls:     detects,
+		Batches:         batches,
+		QuotaGrows:      e.quota.Grows.Load(),
+		QuotaShrinks:    e.quota.Shrinks.Load(),
+		CapacityLosses:  e.quota.CapacityLosses.Load(),
+		PeakQuota:       e.quota.Peak.Load(),
+		Parks:           parks,
+		Wakes:           wakes,
+		BudgetGranted:   granted,
+		BudgetRequested: requested,
 	}
 }
 
@@ -443,6 +483,15 @@ func (h *QueryHandle) RoundQuota() int {
 	return h.static
 }
 
+// BudgetCounters reports the query's cumulative global-budget accounting:
+// granted is the number of frames the marginal-value planner actually
+// offered this query across all rounds, requested is what the same rounds
+// would have offered under fair-share (the per-round cap). Both are 0 when
+// the engine runs without a GlobalBudget.
+func (h *QueryHandle) BudgetCounters() (granted, requested int64) {
+	return h.inner.BudgetCounters()
+}
+
 // Events streams one QueryEvent per processed frame. The channel is closed
 // when the query finishes (for any reason); consumers that fall behind the
 // EventBuffer lose intermediate events (see Dropped) but never stall the
@@ -543,6 +592,17 @@ type groupObs struct {
 
 func (q *engineQuery) Done() bool {
 	return q.ctx.Err() != nil || q.run.done()
+}
+
+// MarginalValue implements the scheduler's Valued contract: the query's
+// expected new results per frame under its current Thompson beliefs (the
+// best enabled arm's prior-smoothed point estimate). Called once per round
+// on the scheduler goroutine, before Propose, only when the engine runs a
+// GlobalBudget. Pointer embedding promotes it through every wrapper
+// (sizedQuery, standingQuery, sizedStandingQuery), so woken standing
+// queries re-enter the plan at their refreshed belief automatically.
+func (q *engineQuery) MarginalValue() float64 {
+	return q.run.marginalValue()
 }
 
 func (q *engineQuery) Propose(max int) []int64 {

@@ -98,3 +98,47 @@ func TestAllocationInto(t *testing.T) {
 		t.Fatalf("AllocationInto with a warm buffer allocates %.2f objects/call, want 0", allocs)
 	}
 }
+
+// TestSamplerColdOpenAllocs pins the first-visit path the warmed guards
+// above skip: a decision that lazily opens a chunk's frame order. Before
+// the order slab + in-place generator seeding, every cold open cost ~6
+// allocations (generator, order struct, bitset, pending queue), which is
+// exactly the drift BENCH_engine.json's sampler_decision_256 row recorded
+// at ~4.5 allocs/frame on a 8192-arm sampler. Small chunks (<= 256 frames)
+// now open into slab + inline storage, so 256 cold decisions amortize to
+// well under one allocation each.
+func TestSamplerColdOpenAllocs(t *testing.T) {
+	chunks, err := video.SplitRange(0, 512*128, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(chunks, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No warm-up: most of these decisions hit never-visited chunks.
+	allocs := testing.AllocsPerRun(256, func() {
+		p, ok := s.Next()
+		if !ok {
+			t.Fatal("sampler exhausted")
+		}
+		if err := s.Update(p.Chunk, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.25 {
+		t.Fatalf("cold-open decision allocates %.3f objects/decision, want <= 0.25 (slab-amortized)", allocs)
+	}
+}
+
+// TestMaxPointEstimateAllocFree: the marginal-value read the global budget
+// scheduler polls once per round must allocate nothing.
+func TestMaxPointEstimateAllocFree(t *testing.T) {
+	s := warmSampler(t, 64, Thompson)
+	var sink float64
+	allocs := testing.AllocsPerRun(200, func() { sink += s.MaxPointEstimate() })
+	if allocs > 0 {
+		t.Fatalf("MaxPointEstimate allocates %.2f objects/call, want 0", allocs)
+	}
+	_ = sink
+}

@@ -177,7 +177,16 @@ type Sampler struct {
 	total    int64 // total frames sampled across chunks
 	live     int   // chunks with frames remaining
 	rng      *xrand.RNG
+	// rpSlab backs lazily opened random+ orders in blocks, so the cold
+	// chunk opens of a many-armed sampler amortize to ~1 allocation per
+	// slab instead of several per chunk.
+	rpSlab []video.RandomPlusOrder
 }
+
+// rpSlabSize is the random+ order slab block size; 64 keeps a block around
+// 16 KiB while amortizing the cold-open allocation well below one per
+// decision.
+const rpSlabSize = 64
 
 // New creates a sampler over the given chunks. Chunks must be non-empty and
 // non-overlapping; they are the sampler's arms.
@@ -253,18 +262,27 @@ func (s *Sampler) order(j int) (video.FrameOrder, error) {
 		return s.orders[j], nil
 	}
 	c := s.chunks[j]
-	rng := xrand.NewFrom(s.cfg.Seed, uint64(j)+1)
 	var (
 		o   video.FrameOrder
 		err error
 	)
 	switch s.cfg.Within {
 	case WithinUniform:
-		o, err = video.NewUniformOrder(c.Start, c.End, rng)
+		o, err = video.NewUniformOrder(c.Start, c.End, xrand.NewFrom(s.cfg.Seed, uint64(j)+1))
 	case WithinScored:
 		o, err = video.NewScoredOrder(c.Start, c.End, s.cfg.Scorer)
 	default:
-		o, err = video.NewRandomPlusOrder(c.Start, c.End, 0, rng)
+		// Random+ (the default) opens in place into the order slab: the
+		// (Seed, chunk id) stream derivation is identical to handing
+		// NewRandomPlusOrder a fresh xrand.NewFrom generator, but the open
+		// itself is amortized allocation-free.
+		if len(s.rpSlab) == 0 {
+			s.rpSlab = make([]video.RandomPlusOrder, rpSlabSize)
+		}
+		rp := &s.rpSlab[0]
+		s.rpSlab = s.rpSlab[1:]
+		err = rp.Init(c.Start, c.End, 0, s.cfg.Seed, uint64(j)+1)
+		o = rp
 	}
 	if err != nil {
 		return nil, err
@@ -398,6 +416,30 @@ func (s *Sampler) Stats(j int) (n1, n int64) { return s.n1[j], s.n[j] }
 func (s *Sampler) PointEstimate(j int) float64 {
 	alpha, beta := s.alphaBeta(j)
 	return alpha / beta
+}
+
+// MaxPointEstimate returns the largest prior-smoothed point estimate
+// (N1+α0)/(n+β0) across arms the sampler can still draw from — enabled
+// chunks with frames remaining (an unopened chunk counts as having frames,
+// matching Next). Because the next pick comes from the arg-max belief, this
+// is the sampler's expected new results from its next frame: the marginal
+// value a cross-query scheduler compares when dividing a global detector
+// budget. A fresh or just-woken sampler reports the prior α0/β0; an
+// exhausted one reports 0. Allocation-free.
+func (s *Sampler) MaxPointEstimate() float64 {
+	best := 0.0
+	for j := range s.chunks {
+		if s.disabled[j] {
+			continue
+		}
+		if s.orders[j] != nil && s.orders[j].Remaining() == 0 {
+			continue
+		}
+		if e := s.PointEstimate(j); e > best {
+			best = e
+		}
+	}
+	return best
 }
 
 // TotalSamples returns the number of frames sampled so far.

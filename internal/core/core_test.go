@@ -556,3 +556,59 @@ func TestAllArmsDisabledExhausts(t *testing.T) {
 		t.Fatal("Next succeeded with every arm fenced")
 	}
 }
+
+// TestMaxPointEstimate covers the marginal-value semantics the global
+// budget allocator depends on: fresh samplers report the prior, misses
+// decay the value, hits raise it, fenced arms are invisible, and an
+// exhausted sampler reports zero.
+func TestMaxPointEstimate(t *testing.T) {
+	chunks, err := video.SplitRange(0, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(chunks, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := DefaultAlpha0 / DefaultBeta0
+	if got := s.MaxPointEstimate(); got != prior {
+		t.Fatalf("fresh sampler MaxPointEstimate = %v, want prior %v", got, prior)
+	}
+	// Misses on one chunk decay it; the untouched chunks hold the max at
+	// the prior.
+	for i := 0; i < 5; i++ {
+		if err := s.Update(0, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.MaxPointEstimate(); got != prior {
+		t.Fatalf("after misses on one arm MaxPointEstimate = %v, want prior %v (other arms untouched)", got, prior)
+	}
+	// A hit raises the max above the prior.
+	if err := s.Update(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := (2 + DefaultAlpha0) / (1 + DefaultBeta0)
+	if got := s.MaxPointEstimate(); got != want {
+		t.Fatalf("after 2 hits MaxPointEstimate = %v, want %v", got, want)
+	}
+	// Fencing the hot arm hides it.
+	if err := s.SetEnabled(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxPointEstimate(); got != prior {
+		t.Fatalf("with hot arm fenced MaxPointEstimate = %v, want prior %v", got, prior)
+	}
+	if err := s.SetEnabled(1, true); err != nil {
+		t.Fatal(err)
+	}
+	// Draining every frame drops the value to zero.
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if got := s.MaxPointEstimate(); got != 0 {
+		t.Fatalf("exhausted sampler MaxPointEstimate = %v, want 0", got)
+	}
+}

@@ -66,7 +66,14 @@ func (q *sizedAllocQuery) ObserveBatch(key uint64, frames int, seconds float64) 
 // scratch buffer.
 func roundAllocs(t *testing.T, queries []Query) float64 {
 	t.Helper()
-	e := newEngine(Config{Workers: 2, FramesPerRound: 4})
+	return roundAllocsCfg(t, Config{Workers: 2, FramesPerRound: 4}, queries)
+}
+
+// roundAllocsCfg is roundAllocs with an explicit engine configuration, so
+// the global-budget round path shares the same guard harness.
+func roundAllocsCfg(t *testing.T, cfg Config, queries []Query) float64 {
+	t.Helper()
+	e := newEngine(cfg)
 	defer func() {
 		// The loop goroutine never started; release the pool directly.
 		close(e.loopDone)
@@ -149,5 +156,36 @@ func TestSizedQuotaDrivesPropose(t *testing.T) {
 	}
 	if sz.observed != 2 {
 		t.Fatalf("ObserveBatch called %d times, want 2", sz.observed)
+	}
+}
+
+// valuedAllocQuery layers the Valued contract on top of the steady-state
+// stub so the global-budget planner's value polling is part of the guard.
+type valuedAllocQuery struct {
+	allocQuery
+	value float64
+}
+
+func (q *valuedAllocQuery) MarginalValue() float64 { return q.value }
+
+// TestSchedulerRoundAllocFreeGlobalBudget: the global allocator — cap and
+// value polling, water-filling plan, grant accounting — rides the same
+// reusable scratch and must keep the round at 0 allocs/op, including with a
+// Sized query in the fleet and uneven values driving real reallocation
+// between queries.
+func TestSchedulerRoundAllocFreeGlobalBudget(t *testing.T) {
+	sz := &stubSizer{quota: 6}
+	queries := []Query{
+		&valuedAllocQuery{allocQuery: allocQuery{frames: make([]int64, 0, 16)}, value: 0.4},
+		&valuedAllocQuery{allocQuery: allocQuery{frames: make([]int64, 0, 16)}, value: 0.01},
+		&allocQuery{frames: make([]int64, 0, 16)},
+		&sizedAllocQuery{allocQuery{frames: make([]int64, 0, 16), sizer: sz}},
+	}
+	cfg := Config{Workers: 2, FramesPerRound: 4, GlobalBudget: 10, FloorQuota: 1}
+	if allocs := roundAllocsCfg(t, cfg, queries); allocs > 0 {
+		t.Fatalf("global-budget scheduler round allocates %.1f objects/round, want 0", allocs)
+	}
+	if sz.observed == 0 {
+		t.Fatal("ObserveBatch never called for a Sized query under the global budget")
 	}
 }

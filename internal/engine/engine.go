@@ -87,6 +87,23 @@ type Sized interface {
 	ObserveBatch(key uint64, frames int, seconds float64)
 }
 
+// Valued is an optional Query refinement for global budget scheduling: the
+// query exposes its current marginal value — the expected number of *new*
+// results the next detector frame will produce, which ExSample's Thompson
+// beliefs already estimate per chunk (Eq. III.1; the scheduler wants the
+// arg-max arm's point estimate). The allocator divides the engine's
+// GlobalBudget across queries proportionally to these values, so a nearly
+// exhausted query naturally decays toward the floor quota while a fresh or
+// just-woken standing query re-enters at its prior belief. Queries that do
+// not implement Valued weigh in at a neutral constant value of 1.
+type Valued interface {
+	// MarginalValue returns the query's expected new results per frame.
+	// Called once per round on the scheduler goroutine, before Propose;
+	// it must be cheap and allocation-free. Negative and NaN values are
+	// treated as 0.
+	MarginalValue() float64
+}
+
 // Standing is an optional Query refinement for queries over live sources:
 // an exhausted repository is a pause, not an ending. When a standing
 // query's Propose returns no frames, the scheduler parks the handle —
@@ -150,6 +167,24 @@ type Config struct {
 	// its sampler is. Sized queries replace the static quota with their
 	// own per-round value.
 	FramesPerRound int
+	// GlobalBudget, when > 0, replaces fair-share scheduling with one
+	// scheduler-level frames-per-round budget divided across the active
+	// queries in proportion to their marginal values (Valued queries; the
+	// rest weigh in at a constant). Per-query quotas — FramesPerRound, or
+	// a Sized query's RoundQuota — become *caps* the allocator fills up
+	// to, never past, so AIMD round sizing composes: the sizer bounds how
+	// big one query's batch may get, the budget decides who deserves the
+	// frames. Every non-cancelled query is granted at least FloorQuota
+	// frames (budget permitting it is a floor, not a share: with N active
+	// queries the round dispatches at least N*FloorQuota frames), which
+	// is what lets a zero-value query still drain to completion instead
+	// of starving.
+	GlobalBudget int
+	// FloorQuota is the per-query minimum grant under GlobalBudget
+	// (default 1; values < 1 are clamped to 1, because a zero-frame
+	// Propose is indistinguishable from an exhausted repository). Ignored
+	// when GlobalBudget is 0.
+	FloorQuota int
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +193,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FramesPerRound < 1 {
 		c.FramesPerRound = 1
+	}
+	if c.GlobalBudget < 0 {
+		c.GlobalBudget = 0
+	}
+	if c.FloorQuota < 1 {
+		c.FloorQuota = 1
 	}
 	return c
 }
@@ -204,6 +245,12 @@ type scratch struct {
 	sorted  []*group
 	tasks   []func()
 	wg      sync.WaitGroup
+	// Global-budget planning state, aligned with round: each handle's
+	// grant for this round, its cap (what fair-share would offer), and its
+	// marginal value. Reused across rounds like everything else here.
+	grants []int
+	caps   []int
+	vals   []float64
 }
 
 // job returns the next pooled job, growing the pool on first use.
@@ -243,6 +290,8 @@ type Engine struct {
 	batches atomic.Int64
 	parks   atomic.Int64
 	wakes   atomic.Int64
+	granted atomic.Int64 // frames granted by the global allocator
+	capped  atomic.Int64 // frames the queries' caps requested
 
 	loopDone chan struct{}
 }
@@ -279,6 +328,14 @@ func (e *Engine) Counters() (rounds, detects, batches int64) {
 // exhausted repository and woken back onto the schedule.
 func (e *Engine) ParkCounters() (parks, wakes int64) {
 	return e.parks.Load(), e.wakes.Load()
+}
+
+// BudgetCounters returns the cumulative frames the global allocator has
+// granted across all queries and the frames their per-round caps would have
+// taken (what fair-share scheduling would offer). Both stay zero when the
+// engine runs fair-share (GlobalBudget 0).
+func (e *Engine) BudgetCounters() (granted, requested int64) {
+	return e.granted.Load(), e.capped.Load()
 }
 
 // Submit registers a query and returns its handle. The query starts
@@ -409,7 +466,14 @@ func (e *Engine) runRound(round []*Handle) {
 	s := &e.scr
 	s.njobs, s.ngroups = 0, 0
 	base := e.cfg.FramesPerRound
-	for _, h := range round {
+	budgeted := e.cfg.GlobalBudget > 0
+	if budgeted {
+		// The allocation plan polls each query's cap (RoundQuota) and
+		// marginal value exactly once per round, here; the propose loop
+		// below then reads the grants instead of re-deriving quotas.
+		e.planBudget(round)
+	}
+	for i, h := range round {
 		if h.cancelled.Load() {
 			e.finalize(h, ReasonCancelled, nil)
 			continue
@@ -419,11 +483,15 @@ func (e *Engine) runRound(round []*Handle) {
 			continue
 		}
 		sized, _ := h.q.(Sized)
-		quota := base
-		if sized != nil {
+		var quota int
+		if budgeted {
+			quota = s.grants[i]
+		} else if sized != nil {
 			if quota = sized.RoundQuota(base); quota < 1 {
 				quota = 1
 			}
+		} else {
+			quota = base
 		}
 		frames := h.q.Propose(quota)
 		if len(frames) == 0 {
@@ -562,6 +630,128 @@ func (e *Engine) runRound(round []*Handle) {
 	}
 }
 
+// planBudget divides Config.GlobalBudget across a round snapshot by
+// marginal value — discrete water-filling over the reusable scratch, so the
+// plan itself allocates nothing. Every non-cancelled query starts at the
+// floor quota (clamped to its cap); the remaining budget is then granted
+// proportionally to the queries' values, clamping at each query's cap and
+// re-distributing the clamped surplus until the budget is spent or every
+// cap is full. With equal values this degenerates to an even split — which
+// is exactly fair-share, keeping single-query and identical-fleet runs
+// byte-identical to the fair-share scheduler — while a mixed fleet shifts
+// frames from decayed (nearly exhausted) queries to the ones whose beliefs
+// still promise results.
+func (e *Engine) planBudget(round []*Handle) {
+	s := &e.scr
+	n := len(round)
+	if cap(s.grants) < n {
+		s.grants = make([]int, 0, n)
+		s.caps = make([]int, 0, n)
+		s.vals = make([]float64, 0, n)
+	}
+	s.grants, s.caps, s.vals = s.grants[:n], s.caps[:n], s.vals[:n]
+	base := e.cfg.FramesPerRound
+	floor := e.cfg.FloorQuota
+	remaining := e.cfg.GlobalBudget
+	for i, h := range round {
+		if h.cancelled.Load() {
+			s.grants[i], s.caps[i], s.vals[i] = 0, 0, 0
+			continue
+		}
+		qcap := base
+		if sized, ok := h.q.(Sized); ok {
+			if qcap = sized.RoundQuota(base); qcap < 1 {
+				qcap = 1
+			}
+		}
+		v := 1.0
+		if val, ok := h.q.(Valued); ok {
+			v = val.MarginalValue()
+			if v != v || v < 0 { // NaN or negative: no signal
+				v = 0
+			}
+		}
+		f := floor
+		if f > qcap {
+			f = qcap
+		}
+		s.grants[i], s.caps[i], s.vals[i] = f, qcap, v
+		remaining -= f
+	}
+	for remaining > 0 {
+		mass := 0.0
+		open := 0
+		for i := range s.grants {
+			if s.caps[i] > s.grants[i] {
+				open++
+				mass += s.vals[i]
+			}
+		}
+		if open == 0 {
+			break
+		}
+		if mass <= 0 {
+			// Every query with headroom reports zero value: spread the
+			// remainder evenly in snapshot order.
+			for i := range s.grants {
+				if remaining == 0 {
+					break
+				}
+				if s.caps[i] > s.grants[i] {
+					s.grants[i]++
+					remaining--
+				}
+			}
+			continue
+		}
+		pool := remaining
+		granted := false
+		for i := range s.grants {
+			headroom := s.caps[i] - s.grants[i]
+			if headroom == 0 || s.vals[i] <= 0 {
+				continue
+			}
+			give := int(float64(pool) * s.vals[i] / mass)
+			if give > headroom {
+				give = headroom
+			}
+			if give > remaining {
+				give = remaining
+			}
+			if give > 0 {
+				s.grants[i] += give
+				remaining -= give
+				granted = true
+			}
+		}
+		if !granted {
+			// Rounding starved everyone: hand one frame to the
+			// highest-value query with headroom (snapshot order breaks
+			// ties) so the loop always progresses.
+			best := -1
+			for i := range s.grants {
+				if s.caps[i] > s.grants[i] && (best == -1 || s.vals[i] > s.vals[best]) {
+					best = i
+				}
+			}
+			s.grants[best]++
+			remaining--
+		}
+	}
+	var roundGranted, roundCapped int64
+	for i, h := range round {
+		if s.caps[i] == 0 {
+			continue
+		}
+		h.granted.Add(int64(s.grants[i]))
+		h.requested.Add(int64(s.caps[i]))
+		roundGranted += int64(s.grants[i])
+		roundCapped += int64(s.caps[i])
+	}
+	e.granted.Add(roundGranted)
+	e.capped.Add(roundCapped)
+}
+
 // park removes a standing handle from the round schedule without
 // finalizing it: no Reason is published, Wait keeps blocking, and the
 // query's pipeline state stays exactly where the last apply left it.
@@ -641,6 +831,20 @@ type Handle struct {
 	done        chan struct{}
 	reason      Reason
 	err         error
+	// Global-budget accounting, written by the scheduler's allocation plan
+	// and read from any goroutine: frames granted to this query and the
+	// frames its caps requested. Zero under fair-share scheduling.
+	granted   atomic.Int64
+	requested atomic.Int64
+}
+
+// BudgetCounters returns the cumulative frames the global allocator has
+// granted this query and the frames its per-round caps requested (its
+// fair-share entitlement). The gap between the two is the scheduler's
+// verdict on the query's marginal value. Both stay zero when the engine
+// runs fair-share (GlobalBudget 0).
+func (h *Handle) BudgetCounters() (granted, requested int64) {
+	return h.granted.Load(), h.requested.Load()
 }
 
 // Cancel asks the engine to stop the query. The cancellation takes effect

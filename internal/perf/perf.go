@@ -155,6 +155,76 @@ func engineOp(src exsample.Source, class string, queries, limit int, opts exsamp
 	return m, nil
 }
 
+// budgetOp runs the mixed-fleet scheduling benchmark behind the global
+// marginal-value budget: 8 concurrent queries — 4 over a dense repository,
+// 4 random-order over a near-empty one — stopped once the engine has spent
+// a fixed number of detector calls, then cancelled. Detector cost is held
+// equal across arms, so results/kdetect (aggregate distinct results per
+// thousand detector calls) isolates what the scheduler's frame placement
+// is worth; the global-budget row's ratio over the fair-share row is the
+// allocator's acceptance metric.
+func budgetOp(dsHot, dsCold *exsample.Dataset, opts exsample.EngineOptions, seed *uint64) (map[string]float64, error) {
+	const detectBudget = 6000
+	eng, err := exsample.NewEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	start := time.Now()
+	var handles []*exsample.QueryHandle
+	for i := 0; i < 4; i++ {
+		*seed++
+		h, err := eng.Submit(context.Background(), dsHot,
+			exsample.Query{Class: "car", Limit: 1 << 30},
+			exsample.Options{Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		handles = append(handles, h)
+	}
+	for i := 0; i < 4; i++ {
+		*seed++
+		h, err := eng.Submit(context.Background(), dsCold,
+			exsample.Query{Class: "car", Limit: 1 << 30},
+			exsample.Options{Strategy: exsample.StrategyRandom, Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		handles = append(handles, h)
+	}
+	for eng.Stats().DetectCalls < detectBudget {
+		time.Sleep(100 * time.Microsecond)
+	}
+	for _, h := range handles {
+		h.Cancel()
+	}
+	var found int
+	for _, h := range handles {
+		rep, err := h.Wait()
+		if err != nil && err != context.Canceled {
+			return nil, err
+		}
+		found += len(rep.Results)
+	}
+	detects := eng.Stats().DetectCalls
+	granted, requested := eng.Stats().BudgetGranted, eng.Stats().BudgetRequested
+	secs := time.Since(start).Seconds()
+	m := map[string]float64{
+		"results/op": float64(found),
+		"detects/op": float64(detects),
+	}
+	if detects > 0 {
+		m["results/kdetect"] = float64(found) / float64(detects) * 1000
+	}
+	if requested > 0 {
+		m["grant-ratio"] = float64(granted) / float64(requested)
+	}
+	if secs > 0 {
+		m["results/s"] = float64(found) / secs
+	}
+	return m, nil
+}
+
 // streamOp runs one full live-ingest cycle: a standing query over a
 // segment ring, a writer appending segments (half of them dead) at the
 // consumption rate — each append issued at the previous park boundary —
@@ -353,6 +423,49 @@ func RunSuite() (*Snapshot, error) {
 			return engineOp(slow, "car", 2, 1_000_000,
 				exsample.EngineOptions{Workers: 2, FramesPerRound: 2, AdaptiveRounds: arm.adaptive},
 				256, &aseed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		snap.Suite = append(snap.Suite, res)
+	}
+
+	// Fair-share vs global marginal-value budget on the mixed hot/cold
+	// fleet, both arms stopped at the same detector-call budget. The
+	// global-budget row's results/kdetect over the fair-share row's is the
+	// scheduler-level allocator's win at equal detector cost.
+	hotSpec := exsample.SynthSpec{
+		NumFrames:    200_000,
+		NumInstances: 5000,
+		Class:        "car",
+		MeanDuration: 4,
+		SkewFraction: 1.0 / 4,
+		ChunkFrames:  4000,
+		Seed:         31,
+	}
+	coldSpec := hotSpec
+	coldSpec.NumInstances = 2
+	coldSpec.MeanDuration = 10
+	coldSpec.Seed = 32
+	dsHot, err := exsample.Synthesize(hotSpec)
+	if err != nil {
+		return nil, err
+	}
+	dsCold, err := exsample.Synthesize(coldSpec)
+	if err != nil {
+		return nil, err
+	}
+	for _, arm := range []struct {
+		name string
+		opts exsample.EngineOptions
+	}{
+		{"engine_fairshare_mixedfleet", exsample.EngineOptions{Workers: 4, FramesPerRound: 16}},
+		{"engine_globalbudget_mixedfleet", exsample.EngineOptions{Workers: 4, FramesPerRound: 16,
+			GlobalBudget: 40, FloorQuota: 1}},
+	} {
+		bseed := uint64(9000)
+		res, err = measure(arm.name, 2, func() (map[string]float64, error) {
+			return budgetOp(dsHot, dsCold, arm.opts, &bseed)
 		})
 		if err != nil {
 			return nil, err

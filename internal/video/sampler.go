@@ -67,6 +67,7 @@ func (u *UniformOrder) Remaining() int64 { return u.n - u.drawn }
 type RandomPlusOrder struct {
 	start, n int64
 	rng      *xrand.RNG
+	ownRNG   xrand.RNG // backing generator when built via Init
 
 	sampled  []uint64 // bitset over [0, n)
 	emitted  int64
@@ -74,6 +75,14 @@ type RandomPlusOrder struct {
 	pending  []int64 // frames queued for emission at the current level
 	pendIdx  int
 	finished bool
+
+	// Inline backing storage for small chunks: a sampler lazily opening
+	// one order per visited chunk is the engine's cold-start hot path, and
+	// with ranges of <= 256 frames neither the bitset nor the first levels'
+	// pending queue needs a heap allocation. An order must not be copied
+	// once initialized.
+	sampledInline [4]uint64
+	pendInline    [4]int64
 }
 
 // NewRandomPlusOrder creates a random+ order over [start, end).
@@ -81,22 +90,51 @@ type RandomPlusOrder struct {
 // frames); values <= 0 or larger than the range select the whole range,
 // making the first draw uniform.
 func NewRandomPlusOrder(start, end, initialSegment int64, rng *xrand.RNG) (*RandomPlusOrder, error) {
+	r := &RandomPlusOrder{}
+	if err := r.init(start, end, initialSegment, rng); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Init (re)initializes r in place over [start, end), seeding an order-owned
+// generator to the exact stream NewRandomPlusOrder draws when handed
+// xrand.NewFrom(seed, stream). It exists so callers that open many orders
+// lazily — one per chunk of a many-armed sampler — can slab-allocate the
+// structs and keep cold chunk opens allocation-free.
+func (r *RandomPlusOrder) Init(start, end, initialSegment int64, seed, stream uint64) error {
+	r.ownRNG.SeedFrom(seed, stream)
+	return r.init(start, end, initialSegment, &r.ownRNG)
+}
+
+func (r *RandomPlusOrder) init(start, end, initialSegment int64, rng *xrand.RNG) error {
 	if end <= start {
-		return nil, fmt.Errorf("video: empty range [%d, %d)", start, end)
+		return fmt.Errorf("video: empty range [%d, %d)", start, end)
 	}
 	n := end - start
 	if initialSegment <= 0 || initialSegment > n {
 		initialSegment = n
 	}
-	r := &RandomPlusOrder{
-		start:   start,
-		n:       n,
-		rng:     rng,
-		sampled: make([]uint64, (n+63)/64),
-		segSize: initialSegment,
+	r.start, r.n = start, n
+	r.rng = rng
+	words := (n + 63) / 64
+	if words <= int64(len(r.sampledInline)) {
+		r.sampledInline = [4]uint64{}
+		r.sampled = r.sampledInline[:words]
+	} else {
+		r.sampled = make([]uint64, words)
 	}
+	r.emitted = 0
+	r.segSize = initialSegment
+	if r.pending == nil {
+		r.pending = r.pendInline[:0]
+	} else {
+		r.pending = r.pending[:0]
+	}
+	r.pendIdx = 0
+	r.finished = false
 	r.fillLevel()
-	return r, nil
+	return nil
 }
 
 func (r *RandomPlusOrder) isSampled(i int64) bool {

@@ -250,3 +250,67 @@ func TestSequentialOrderDefaultStride(t *testing.T) {
 		}
 	}
 }
+
+// TestRandomPlusInitMatchesNew pins the in-place constructor to the
+// allocated one: same (seed, stream) pair, same emission sequence. The
+// sampler's lazy chunk opens rely on this equivalence for determinism.
+func TestRandomPlusInitMatchesNew(t *testing.T) {
+	for _, tc := range []struct{ start, end, seg int64 }{
+		{0, 100, 0},
+		{10, 138, 16},
+		{0, 1000, 100}, // bitset larger than the inline storage
+	} {
+		ref, err := NewRandomPlusOrder(tc.start, tc.end, tc.seg, xrand.NewFrom(5, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got RandomPlusOrder
+		if err := got.Init(tc.start, tc.end, tc.seg, 5, 9); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; ; i++ {
+			rf, rok := ref.Next()
+			gf, gok := got.Next()
+			if rf != gf || rok != gok {
+				t.Fatalf("range [%d,%d) seg %d draw %d: Init order = (%d, %v), New order = (%d, %v)",
+					tc.start, tc.end, tc.seg, i, gf, gok, rf, rok)
+			}
+			if !rok {
+				break
+			}
+		}
+	}
+}
+
+// TestRandomPlusInitReuse verifies a struct can be re-initialized and
+// behaves like a fresh order (state from the previous use fully cleared).
+func TestRandomPlusInitReuse(t *testing.T) {
+	var o RandomPlusOrder
+	for round := 0; round < 3; round++ {
+		if err := o.Init(0, 200, 0, 7, uint64(round)); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewRandomPlusOrder(0, 200, 0, xrand.NewFrom(7, uint64(round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int64]bool)
+		for {
+			gf, gok := o.Next()
+			rf, rok := ref.Next()
+			if gf != rf || gok != rok {
+				t.Fatalf("round %d: reused order diverged: (%d, %v) vs (%d, %v)", round, gf, gok, rf, rok)
+			}
+			if !gok {
+				break
+			}
+			if seen[gf] {
+				t.Fatalf("round %d: frame %d emitted twice", round, gf)
+			}
+			seen[gf] = true
+		}
+		if len(seen) != 200 {
+			t.Fatalf("round %d: emitted %d frames, want 200", round, len(seen))
+		}
+	}
+}

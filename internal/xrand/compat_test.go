@@ -1,0 +1,83 @@
+package xrand
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestStreamMatchesRandV2 pins the inline uniform draws to math/rand/v2's
+// exact output over the same PCG stream. The repo's determinism contract
+// (seeded runs are byte-identical) was established when RNG delegated every
+// draw to rand.Rand; the inline implementations must never diverge from it.
+func TestStreamMatchesRandV2(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, 1 << 60} {
+		g := New(seed)
+		ref := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		for i := 0; i < 2000; i++ {
+			switch i % 5 {
+			case 0:
+				if got, want := g.Float64(), ref.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64 = %v, rand/v2 = %v", seed, i, got, want)
+				}
+			case 1:
+				n := int64(i%97 + 1)
+				if got, want := g.Int64N(n), ref.Int64N(n); got != want {
+					t.Fatalf("seed %d draw %d: Int64N(%d) = %v, rand/v2 = %v", seed, i, n, got, want)
+				}
+			case 2:
+				n := i%63 + 1
+				if got, want := g.IntN(n), ref.IntN(n); got != want {
+					t.Fatalf("seed %d draw %d: IntN(%d) = %v, rand/v2 = %v", seed, i, n, got, want)
+				}
+			case 3:
+				if got, want := g.Uint64(), ref.Uint64(); got != want {
+					t.Fatalf("seed %d draw %d: Uint64 = %v, rand/v2 = %v", seed, i, got, want)
+				}
+			case 4:
+				var got, want [10]int
+				for j := range got {
+					got[j], want[j] = j, j
+				}
+				g.Shuffle(len(got), func(a, b int) { got[a], got[b] = got[b], got[a] })
+				ref.Shuffle(len(want), func(a, b int) { want[a], want[b] = want[b], want[a] })
+				if got != want {
+					t.Fatalf("seed %d draw %d: Shuffle = %v, rand/v2 = %v", seed, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSeedFromMatchesNewFrom verifies in-place reseeding reproduces the
+// allocated constructor's stream, including when the RNG was already used
+// for ziggurat draws (which wrap the same PCG lazily).
+func TestSeedFromMatchesNewFrom(t *testing.T) {
+	var g RNG
+	for stream := uint64(0); stream < 8; stream++ {
+		g.SeedFrom(99, stream)
+		ref := NewFrom(99, stream)
+		for i := 0; i < 200; i++ {
+			if got, want := g.Int64N(1000), ref.Int64N(1000); got != want {
+				t.Fatalf("stream %d draw %d: SeedFrom RNG = %v, NewFrom RNG = %v", stream, i, got, want)
+			}
+		}
+		// Mix in a Normal draw so the lazy rand.Rand wrapper exists, then
+		// confirm the next reseed still aligns the streams.
+		g.Normal(0, 1)
+	}
+}
+
+// TestSeedFromAllocFree pins the point of the in-place API: deriving a new
+// uniform stream from an embedded RNG allocates nothing.
+func TestSeedFromAllocFree(t *testing.T) {
+	var g RNG
+	var sink int64
+	avg := testing.AllocsPerRun(100, func() {
+		g.SeedFrom(7, 3)
+		sink += g.Int64N(128)
+	})
+	if avg != 0 {
+		t.Fatalf("SeedFrom+Int64N allocated %.2f allocs/op, want 0", avg)
+	}
+	_ = sink
+}

@@ -649,6 +649,29 @@ func (r *queryRun) next() (pick core.Pick, ok bool) {
 	}
 }
 
+// marginalValue estimates the query's expected new results per frame for
+// the engine's global budget planner: the best enabled arm's prior-smoothed
+// point estimate under ExSample, or a whole-run aggregate belief for
+// non-chunked strategies (results over frames, smoothed by the same paper
+// prior, so an untouched query starts at the prior exactly like a fresh
+// sampler). Topology is synced first so a standing query woken by an
+// append values its fresh prior arms before the plan is drawn, and a
+// finished or failed query values 0 — it has nothing left to claim.
+func (r *queryRun) marginalValue() float64 {
+	if r.exhausted || r.err != nil {
+		return 0
+	}
+	r.syncTopology()
+	if r.err != nil {
+		return 0
+	}
+	if r.sampler != nil {
+		return r.sampler.MaxPointEstimate()
+	}
+	return (float64(len(r.rep.Results)) + core.DefaultAlpha0) /
+		(float64(r.rep.FramesProcessed) + core.DefaultBeta0)
+}
+
 // detectBatch runs the detector on a batch of frames, consulting the
 // cross-query memo cache first when enabled: cache hits are resolved
 // locally and only the misses — as one subsequence, in order — reach the

@@ -411,6 +411,20 @@ func TestStreamChurnSoak(t *testing.T) {
 	// and whose retention keeps evicting, all under the race detector. No
 	// query loses or double-applies a frame, nothing samples a gated
 	// segment, and the standing queries survive the full churn.
+	runStreamChurnSoak(t, EngineOptions{Workers: 4, FramesPerRound: 4, EventBuffer: 1 << 16})
+}
+
+func TestStreamChurnSoakGlobalBudget(t *testing.T) {
+	// The same churn soak with the global marginal-value budget driving the
+	// rounds: values are polled while standing queries park, wake and see
+	// their arm set grow, and the budget (16 frames over 8 queries, floor 1)
+	// keeps every query — including the near-zero-value ones late in the
+	// run — progressing without loss, duplication or gated-segment samples.
+	runStreamChurnSoak(t, EngineOptions{Workers: 4, FramesPerRound: 4,
+		EventBuffer: 1 << 16, GlobalBudget: 16, FloorQuota: 1})
+}
+
+func runStreamChurnSoak(t *testing.T, engOpts EngineOptions) {
 	const framesEach = 1000
 	const appends = 11
 	dead := func(slot int) bool { return slot%3 == 2 }
@@ -420,7 +434,7 @@ func TestStreamChurnSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := newTestEngine(t, EngineOptions{Workers: 4, FramesPerRound: 4, EventBuffer: 1 << 16})
+	e := newTestEngine(t, engOpts)
 
 	var standing, bounded []*QueryHandle
 	for i := 0; i < 4; i++ {
