@@ -224,7 +224,7 @@ func TestAdaptiveObserveSkipsMemoHits(t *testing.T) {
 	sq := &sizedQuery{engineQuery: eq}
 	// All-hit group: wall latency is irrelevant, no observation reaches
 	// the controller however extreme it looks per frame.
-	eq.noteObs(7, 0)
+	eq.scr.note(7, 0)
 	sq.ObserveBatch(7, 8, 5.0)
 	if got := fleet.Quota(); got != 2 {
 		t.Fatalf("all-hit group moved the quota to %d", got)
@@ -234,7 +234,7 @@ func TestAdaptiveObserveSkipsMemoHits(t *testing.T) {
 	}
 	// Backend-served groups (flat latency) grow the quota normally.
 	for i := 0; i < 10; i++ {
-		eq.noteObs(7, fleet.Quota())
+		eq.scr.note(7, fleet.Quota())
 		sq.ObserveBatch(7, fleet.Quota(), 0.001*float64(fleet.Quota()))
 	}
 	if got := fleet.Quota(); got <= 2 {

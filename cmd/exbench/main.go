@@ -120,14 +120,19 @@ func main() {
 var compareMetrics = []string{"frames/s", "results/kdetect"}
 
 // compareRows are the suite rows stable enough to gate on: the end-to-end
-// engine throughput row and the two scheduling arms, whose detector-call
-// normalization makes them nearly noise-free. The remaining rows (sharded
-// fan-out, stream ingest) swing past 20% run to run on shared hardware and
-// stay report-only.
+// engine throughput row, the two scheduling arms (whose detector-call
+// normalization makes them nearly noise-free), and the track-query accel
+// and dense arms — their results/kdetect is a deterministic count ratio,
+// so the accel row regressing toward the dense row's value means the
+// accelerate/refine loop stopped saving frames. The remaining rows
+// (sharded fan-out, stream ingest, coarse triage) swing past 20% run to
+// run on shared hardware and stay report-only.
 var compareRows = map[string]bool{
 	"engine_throughput_4q":           true,
 	"engine_fairshare_mixedfleet":    true,
 	"engine_globalbudget_mixedfleet": true,
+	"track_query_accel":              true,
+	"track_query_dense":              true,
 }
 
 // compareBench runs the perf suite fresh and fails when any watched metric

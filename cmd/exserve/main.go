@@ -105,6 +105,9 @@ func main() {
 	flag.IntVar(&cfg.replicas, "replicas", 1, "replica endpoints per shard behind a health-checked router (http loopback mode)")
 	flag.DurationVar(&cfg.churn, "churn", 0, "run one add/drain churn cycle this long after the queries start (0 = off; requires -shards > 1)")
 	flag.StringVar(&cfg.admin, "admin", "", "serve /healthz and /admin/{add,drain,churn} on this address (e.g. 127.0.0.1:8080)")
+	flag.BoolVar(&cfg.track, "trackquery", false, "track-predicate demo: MIRIS-style accelerate/refine queries (one per source class) instead of distinct-object queries")
+	flag.Int64Var(&cfg.minDuration, "min-duration", 50, "track predicate MinDuration in frames (-trackquery; also sets the coarse stride)")
+	flag.BoolVar(&cfg.coarseOnly, "coarse-only", false, "skip densification: track over the coarse grid alone (-trackquery)")
 	flag.BoolVar(&cfg.stream, "stream", false, "live ingest demo: a synthetic camera appends segments into a bounded ring while standing queries alert on them")
 	flag.IntVar(&cfg.segments, "segments", 12, "segments the synthetic camera appends (-stream)")
 	flag.Int64Var(&cfg.segFrames, "segment-frames", 2000, "frames per appended segment (-stream)")
@@ -148,6 +151,10 @@ type config struct {
 	// churnSignal, when non-nil, triggers an add/drain cycle per receive
 	// (wired to SIGHUP by main; tests poke it directly).
 	churnSignal <-chan os.Signal
+	// Track-query-demo knobs (-trackquery mode).
+	track       bool
+	minDuration int64
+	coarseOnly  bool
 	// Streaming-demo knobs (-stream mode).
 	stream    bool
 	segments  int
@@ -639,6 +646,9 @@ func run(w io.Writer, cfg config) error {
 	if cfg.stream {
 		return runStream(w, cfg)
 	}
+	if cfg.track {
+		return runTrack(w, cfg)
+	}
 	if cfg.queries < 1 {
 		return fmt.Errorf("need at least one query, got %d", cfg.queries)
 	}
@@ -911,6 +921,105 @@ func run(w io.Writer, cfg config) error {
 		cst := eng.CacheStats()
 		fmt.Fprintf(w, "\ncache: %d entries, %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 			cst.Entries, cst.Hits, cst.Misses, cst.HitRate()*100, cst.Evictions)
+	}
+	return nil
+}
+
+// runTrack is the -trackquery mode: one MIRIS-style track-predicate query
+// per (profile, class) target, scheduled concurrently through the shared
+// engine, with a table showing how much of a dense scan each query's
+// accelerate/refine loop avoided.
+func runTrack(w io.Writer, cfg config) error {
+	if cfg.limit < 1 {
+		return fmt.Errorf("need a positive per-query limit, got %d", cfg.limit)
+	}
+	if cfg.shards < 1 {
+		return fmt.Errorf("need at least one shard per profile, got %d", cfg.shards)
+	}
+	if cfg.minDuration < 0 {
+		return fmt.Errorf("need a non-negative -min-duration, got %d", cfg.minDuration)
+	}
+	f := &fleetState{shardSeq: make(map[string]uint64)}
+	defer func() {
+		f.mu.Lock()
+		stops := append([]func(){}, f.stops...)
+		f.mu.Unlock()
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	type target struct {
+		src   exsample.Source
+		class string
+	}
+	var targets []target
+	for _, name := range cfg.profiles {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		src, err := f.openSource(name, cfg)
+		if err != nil {
+			return err
+		}
+		for _, class := range src.Classes() {
+			targets = append(targets, target{src: src, class: class})
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("no datasets given")
+	}
+	eng, err := exsample.NewEngine(exsample.EngineOptions{
+		Workers:        cfg.workers,
+		FramesPerRound: cfg.round,
+		CacheEntries:   cfg.cache,
+		AdaptiveRounds: cfg.adaptive,
+		GlobalBudget:   cfg.budget,
+		FloorQuota:     cfg.floor,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	start := time.Now()
+	handles := make([]*exsample.TrackHandle, len(targets))
+	for i, tgt := range targets {
+		handles[i], err = eng.SubmitTrack(context.Background(), tgt.src,
+			exsample.TrackPredicate{Class: tgt.class, MinDuration: cfg.minDuration},
+			exsample.TrackOptions{Seed: cfg.seed + uint64(i), Limit: cfg.limit, CoarseOnly: cfg.coarseOnly})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "track queries: %d targets, min-duration %d, %d workers, %d frames/round, %d shard(s)/profile\n\n",
+		len(targets), cfg.minDuration, cfg.workers, cfg.round, cfg.shards)
+	fmt.Fprintf(w, "%-3s %-12s %-14s %7s %8s %8s %8s %6s %8s %10s\n",
+		"#", "dataset", "class", "tracks", "frames", "coarse", "refine", "ivals", "dense-x", "charged-s")
+	var frames, dense int64
+	for i, h := range handles {
+		rep, err := h.Wait()
+		if err != nil {
+			return fmt.Errorf("track query %d (%s/%s): %w", i, targets[i].src.Name(), targets[i].class, err)
+		}
+		frames += rep.FramesProcessed
+		dense += rep.DenseFrames
+		fmt.Fprintf(w, "%-3d %-12s %-14s %7d %8d %8d %8d %6d %8.1f %10.1f\n",
+			i, targets[i].src.Name(), targets[i].class, len(rep.Results),
+			rep.FramesProcessed, rep.CoarseFrames, rep.RefineFrames,
+			rep.Intervals, rep.Speedup(), rep.TotalSeconds())
+	}
+	wall := time.Since(start)
+	ratio := 0.0
+	if frames > 0 {
+		ratio = float64(dense) / float64(frames)
+	}
+	fmt.Fprintf(w, "\ntotal: %d detector frames (dense scan: %d — %.1fx avoided) in %v wall; %d rounds, %d detect batches\n",
+		frames, dense, ratio, wall.Round(time.Millisecond), eng.Stats().Rounds, eng.Stats().Batches)
+	if cfg.cache > 0 {
+		cst := eng.CacheStats()
+		fmt.Fprintf(w, "cache: %d entries, %d hits / %d misses (%.1f%% hit rate)\n",
+			cst.Entries, cst.Hits, cst.Misses, cst.HitRate()*100)
 	}
 	return nil
 }

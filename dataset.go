@@ -257,6 +257,11 @@ type SynthSpec struct {
 	FPS float64
 	// Seed drives generation.
 	Seed uint64
+	// TravelX and TravelY, when either is nonzero, give every object a net
+	// displacement of (TravelX, TravelY) pixels over its lifetime, so speed
+	// and direction predicates have something to discriminate on. Both zero
+	// keeps the legacy slight drift.
+	TravelX, TravelY float64
 }
 
 // Synthesize builds a custom dataset from a SynthSpec.
@@ -280,6 +285,8 @@ func Synthesize(spec SynthSpec, opts ...DatasetOption) (*Dataset, error) {
 		MeanDuration: spec.MeanDuration,
 		Class:        spec.Class,
 		Seed:         spec.Seed,
+		TravelX:      spec.TravelX,
+		TravelY:      spec.TravelY,
 	})
 	if err != nil {
 		return nil, err

@@ -436,6 +436,11 @@ type QueryEvent struct {
 	Chunk int
 	// New lists the distinct objects this frame discovered (often empty).
 	New []Result
+	// Tracks lists the matched track results this frame completed — set
+	// only for track queries (SubmitTrack), whose events fire when a
+	// densified interval finishes and its tracks pass the predicate. nil
+	// for distinct-object queries.
+	Tracks []TrackResult
 	// SecondSightings counts objects re-confirmed by this frame.
 	SecondSightings int
 	// FramesProcessed and Found are the query's running totals after this
@@ -567,27 +572,86 @@ type engineQuery struct {
 	// never even type-asserts positive.
 	sizer *sizer.Fleet
 
-	// scratch recycling: DetectBatch pops a scratch (one per in-flight
-	// group), results stay referenced until the round's applies finish,
-	// and the next Propose — which by the scheduling contract happens
-	// strictly after those applies — returns every used scratch to the
-	// free list.
-	scrMu   sync.Mutex
-	scrFree []*detectScratch
-	scrUsed []*detectScratch
-	// obs records, per affinity key, how many of the current round's
-	// group frames actually reached the backend (memo-cache hits resolve
-	// locally in microseconds and carry no backend-latency signal). Written
-	// by DetectBatch under scrMu, consumed by sizedQuery.ObserveBatch on
-	// the scheduler goroutine, cleared at the next Propose. Only populated
-	// when the query is adaptive.
-	obs []groupObs
+	// scr recycles detect scratches and group observations across rounds;
+	// see scratchPool. Shared shape with trackEngineQuery.
+	scr scratchPool
 }
 
 // groupObs is one group's backend-served frame count this round.
 type groupObs struct {
 	key    uint64
 	misses int
+}
+
+// scratchPool is the per-query detect-scratch recycler every engine
+// adapter (distinct-object engineQuery, track-query trackEngineQuery)
+// embeds: DetectBatch pops a scratch (one per in-flight affinity group),
+// results stay referenced until the round's applies finish, and the next
+// Propose — which by the scheduling contract happens strictly after those
+// applies — returns every used scratch to the free list.
+//
+// It also records, per affinity key, how many of the current round's group
+// frames actually reached the backend (memo-cache hits resolve locally in
+// microseconds and carry no backend-latency signal). Written by
+// DetectBatch under mu, consumed by the Sized wrappers' ObserveBatch on
+// the scheduler goroutine, cleared at the next Propose. Only populated
+// when the query is adaptive.
+type scratchPool struct {
+	mu   sync.Mutex
+	free []*detectScratch
+	used []*detectScratch
+	obs  []groupObs
+}
+
+// get pops a free detect scratch (or grows the pool) and records it as in
+// use for the current round.
+func (p *scratchPool) get() *detectScratch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s *detectScratch
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		s = &detectScratch{}
+	}
+	p.used = append(p.used, s)
+	return s
+}
+
+// reclaim returns every scratch used last round to the free list and drops
+// any unconsumed backend-frame observations (error paths leave stragglers).
+// Called from Propose on the scheduler goroutine, after the previous
+// round's applies and before any new DetectBatch can be in flight.
+func (p *scratchPool) reclaim() {
+	p.mu.Lock()
+	p.free = append(p.free, p.used...)
+	p.used = p.used[:0]
+	p.obs = p.obs[:0]
+	p.mu.Unlock()
+}
+
+// note records a group's backend-served frame count for the sizer.
+func (p *scratchPool) note(key uint64, misses int) {
+	p.mu.Lock()
+	p.obs = append(p.obs, groupObs{key: key, misses: misses})
+	p.mu.Unlock()
+}
+
+// take consumes the recorded backend-served frame count for a group key
+// (-1 when the group was never recorded, e.g. its call failed).
+func (p *scratchPool) take(key uint64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.obs {
+		if p.obs[i].key == key {
+			m := p.obs[i].misses
+			p.obs[i] = p.obs[len(p.obs)-1]
+			p.obs = p.obs[:len(p.obs)-1]
+			return m
+		}
+	}
+	return -1
 }
 
 func (q *engineQuery) Done() bool {
@@ -606,7 +670,7 @@ func (q *engineQuery) MarginalValue() float64 {
 }
 
 func (q *engineQuery) Propose(max int) []int64 {
-	q.reclaimScratch()
+	q.scr.reclaim()
 	q.pending = q.pending[:0]
 	q.frames = q.frames[:0]
 	for len(q.frames) < max {
@@ -620,58 +684,6 @@ func (q *engineQuery) Propose(max int) []int64 {
 	return q.frames
 }
 
-// getScratch pops a free detect scratch (or grows the pool) and records it
-// as in use for the current round.
-func (q *engineQuery) getScratch() *detectScratch {
-	q.scrMu.Lock()
-	defer q.scrMu.Unlock()
-	var s *detectScratch
-	if n := len(q.scrFree); n > 0 {
-		s = q.scrFree[n-1]
-		q.scrFree = q.scrFree[:n-1]
-	} else {
-		s = &detectScratch{}
-	}
-	q.scrUsed = append(q.scrUsed, s)
-	return s
-}
-
-// reclaimScratch returns every scratch used last round to the free list
-// and drops any unconsumed backend-frame observations (error paths leave
-// stragglers). Called from Propose on the scheduler goroutine, after the
-// previous round's applies and before any new DetectBatch can be in
-// flight.
-func (q *engineQuery) reclaimScratch() {
-	q.scrMu.Lock()
-	q.scrFree = append(q.scrFree, q.scrUsed...)
-	q.scrUsed = q.scrUsed[:0]
-	q.obs = q.obs[:0]
-	q.scrMu.Unlock()
-}
-
-// noteObs records a group's backend-served frame count for the sizer.
-func (q *engineQuery) noteObs(key uint64, misses int) {
-	q.scrMu.Lock()
-	q.obs = append(q.obs, groupObs{key: key, misses: misses})
-	q.scrMu.Unlock()
-}
-
-// takeObs consumes the recorded backend-served frame count for a group
-// key (-1 when the group was never recorded, e.g. its call failed).
-func (q *engineQuery) takeObs(key uint64) int {
-	q.scrMu.Lock()
-	defer q.scrMu.Unlock()
-	for i := range q.obs {
-		if q.obs[i].key == key {
-			m := q.obs[i].misses
-			q.obs[i] = q.obs[len(q.obs)-1]
-			q.obs = q.obs[:len(q.obs)-1]
-			return m
-		}
-	}
-	return -1
-}
-
 // DetectBatch runs one affinity group's frames through the query's batched
 // detector — memo cache consulted first, the misses issued as a single
 // backend call — under the query's own context, so a cancellation mid-batch
@@ -681,7 +693,7 @@ func (q *engineQuery) takeObs(key uint64) int {
 // values out before the applies, and the scratch stays untouched until the
 // next Propose reclaims it.
 func (q *engineQuery) DetectBatch(frames []int64) ([]any, error) {
-	s := q.getScratch()
+	s := q.scr.get()
 	results, err := q.run.detectBatchInto(q.ctx, frames, s)
 	if err != nil {
 		return nil, err
@@ -694,7 +706,7 @@ func (q *engineQuery) DetectBatch(frames []int64) ([]any, error) {
 		if q.run.memo != nil {
 			misses = len(s.missIdx)
 		}
-		q.noteObs(q.AffinityKey(frames[0]), misses)
+		q.scr.note(q.AffinityKey(frames[0]), misses)
 	}
 	if cap(s.out) < len(results) {
 		s.out = make([]any, 0, cap(results))
@@ -788,7 +800,7 @@ func (q *sizedQuery) RoundQuota(base int) int {
 // baseline, and make the next genuine backend batch look like queueing.
 // All-hit groups carry no backend signal and are skipped outright.
 func (q *sizedQuery) ObserveBatch(key uint64, frames int, seconds float64) {
-	if misses := q.takeObs(key); misses > 0 {
+	if misses := q.scr.take(key); misses > 0 {
 		q.sizer.Observe(key, misses, seconds)
 	}
 }

@@ -1,0 +1,90 @@
+package geom
+
+import "testing"
+
+// fuzzCoord decodes one byte into a small integer coordinate in [-16, 15].
+// Small integers keep every intersection and containment computation exact
+// in float64, so the invariants below are strict equalities, not
+// tolerances.
+func fuzzCoord(b byte) float64 { return float64(int(b%32) - 16) }
+
+func fuzzPoint(a, b byte) Point { return Point{X: fuzzCoord(a), Y: fuzzCoord(b)} }
+
+// FuzzGeomRoundTrip checks the polygon-containment and segment-intersection
+// invariants the track-predicate evaluator leans on:
+//
+//   - Box -> BoxPolygon round trip: the polygon ray-crossing test must agree
+//     with the box's own interval test at every probe point.
+//   - Containment and intersection are translation-invariant.
+//   - Segment intersection is symmetric and invariant under reversing either
+//     segment's direction; segments sharing an endpoint always intersect;
+//     intersecting segments have overlapping bounding boxes.
+//
+// The input decodes into a box, two segments, a probe point and an integer
+// translation, all on a small integer grid so float64 arithmetic is exact.
+func FuzzGeomRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x0a, 0x0b, 0x02, 0x02, 0x08, 0x08, 0x02, 0x08, 0x08, 0x02, 0x05, 0x05, 0x03, 0x07})
+	f.Add([]byte{0x10, 0x10, 0x1f, 0x1f, 0x10, 0x18, 0x1f, 0x18, 0x14, 0x10, 0x14, 0x1f, 0x18, 0x18, 0x00, 0x00})
+	f.Add([]byte{0x05, 0x05, 0x05, 0x05, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x09, 0x09, 0x05, 0x05, 0x1f, 0x01})
+	f.Add([]byte{0x00, 0x1f, 0x1f, 0x00, 0x00, 0x00, 0x1f, 0x1f, 0x0f, 0x00, 0x0f, 0x1f, 0x0c, 0x0c, 0x02, 0x1d})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 16 {
+			t.Skip("need 16 bytes")
+		}
+		p1 := fuzzPoint(data[0], data[1])
+		p2 := fuzzPoint(data[2], data[3])
+		box := Box{
+			X1: min(p1.X, p2.X), Y1: min(p1.Y, p2.Y),
+			X2: max(p1.X, p2.X), Y2: max(p1.Y, p2.Y),
+		}
+		s := Segment{A: fuzzPoint(data[4], data[5]), B: fuzzPoint(data[6], data[7])}
+		o := Segment{A: fuzzPoint(data[8], data[9]), B: fuzzPoint(data[10], data[11])}
+		probe := fuzzPoint(data[12], data[13])
+		dx, dy := fuzzCoord(data[14]), fuzzCoord(data[15])
+
+		// Box <-> polygon containment round trip, at the probe and at every
+		// box corner (boundary points are the adversarial cases).
+		poly := BoxPolygon(box)
+		checks := []Point{probe, {box.X1, box.Y1}, {box.X2, box.Y2}, {box.X1, box.Y2}, {box.X2, box.Y1},
+			{(box.X1 + box.X2) / 2, box.Y1}, {box.X1, (box.Y1 + box.Y2) / 2}}
+		for _, pt := range checks {
+			inBox := pt.X >= box.X1 && pt.X <= box.X2 && pt.Y >= box.Y1 && pt.Y <= box.Y2
+			if got := poly.Contains(pt.X, pt.Y); got != inBox {
+				t.Fatalf("BoxPolygon(%+v).Contains(%v,%v) = %v, interval test = %v", box, pt.X, pt.Y, got, inBox)
+			}
+			if moved := poly.Translate(dx, dy).Contains(pt.X+dx, pt.Y+dy); moved != inBox {
+				t.Fatalf("translation changed containment at (%v,%v) by (%v,%v)", pt.X, pt.Y, dx, dy)
+			}
+		}
+
+		// Segment intersection: symmetric, direction-invariant,
+		// translation-invariant.
+		got := s.Intersects(o)
+		if o.Intersects(s) != got {
+			t.Fatalf("Intersects asymmetric for %+v vs %+v", s, o)
+		}
+		rs := Segment{A: s.B, B: s.A}
+		ro := Segment{A: o.B, B: o.A}
+		if rs.Intersects(o) != got || s.Intersects(ro) != got || rs.Intersects(ro) != got {
+			t.Fatalf("Intersects changed under endpoint reversal for %+v vs %+v", s, o)
+		}
+		if s.Translate(dx, dy).Intersects(o.Translate(dx, dy)) != got {
+			t.Fatalf("Intersects changed under translation for %+v vs %+v", s, o)
+		}
+
+		// Segments sharing an endpoint must intersect.
+		shared := Segment{A: s.A, B: o.B}
+		if !s.Intersects(shared) {
+			t.Fatalf("segments sharing endpoint %+v do not intersect", s.A)
+		}
+
+		// Intersecting segments must have overlapping bounding boxes.
+		if got {
+			sb := Box{X1: min(s.A.X, s.B.X), Y1: min(s.A.Y, s.B.Y), X2: max(s.A.X, s.B.X), Y2: max(s.A.Y, s.B.Y)}
+			ob := Box{X1: min(o.A.X, o.B.X), Y1: min(o.A.Y, o.B.Y), X2: max(o.A.X, o.B.X), Y2: max(o.A.Y, o.B.Y)}
+			if sb.X2 < ob.X1 || ob.X2 < sb.X1 || sb.Y2 < ob.Y1 || ob.Y2 < sb.Y1 {
+				t.Fatalf("intersecting segments %+v and %+v have disjoint bounds", s, o)
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package geom
+
+import "math"
+
+// Point is a 2-D point in pixel coordinates.
+type Point struct {
+	X, Y float64
+}
+
+// Valid reports whether the point has finite, non-NaN coordinates.
+func (p Point) Valid() bool {
+	return !math.IsNaN(p.X) && !math.IsNaN(p.Y) &&
+		!math.IsInf(p.X, 0) && !math.IsInf(p.Y, 0)
+}
+
+// Sub returns the vector p - o.
+func (p Point) Sub(o Point) Point { return Point{X: p.X - o.X, Y: p.Y - o.Y} }
+
+// Segment is a directed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Valid reports whether both endpoints are finite and the segment has
+// nonzero length.
+func (s Segment) Valid() bool {
+	return s.A.Valid() && s.B.Valid() && (s.A.X != s.B.X || s.A.Y != s.B.Y)
+}
+
+// Translate returns the segment shifted by (dx, dy).
+func (s Segment) Translate(dx, dy float64) Segment {
+	return Segment{
+		A: Point{X: s.A.X + dx, Y: s.A.Y + dy},
+		B: Point{X: s.B.X + dx, Y: s.B.Y + dy},
+	}
+}
+
+// cross returns the z-component of (b-a) x (c-a): positive when c lies to
+// the left of the directed line a->b, negative to the right, zero when
+// collinear.
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether collinear point c lies within the bounding box
+// of segment ab (the standard collinear-overlap test).
+func onSegment(a, b, c Point) bool {
+	return math.Min(a.X, b.X) <= c.X && c.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= c.Y && c.Y <= math.Max(a.Y, b.Y)
+}
+
+// Intersects reports whether two segments share at least one point,
+// touching endpoints and collinear overlap included. The predicate is
+// symmetric and invariant under swapping either segment's endpoints.
+func (s Segment) Intersects(o Segment) bool {
+	d1 := cross(s.A, s.B, o.A)
+	d2 := cross(s.A, s.B, o.B)
+	d3 := cross(o.A, o.B, s.A)
+	d4 := cross(o.A, o.B, s.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	if d1 == 0 && onSegment(s.A, s.B, o.A) {
+		return true
+	}
+	if d2 == 0 && onSegment(s.A, s.B, o.B) {
+		return true
+	}
+	if d3 == 0 && onSegment(o.A, o.B, s.A) {
+		return true
+	}
+	if d4 == 0 && onSegment(o.A, o.B, s.B) {
+		return true
+	}
+	return false
+}
+
+// Polygon is a simple polygon given as a vertex loop (the closing edge from
+// the last vertex back to the first is implicit). Vertices may wind either
+// way.
+type Polygon []Point
+
+// Valid reports whether the polygon has at least three finite vertices and
+// nonzero area (a degenerate, collinear loop encloses nothing and is
+// rejected by predicate validation).
+func (p Polygon) Valid() bool {
+	if len(p) < 3 {
+		return false
+	}
+	for _, v := range p {
+		if !v.Valid() {
+			return false
+		}
+	}
+	return p.Area() != 0
+}
+
+// Area returns the absolute shoelace area of the polygon.
+func (p Polygon) Area() float64 {
+	var sum float64
+	for i, v := range p {
+		w := p[(i+1)%len(p)]
+		sum += v.X*w.Y - w.X*v.Y
+	}
+	return math.Abs(sum) / 2
+}
+
+// Bounds returns the polygon's axis-aligned bounding box.
+func (p Polygon) Bounds() Box {
+	if len(p) == 0 {
+		return Box{}
+	}
+	b := Box{X1: p[0].X, Y1: p[0].Y, X2: p[0].X, Y2: p[0].Y}
+	for _, v := range p[1:] {
+		b.X1 = math.Min(b.X1, v.X)
+		b.Y1 = math.Min(b.Y1, v.Y)
+		b.X2 = math.Max(b.X2, v.X)
+		b.Y2 = math.Max(b.Y2, v.Y)
+	}
+	return b
+}
+
+// Translate returns the polygon shifted by (dx, dy).
+func (p Polygon) Translate(dx, dy float64) Polygon {
+	out := make(Polygon, len(p))
+	for i, v := range p {
+		out[i] = Point{X: v.X + dx, Y: v.Y + dy}
+	}
+	return out
+}
+
+// Contains reports whether the point lies inside the polygon, boundary
+// included. It is the even-odd ray-crossing test with an explicit
+// on-boundary check, so points exactly on an edge or vertex count as
+// inside regardless of winding or ray direction.
+func (p Polygon) Contains(x, y float64) bool {
+	if len(p) < 3 {
+		return false
+	}
+	pt := Point{X: x, Y: y}
+	inside := false
+	for i, a := range p {
+		b := p[(i+1)%len(p)]
+		if cross(a, b, pt) == 0 && onSegment(a, b, pt) {
+			return true
+		}
+		// Half-open vertical rule ([min(ay,by), max) per edge) counts each
+		// crossing exactly once even when the ray passes through a vertex.
+		if (a.Y > y) != (b.Y > y) {
+			xAt := a.X + (y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if x < xAt {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// BoxPolygon returns the box's outline as a 4-vertex polygon (clockwise in
+// screen coordinates). It is the round-trip bridge between the two
+// containment representations: BoxPolygon(b).Contains(x, y) must agree with
+// the box's own interval test for every valid box.
+func BoxPolygon(b Box) Polygon {
+	return Polygon{
+		{X: b.X1, Y: b.Y1},
+		{X: b.X2, Y: b.Y1},
+		{X: b.X2, Y: b.Y2},
+		{X: b.X1, Y: b.Y2},
+	}
+}

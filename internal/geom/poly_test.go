@@ -1,0 +1,97 @@
+package geom
+
+import "testing"
+
+func TestPolygonContains(t *testing.T) {
+	// A concave "L" shape: the notch at the top right is outside.
+	l := Polygon{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}}
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{1, 1, true},    // interior, lower block
+		{3, 1, true},    // interior, right arm
+		{1, 3, true},    // interior, upper arm
+		{3, 3, false},   // inside the notch
+		{5, 1, false},   // right of everything
+		{-1, 2, false},  // left of everything
+		{0, 0, true},    // vertex
+		{2, 0, true},    // on bottom edge
+		{4, 1, true},    // on right edge
+		{2, 3, true},    // on the notch's inner edge
+		{3, 2, true},    // on the notch's lower edge
+		{4.5, 0, false}, // collinear with the bottom edge but past it
+	}
+	for _, c := range cases {
+		if got := l.Contains(c.x, c.y); got != c.want {
+			t.Errorf("Contains(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestPolygonContainsWindingInvariant(t *testing.T) {
+	cw := Polygon{{0, 0}, {0, 3}, {3, 3}, {3, 0}}
+	ccw := Polygon{{0, 0}, {3, 0}, {3, 3}, {0, 3}}
+	for x := -1.0; x <= 4; x += 0.5 {
+		for y := -1.0; y <= 4; y += 0.5 {
+			if cw.Contains(x, y) != ccw.Contains(x, y) {
+				t.Fatalf("winding changed Contains(%v,%v)", x, y)
+			}
+		}
+	}
+}
+
+func TestPolygonValid(t *testing.T) {
+	if (Polygon{{0, 0}, {1, 1}}).Valid() {
+		t.Error("2-vertex polygon reported valid")
+	}
+	if (Polygon{{0, 0}, {1, 1}, {2, 2}}).Valid() {
+		t.Error("collinear (zero-area) polygon reported valid")
+	}
+	if !(Polygon{{0, 0}, {1, 0}, {0, 1}}).Valid() {
+		t.Error("triangle reported invalid")
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		s, o Segment
+		want bool
+	}{
+		// Proper crossing.
+		{Segment{Point{0, 0}, Point{2, 2}}, Segment{Point{0, 2}, Point{2, 0}}, true},
+		// Parallel, disjoint.
+		{Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{0, 1}, Point{2, 1}}, false},
+		// Shared endpoint.
+		{Segment{Point{0, 0}, Point{1, 1}}, Segment{Point{1, 1}, Point{2, 0}}, true},
+		// T-junction: endpoint on interior.
+		{Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{1, 0}, Point{1, 1}}, true},
+		// Collinear, overlapping.
+		{Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{1, 0}, Point{3, 0}}, true},
+		// Collinear, disjoint.
+		{Segment{Point{0, 0}, Point{1, 0}}, Segment{Point{2, 0}, Point{3, 0}}, false},
+		// Near miss.
+		{Segment{Point{0, 0}, Point{2, 2}}, Segment{Point{2, 0}, Point{3, 1}}, false},
+	}
+	for i, c := range cases {
+		if got := c.s.Intersects(c.o); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.o.Intersects(c.s); got != c.want {
+			t.Errorf("case %d: reversed Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBoxPolygonRoundTrip(t *testing.T) {
+	b := Box{X1: 1, Y1: 2, X2: 5, Y2: 7}
+	poly := BoxPolygon(b)
+	for x := 0.0; x <= 6; x += 0.5 {
+		for y := 1.0; y <= 8; y += 0.5 {
+			inBox := x >= b.X1 && x <= b.X2 && y >= b.Y1 && y <= b.Y2
+			if got := poly.Contains(x, y); got != inBox {
+				t.Fatalf("BoxPolygon.Contains(%v,%v) = %v, box test = %v", x, y, got, inBox)
+			}
+		}
+	}
+}

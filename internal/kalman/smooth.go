@@ -1,0 +1,46 @@
+package kalman
+
+import (
+	"fmt"
+
+	"github.com/exsample/exsample/internal/geom"
+)
+
+// Smooth runs a constant-velocity Kalman filter forward over an observed
+// box path and returns the filtered box at each observation. frames must be
+// strictly ascending (gaps are fine — the filter predicts across them);
+// boxes[i] is the observation at frames[i]. q and r follow the BoxFilter
+// conventions (0 selects DefaultQ / DefaultR).
+//
+// The first output equals the first observation (the filter is initialized
+// there); later outputs blend prediction and measurement, which is what
+// suppresses per-frame detector jitter before the track-predicate
+// evaluator measures positions, speeds and headings. The function is a
+// pure, deterministic map from its inputs — the golden-trace tests freeze
+// its exact output.
+func Smooth(frames []int64, boxes []geom.Box, q, r float64) ([]geom.Box, error) {
+	if len(frames) != len(boxes) {
+		return nil, fmt.Errorf("kalman: %d frames but %d boxes", len(frames), len(boxes))
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("kalman: empty path")
+	}
+	bf, err := NewBoxFilter(boxes[0], q, r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]geom.Box, len(boxes))
+	out[0] = bf.Box()
+	for i := 1; i < len(frames); i++ {
+		if frames[i] <= frames[i-1] {
+			return nil, fmt.Errorf("kalman: frame %d not after %d", frames[i], frames[i-1])
+		}
+		if !boxes[i].Valid() {
+			return nil, fmt.Errorf("kalman: invalid box %+v at frame %d", boxes[i], frames[i])
+		}
+		bf.Predict(float64(frames[i] - frames[i-1]))
+		bf.Update(boxes[i])
+		out[i] = bf.Box()
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package kalman
+
+import (
+	"testing"
+
+	"github.com/exsample/exsample/internal/geom"
+)
+
+// TestSmoothGoldenTrace freezes Smooth's exact output on a fixed synthetic
+// trajectory: constant-velocity drift (+5 px/frame in x, +3 in y) with a
+// deterministic jitter pattern and frame gaps. Any change to the filter
+// constants, the prediction step or the update step shows up here as an
+// exact-value mismatch — the track-predicate evaluator consumes these
+// numbers verbatim, so they are part of the determinism contract.
+func TestSmoothGoldenTrace(t *testing.T) {
+	frames := []int64{0, 1, 2, 4, 6, 7}
+	jit := []float64{0, 0.5, -0.5, 0.25, 0, -0.25}
+	boxes := make([]geom.Box, len(frames))
+	for i, f := range frames {
+		boxes[i] = geom.Rect(10+5*float64(f)+jit[i], 20+3*float64(f), 40, 30)
+	}
+	got, err := Smooth(frames, boxes, 0, 0)
+	if err != nil {
+		t.Fatalf("Smooth: %v", err)
+	}
+	want := []geom.Box{
+		{X1: 10, Y1: 20, X2: 50, Y2: 50}, // frame 0
+		{X1: 15.04261954261954, Y1: 22.75051975051975, X2: 55.04261954261954, Y2: 52.75051975051975},   // frame 1
+		{X1: 19.52621257616807, Y1: 25.86033000459698, X2: 59.52621257616807, Y2: 55.86033000459698},   // frame 2
+		{X1: 29.986631644016413, Y1: 31.936350659840457, X2: 69.98663164401641, Y2: 61.93635065984046}, // frame 4
+		{X1: 40.01712869324921, Y1: 37.98420939909432, X2: 80.01712869324922, Y2: 67.98420939909431},   // frame 6
+		{X1: 44.856973566837524, Y1: 40.999901431221765, X2: 84.85697356683752, Y2: 70.99990143122176}, // frame 7
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Smooth returned %d boxes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("frame %d: got %+v, want %+v", frames[i], got[i], want[i])
+		}
+	}
+}
+
+// TestSmoothConvergesToTruth checks the filter tracks an exact
+// constant-velocity path closely once velocity is locked in.
+func TestSmoothConvergesToTruth(t *testing.T) {
+	var frames []int64
+	var boxes []geom.Box
+	for f := int64(0); f < 40; f++ {
+		frames = append(frames, f)
+		boxes = append(boxes, geom.Rect(100+4*float64(f), 200, 30, 30))
+	}
+	sm, err := Smooth(frames, boxes, 0, 0)
+	if err != nil {
+		t.Fatalf("Smooth: %v", err)
+	}
+	last := sm[len(sm)-1]
+	truth := boxes[len(boxes)-1]
+	cx, cy := last.Center()
+	tx, ty := truth.Center()
+	if dx := cx - tx; dx < -1 || dx > 1 {
+		t.Errorf("x center off by %v after convergence", dx)
+	}
+	if dy := cy - ty; dy < -0.5 || dy > 0.5 {
+		t.Errorf("y center off by %v after convergence", dy)
+	}
+}
+
+func TestSmoothRejectsBadInput(t *testing.T) {
+	b := geom.Rect(0, 0, 10, 10)
+	if _, err := Smooth(nil, nil, 0, 0); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := Smooth([]int64{0, 1}, []geom.Box{b}, 0, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Smooth([]int64{1, 1}, []geom.Box{b, b}, 0, 0); err == nil {
+		t.Error("non-ascending frames accepted")
+	}
+	if _, err := Smooth([]int64{0, 1}, []geom.Box{b, {X1: 5, X2: 0, Y1: 0, Y2: 5}}, 0, 0); err == nil {
+		t.Error("invalid box accepted")
+	}
+}

@@ -308,6 +308,43 @@ func streamOp(threshold float64, seedBase uint64) (map[string]float64, error) {
 	return m, nil
 }
 
+// trackOp runs one track-predicate query through the engine over the
+// sparse moving-object scene and reports detector frames, matched tracks,
+// wall throughput and the realized dense-scan savings (dense-x) — the
+// accelerate/refine loop's acceptance metric.
+func trackOp(ds *exsample.Dataset, opts exsample.TrackOptions, seed *uint64) (map[string]float64, error) {
+	*seed++
+	opts.Seed = *seed
+	eng, err := exsample.NewEngine(exsample.EngineOptions{Workers: 4, FramesPerRound: 8})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	start := time.Now()
+	h, err := eng.SubmitTrack(context.Background(), ds,
+		exsample.TrackPredicate{Class: "car", MinDuration: 50}, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := h.Wait()
+	if err != nil {
+		return nil, err
+	}
+	secs := time.Since(start).Seconds()
+	m := map[string]float64{
+		"frames/op": float64(rep.FramesProcessed),
+		"tracks/op": float64(len(rep.Results)),
+		"dense-x":   rep.Speedup(),
+	}
+	if rep.FramesProcessed > 0 {
+		m["results/kdetect"] = float64(len(rep.Results)) / float64(rep.FramesProcessed) * 1000
+	}
+	if secs > 0 {
+		m["frames/s"] = float64(rep.FramesProcessed) / secs
+	}
+	return m, nil
+}
+
 // RunSuite measures the whole trajectory suite. It is deliberately small
 // (seconds, not minutes): the snapshot is a smoke-level trajectory, and
 // the go-test benchmarks remain the precision instrument.
@@ -488,6 +525,42 @@ func RunSuite() (*Snapshot, error) {
 		res, err = measure(arm.name, 2, func() (map[string]float64, error) {
 			sseed += 100
 			return streamOp(arm.threshold, sseed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		snap.Suite = append(snap.Suite, res)
+	}
+
+	// Track-predicate queries over a sparse moving-object scene: the
+	// accelerate/refine loop (accel) against its coarse-only triage and
+	// dense-scan bounds. The accel row's dense-x (DenseFrames over frames
+	// actually charged) is the subsystem's acceptance metric; dense runs
+	// the same pipeline at stride 1 and by construction charges every
+	// frame.
+	trackDS, err := exsample.Synthesize(exsample.SynthSpec{
+		NumFrames:    40_000,
+		NumInstances: 8,
+		Class:        "car",
+		MeanDuration: 300,
+		ChunkFrames:  1000,
+		Seed:         7,
+		TravelX:      300,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, arm := range []struct {
+		name string
+		opts exsample.TrackOptions
+	}{
+		{"track_query_accel", exsample.TrackOptions{}},
+		{"track_query_coarse", exsample.TrackOptions{CoarseOnly: true}},
+		{"track_query_dense", exsample.TrackOptions{Stride: 1}},
+	} {
+		tseed := uint64(4000)
+		res, err = measure(arm.name, 2, func() (map[string]float64, error) {
+			return trackOp(trackDS, arm.opts, &tseed)
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,121 @@
+package sorttrack
+
+import (
+	"testing"
+
+	"github.com/exsample/exsample/internal/geom"
+	"github.com/exsample/exsample/internal/track"
+)
+
+// TestAssociationGoldenTrace freezes the tracker's exact association
+// behavior on a fixed two-object scene: object A drifts right at 6 px/frame,
+// object B drifts left at the same rate in a separate lane and misses frame
+// 3 (the filter must carry it across the gap), and frame 5 contains a
+// one-frame false positive that MinHits suppresses. The expected tracks —
+// IDs, endpoints, hit counts and full per-frame paths — are exact values;
+// any change to the cost matrix, the Hungarian solve, the gating or the
+// lifecycle shows up here.
+func TestAssociationGoldenTrace(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	det := func(f int64, x, y float64) track.Detection {
+		return track.Detection{Frame: f, Class: "car", Box: geom.Rect(x, y, 40, 30), Score: 0.9, TruthID: -1}
+	}
+	for f := int64(0); f < 8; f++ {
+		var dets []track.Detection
+		dets = append(dets, det(f, 100+6*float64(f), 50))
+		if f != 3 {
+			dets = append(dets, det(f, 400-6*float64(f), 200))
+		}
+		if f == 5 {
+			dets = append(dets, det(f, 700, 400))
+		}
+		if err := tr.Observe(f, dets); err != nil {
+			t.Fatalf("Observe(%d): %v", f, err)
+		}
+	}
+	got := tr.Flush()
+	if len(got) != 2 {
+		t.Fatalf("got %d tracks, want 2 (false positive must be suppressed): %+v", len(got), got)
+	}
+
+	wantA := Track{
+		ID: 0, Class: "car", Start: 0, End: 7, Hits: 8,
+		StartBox: geom.Rect(100, 50, 40, 30),
+		EndBox:   geom.Rect(142, 50, 40, 30),
+	}
+	wantB := Track{
+		ID: 1, Class: "car", Start: 0, End: 7, Hits: 7,
+		StartBox: geom.Rect(400, 200, 40, 30),
+		EndBox:   geom.Rect(358, 200, 40, 30),
+	}
+	checkTrack(t, got[0], wantA)
+	checkTrack(t, got[1], wantB)
+
+	// Full golden paths: A hits every frame, B skips frame 3.
+	wantFramesA := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	wantFramesB := []int64{0, 1, 2, 4, 5, 6, 7}
+	checkPath(t, "A", got[0].Path, wantFramesA, func(f int64) geom.Box { return geom.Rect(100+6*float64(f), 50, 40, 30) })
+	checkPath(t, "B", got[1].Path, wantFramesB, func(f int64) geom.Box { return geom.Rect(400-6*float64(f), 200, 40, 30) })
+}
+
+func checkTrack(t *testing.T, got, want Track) {
+	t.Helper()
+	if got.ID != want.ID || got.Class != want.Class || got.Start != want.Start ||
+		got.End != want.End || got.Hits != want.Hits ||
+		got.StartBox != want.StartBox || got.EndBox != want.EndBox {
+		t.Errorf("track %d: got %+v, want %+v", want.ID, got, want)
+	}
+}
+
+func checkPath(t *testing.T, name string, path []PathPoint, frames []int64, boxAt func(int64) geom.Box) {
+	t.Helper()
+	if len(path) != len(frames) {
+		t.Fatalf("track %s: path has %d points, want %d", name, len(path), len(frames))
+	}
+	for i, f := range frames {
+		if path[i].Frame != f {
+			t.Errorf("track %s point %d: frame %d, want %d", name, i, path[i].Frame, f)
+		}
+		if path[i].Box != boxAt(f) {
+			t.Errorf("track %s point %d: box %+v, want %+v", name, i, path[i].Box, boxAt(f))
+		}
+	}
+}
+
+// TestAssociationCrossingLanes pins the identity-preservation behavior when
+// two same-class objects pass close by: the IoU gate plus Kalman prediction
+// must keep each track on its own object rather than swapping.
+func TestAssociationCrossingLanes(t *testing.T) {
+	tr, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Two objects on parallel lanes 50 px apart moving opposite ways; boxes
+	// are 40 px tall so the lanes never overlap and IoU gating keeps them
+	// separate for the whole pass.
+	for f := int64(0); f < 10; f++ {
+		dets := []track.Detection{
+			{Frame: f, Class: "car", Box: geom.Rect(100+10*float64(f), 100, 40, 40), Score: 0.9, TruthID: -1},
+			{Frame: f, Class: "car", Box: geom.Rect(200-10*float64(f), 150, 40, 40), Score: 0.9, TruthID: -1},
+		}
+		if err := tr.Observe(f, dets); err != nil {
+			t.Fatalf("Observe(%d): %v", f, err)
+		}
+	}
+	tracks := tr.Flush()
+	if len(tracks) != 2 {
+		t.Fatalf("got %d tracks, want 2: %+v", len(tracks), tracks)
+	}
+	if tracks[0].Hits != 10 || tracks[1].Hits != 10 {
+		t.Errorf("tracks fragmented: hits %d and %d, want 10 and 10", tracks[0].Hits, tracks[1].Hits)
+	}
+	if y := tracks[0].EndBox.Y1; y != 100 {
+		t.Errorf("track 0 ended on lane y=%v, want 100 (identity swap?)", y)
+	}
+	if y := tracks[1].EndBox.Y1; y != 150 {
+		t.Errorf("track 1 ended on lane y=%v, want 150 (identity swap?)", y)
+	}
+}

@@ -52,6 +52,12 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// PathPoint is one matched observation along a track.
+type PathPoint struct {
+	Frame int64
+	Box   geom.Box
+}
+
 // Track is one finished object track.
 type Track struct {
 	ID    int
@@ -62,6 +68,11 @@ type Track struct {
 	StartBox, EndBox geom.Box
 	// Hits is the number of matched detections.
 	Hits int
+	// Path lists every matched observation in frame order (raw detection
+	// boxes, not Kalman estimates). Consumers that need a denoised
+	// trajectory — the track-predicate evaluator does — smooth it with
+	// kalman.Smooth.
+	Path []PathPoint
 }
 
 // Duration returns the track's length in frames.
@@ -78,6 +89,7 @@ type liveTrack struct {
 	lastBox   geom.Box
 	hits      int
 	predicted geom.Box
+	path      []PathPoint
 }
 
 // Tracker ingests detections frame by frame and emits finished tracks.
@@ -148,6 +160,7 @@ func (t *Tracker) Observe(frame int64, dets []track.Detection) error {
 			lt.lastHit = frame
 			lt.lastBox = dets[i].Box
 			lt.hits++
+			lt.path = append(lt.path, PathPoint{Frame: frame, Box: dets[i].Box})
 			matchedDet[i] = true
 		}
 	}
@@ -170,6 +183,7 @@ func (t *Tracker) Observe(frame int64, dets []track.Detection) error {
 			startBox: det.Box,
 			lastBox:  det.Box,
 			hits:     1,
+			path:     []PathPoint{{Frame: frame, Box: det.Box}},
 		})
 		t.nextID++
 	}
@@ -199,6 +213,7 @@ func (t *Tracker) finalize(lt *liveTrack) {
 		StartBox: lt.startBox,
 		EndBox:   lt.lastBox,
 		Hits:     lt.hits,
+		Path:     lt.path,
 	})
 }
 

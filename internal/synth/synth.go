@@ -46,6 +46,15 @@ type GridSpec struct {
 	Class string
 	// Seed drives generation.
 	Seed uint64
+	// TravelX and TravelY, when either is nonzero, give every instance a
+	// net spatial displacement over its lifetime: the end box is the start
+	// box translated by (TravelX, TravelY) pixels, so an instance visible
+	// for d frames moves at hypot(TravelX, TravelY)/(d-1) pixels per frame.
+	// Both zero keeps the legacy slight drift (40 px in x), preserving the
+	// ground truth of every existing dataset profile byte for byte. Track-
+	// predicate scenes use these to give speed and direction clauses
+	// something to discriminate on.
+	TravelX, TravelY float64
 }
 
 // DefaultDurationSigma makes a LogNormal whose 2000-sample range is roughly
@@ -119,13 +128,18 @@ func Generate(spec GridSpec) ([]track.Instance, error) {
 				start = 0
 			}
 		}
+		startBox := laneBox(i, 0)
+		endBox := laneBox(i, 1)
+		if spec.TravelX != 0 || spec.TravelY != 0 {
+			endBox = startBox.Translate(spec.TravelX, spec.TravelY)
+		}
 		instances = append(instances, track.Instance{
 			ID:       i,
 			Class:    spec.Class,
 			Start:    start,
 			End:      end,
-			StartBox: laneBox(i, 0),
-			EndBox:   laneBox(i, 1),
+			StartBox: startBox,
+			EndBox:   endBox,
 		})
 	}
 	return instances, nil

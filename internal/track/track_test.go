@@ -209,6 +209,44 @@ func TestSortByStart(t *testing.T) {
 	}
 }
 
+// TestSortByStartTieBreakDeterministic is the regression guard for the
+// equal-start tie-break: sort.Slice is unstable, so without the explicit
+// by-ID tie rule different input permutations (exactly what -shuffle=on
+// produces through map iteration and test ordering upstream) could emit
+// equal-start instances in different orders. Every permutation must yield
+// the one canonical order: by start, then by ID.
+func TestSortByStartTieBreakDeterministic(t *testing.T) {
+	base := []Instance{
+		inst(7, "car", 10, 20),
+		inst(3, "car", 10, 25),
+		inst(5, "car", 10, 22),
+		inst(1, "car", 5, 9),
+		inst(9, "car", 10, 21),
+		inst(2, "car", 30, 40),
+	}
+	want := []int{1, 3, 5, 7, 9, 2}
+	// Rotate through every cyclic permutation of the input.
+	for shift := 0; shift < len(base); shift++ {
+		in := make([]Instance, 0, len(base))
+		in = append(in, base[shift:]...)
+		in = append(in, base[:shift]...)
+		SortByStart(in)
+		for i, id := range want {
+			if in[i].ID != id {
+				t.Fatalf("shift %d: position %d has ID %d, want %d (full order %+v)", shift, i, in[i].ID, id, ids(in))
+			}
+		}
+	}
+}
+
+func ids(in []Instance) []int {
+	out := make([]int, len(in))
+	for i := range in {
+		out[i] = in[i].ID
+	}
+	return out
+}
+
 func TestAtReusesBuffer(t *testing.T) {
 	idx, err := NewIndex([]Instance{inst(0, "car", 0, 10)}, 100, 0)
 	if err != nil {

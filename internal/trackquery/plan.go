@@ -1,0 +1,362 @@
+package trackquery
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/exsample/exsample/internal/core"
+	"github.com/exsample/exsample/internal/video"
+)
+
+// Phase identifies where a Plan is in its accelerate/refine lifecycle.
+type Phase int
+
+const (
+	// PhaseCoarse: sampling the stride grid, ordered by the chunk sampler.
+	PhaseCoarse Phase = iota
+	// PhaseRefine: densifying the candidate intervals.
+	PhaseRefine
+	// PhaseDone: every interval fully observed.
+	PhaseDone
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseCoarse:
+		return "coarse"
+	case PhaseRefine:
+		return "refine"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Interval is an inclusive candidate frame range to densify and track.
+type Interval struct {
+	Start, End int64
+}
+
+// Len returns the interval's frame count.
+func (iv Interval) Len() int64 { return iv.End - iv.Start + 1 }
+
+// Config parameterizes a Plan.
+type Config struct {
+	// NumFrames is the source's total frame count.
+	NumFrames int64
+	// Chunks are the source chunks eligible for sampling (real-frame
+	// space). For sharded sources this is the active subset frozen at
+	// submit time; candidate intervals are clipped to their coverage, so
+	// refine never reads a frame the snapshot says is unreachable.
+	Chunks []video.Chunk
+	// Stride is the coarse-grid spacing: phase 1 visits frames k*Stride.
+	Stride int64
+	// Pad widens each coarse hit h into the candidate interval
+	// [h-Pad, h+Pad] before merging; it must cover the stride gap (the
+	// root package defaults it to Stride) or objects whose presence spans
+	// a grid point can be truncated.
+	Pad int64
+	// Seed drives the coarse sampler. The final result set is independent
+	// of it — coarse runs to full grid coverage, so ordering affects only
+	// anytime behavior — but it is part of the determinism contract for
+	// intermediate stats.
+	Seed uint64
+	// CoarseOnly skips densification: intervals become ready as soon as
+	// the grid completes, and tracking runs over the stride-spaced
+	// detections alone. Cheap, lower fidelity; the bench suite's
+	// track_query_coarse row measures exactly this mode.
+	CoarseOnly bool
+	// Alpha0/Beta0 are the sampler prior (0 = paper defaults).
+	Alpha0, Beta0 float64
+}
+
+// Plan is the track query's frame-picking state machine — the analogue of
+// core.Sampler for the accelerate/refine loop. It is not goroutine-safe;
+// the engine drives it from the scheduler goroutine only.
+//
+// Phase 1 issues the coarse grid in sampler order; Observe feeds per-frame
+// hit/miss back into the chunk beliefs. When the grid is exhausted the plan
+// merges padded hit neighborhoods into disjoint intervals and phase 2
+// issues each interval's unobserved frames in ascending order. An interval
+// becomes ready — retrievable via TakeReady — once every frame in it has
+// been observed; because the refine queue is ascending and applies happen
+// in issue order, intervals complete in interval order, which is what makes
+// downstream track IDs deterministic across batch sizes.
+type Plan struct {
+	cfg     Config
+	sampler *core.Sampler
+
+	phase         Phase
+	pendingCoarse int
+
+	applied map[int64]bool // frames observed (coarse + refine)
+	hits    []int64        // coarse frames with ≥1 detection
+
+	intervals    []Interval
+	missing      []int // per-interval unobserved frame count
+	totalMissing int
+	refineQueue  []int64
+	refineIdx    int
+	ready        []Interval
+
+	coarseIssued, refineIssued int64
+	coarseHits, refineHits     int64
+}
+
+// NewPlan validates the config and builds the coarse-phase sampler. The
+// coarse grid lives in "coarse index" space: index k stands for frame
+// k*Stride, and each source chunk maps to the index range whose frames it
+// contains, so the chunk beliefs line up one-to-one with the source's
+// sampling arms.
+func NewPlan(cfg Config) (*Plan, error) {
+	if cfg.NumFrames <= 0 {
+		return nil, fmt.Errorf("trackquery: NumFrames %d <= 0", cfg.NumFrames)
+	}
+	if cfg.Stride < 1 {
+		return nil, fmt.Errorf("trackquery: Stride %d < 1", cfg.Stride)
+	}
+	if cfg.Pad < 0 {
+		return nil, fmt.Errorf("trackquery: Pad %d < 0", cfg.Pad)
+	}
+	if len(cfg.Chunks) == 0 {
+		return nil, fmt.Errorf("trackquery: no chunks")
+	}
+	var coarse []video.Chunk
+	for _, c := range cfg.Chunks {
+		if c.Start < 0 || c.End > cfg.NumFrames || c.Len() <= 0 {
+			return nil, fmt.Errorf("trackquery: chunk %d range [%d, %d) invalid for %d frames", c.ID, c.Start, c.End, cfg.NumFrames)
+		}
+		kLo := (c.Start + cfg.Stride - 1) / cfg.Stride
+		kHi := (c.End + cfg.Stride - 1) / cfg.Stride
+		if kHi <= kLo {
+			continue
+		}
+		coarse = append(coarse, video.Chunk{ID: len(coarse), Start: kLo, End: kHi})
+	}
+	if len(coarse) == 0 {
+		return nil, fmt.Errorf("trackquery: stride %d places no grid point inside any chunk", cfg.Stride)
+	}
+	s, err := core.New(coarse, core.Config{
+		Alpha0: cfg.Alpha0,
+		Beta0:  cfg.Beta0,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		cfg:     cfg,
+		sampler: s,
+		applied: make(map[int64]bool),
+	}, nil
+}
+
+// Next returns the next frame to detect. chunk is the coarse sampler arm
+// during phase 1 (echo it back to Observe) and -1 during refine. ok is
+// false when nothing can be issued right now — either the plan is done, or
+// phase 1 has issued its whole grid and is waiting on outstanding observes
+// before it can build intervals.
+func (p *Plan) Next() (frame int64, chunk int, ok bool) {
+	if p.phase == PhaseCoarse {
+		pick, ok := p.sampler.Next()
+		if ok {
+			p.pendingCoarse++
+			p.coarseIssued++
+			return pick.Frame * p.cfg.Stride, pick.Chunk, true
+		}
+		if p.pendingCoarse > 0 {
+			return 0, 0, false // grid issued; intervals wait on observes
+		}
+		p.transition()
+	}
+	if p.phase == PhaseRefine && p.refineIdx < len(p.refineQueue) {
+		f := p.refineQueue[p.refineIdx]
+		p.refineIdx++
+		p.refineIssued++
+		return f, -1, true
+	}
+	return 0, 0, false
+}
+
+// Observe feeds back one detection result: whether the frame contained any
+// detection of the query class. chunk must be the value Next returned with
+// the frame. Frames must be observed exactly once, in any order within a
+// phase; the engine guarantees all of a round's observes land before the
+// next round's Next calls.
+func (p *Plan) Observe(frame int64, chunk int, hit bool) error {
+	if p.applied[frame] {
+		return fmt.Errorf("trackquery: frame %d observed twice", frame)
+	}
+	p.applied[frame] = true
+	if chunk >= 0 {
+		if p.phase != PhaseCoarse {
+			return fmt.Errorf("trackquery: coarse observe for frame %d in phase %v", frame, p.phase)
+		}
+		p.pendingCoarse--
+		d0 := 0
+		if hit {
+			d0 = 1
+			p.coarseHits++
+			p.hits = append(p.hits, frame)
+		}
+		return p.sampler.Update(chunk, d0, 0)
+	}
+	if p.phase != PhaseRefine {
+		return fmt.Errorf("trackquery: refine observe for frame %d in phase %v", frame, p.phase)
+	}
+	if hit {
+		p.refineHits++
+	}
+	i := sort.Search(len(p.intervals), func(i int) bool { return p.intervals[i].End >= frame })
+	if i == len(p.intervals) || frame < p.intervals[i].Start {
+		return fmt.Errorf("trackquery: refine frame %d outside every interval", frame)
+	}
+	p.missing[i]--
+	p.totalMissing--
+	if p.missing[i] == 0 {
+		p.ready = append(p.ready, p.intervals[i])
+	}
+	if p.totalMissing == 0 && p.refineIdx == len(p.refineQueue) {
+		p.phase = PhaseDone
+	}
+	return nil
+}
+
+// transition closes phase 1: merge padded hit neighborhoods, clip them to
+// chunk coverage, and stage the refine queue. Called with zero outstanding
+// coarse observes, so the applied set is the full grid.
+func (p *Plan) transition() {
+	hits := append([]int64(nil), p.hits...)
+	sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+
+	// Merge [h-Pad, h+Pad] neighborhoods (adjacent ranges coalesce).
+	var merged []Interval
+	for _, h := range hits {
+		lo, hi := h-p.cfg.Pad, h+p.cfg.Pad
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > p.cfg.NumFrames-1 {
+			hi = p.cfg.NumFrames - 1
+		}
+		if n := len(merged); n > 0 && lo <= merged[n-1].End+1 {
+			if hi > merged[n-1].End {
+				merged[n-1].End = hi
+			}
+			continue
+		}
+		merged = append(merged, Interval{Start: lo, End: hi})
+	}
+	p.intervals = clipToCoverage(merged, p.cfg.Chunks)
+
+	if p.cfg.CoarseOnly {
+		p.ready = append(p.ready, p.intervals...)
+		p.phase = PhaseDone
+		return
+	}
+
+	p.missing = make([]int, len(p.intervals))
+	for i, iv := range p.intervals {
+		for f := iv.Start; f <= iv.End; f++ {
+			if !p.applied[f] {
+				p.refineQueue = append(p.refineQueue, f)
+				p.missing[i]++
+			}
+		}
+		if p.missing[i] == 0 {
+			p.ready = append(p.ready, iv)
+		}
+	}
+	p.totalMissing = len(p.refineQueue)
+	if p.totalMissing == 0 {
+		p.phase = PhaseDone
+		return
+	}
+	p.phase = PhaseRefine
+}
+
+// clipToCoverage intersects the merged intervals with the union of chunk
+// frame ranges; an interval straddling a coverage hole splits. With full
+// coverage (the common case) this is the identity.
+func clipToCoverage(ivs []Interval, chunks []video.Chunk) []Interval {
+	cov := make([]Interval, 0, len(chunks))
+	for _, c := range chunks {
+		cov = append(cov, Interval{Start: c.Start, End: c.End - 1})
+	}
+	sort.Slice(cov, func(i, j int) bool { return cov[i].Start < cov[j].Start })
+	var mergedCov []Interval
+	for _, c := range cov {
+		if n := len(mergedCov); n > 0 && c.Start <= mergedCov[n-1].End+1 {
+			if c.End > mergedCov[n-1].End {
+				mergedCov[n-1].End = c.End
+			}
+			continue
+		}
+		mergedCov = append(mergedCov, c)
+	}
+	var out []Interval
+	for _, iv := range ivs {
+		for _, c := range mergedCov {
+			lo, hi := iv.Start, iv.End
+			if c.Start > lo {
+				lo = c.Start
+			}
+			if c.End < hi {
+				hi = c.End
+			}
+			if lo <= hi {
+				out = append(out, Interval{Start: lo, End: hi})
+			}
+		}
+	}
+	return out
+}
+
+// TakeReady drains and returns the intervals whose every frame has been
+// observed since the last call, in completion order.
+func (p *Plan) TakeReady() []Interval {
+	r := p.ready
+	p.ready = nil
+	return r
+}
+
+// Phase returns the current phase.
+func (p *Plan) Phase() Phase { return p.phase }
+
+// Done reports whether every interval is fully observed.
+func (p *Plan) Done() bool { return p.phase == PhaseDone }
+
+// MarginalValue estimates the value of the next detector frame, on the
+// same "expected new results per frame" scale the engine's global budget
+// ranks distinct-object queries by: during coarse it is the sampler's best
+// chunk point estimate; during refine it is the hit density carried into
+// the remaining densification work.
+func (p *Plan) MarginalValue() float64 {
+	switch p.phase {
+	case PhaseCoarse:
+		return p.sampler.MaxPointEstimate()
+	case PhaseRefine:
+		a0, b0 := p.cfg.Alpha0, p.cfg.Beta0
+		if a0 == 0 {
+			a0 = core.DefaultAlpha0
+		}
+		if b0 == 0 {
+			b0 = core.DefaultBeta0
+		}
+		return (float64(p.coarseHits+p.refineHits) + a0) / (float64(p.totalMissing) + b0)
+	default:
+		return 0
+	}
+}
+
+// Intervals returns the candidate intervals (valid after phase 1; nil
+// before). Callers must not mutate the slice.
+func (p *Plan) Intervals() []Interval { return p.intervals }
+
+// Stats returns issue/hit counters: coarse frames issued, refine frames
+// issued, coarse hits, refine hits.
+func (p *Plan) Stats() (coarseIssued, refineIssued, coarseHits, refineHits int64) {
+	return p.coarseIssued, p.refineIssued, p.coarseHits, p.refineHits
+}

@@ -1,0 +1,398 @@
+package trackquery
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/exsample/exsample/internal/geom"
+	"github.com/exsample/exsample/internal/sorttrack"
+	"github.com/exsample/exsample/internal/video"
+)
+
+// pathAlong builds a path of 20x20 boxes whose centers move from (x0,y0)
+// stepping (dx,dy) per frame.
+func pathAlong(n int, x0, y0, dx, dy float64) []sorttrack.PathPoint {
+	out := make([]sorttrack.PathPoint, n)
+	for i := 0; i < n; i++ {
+		cx := x0 + dx*float64(i)
+		cy := y0 + dy*float64(i)
+		out[i] = sorttrack.PathPoint{Frame: int64(i), Box: geom.Rect(cx-10, cy-10, 20, 20)}
+	}
+	return out
+}
+
+func mustCompile(t *testing.T, p Predicate) *Evaluator {
+	t.Helper()
+	e, err := Compile(p)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return e
+}
+
+func TestEvaluatorClauses(t *testing.T) {
+	// 10 frames rightward from (50, 100) at 8 px/frame: centers 50..122.
+	right := pathAlong(10, 50, 100, 8, 0)
+	square := func(x1, y1, x2, y2 float64) geom.Polygon {
+		return geom.BoxPolygon(geom.Box{X1: x1, Y1: y1, X2: x2, Y2: y2})
+	}
+	cases := []struct {
+		name string
+		p    Predicate
+		want bool
+	}{
+		{"empty predicate matches", Predicate{}, true},
+		{"min duration ok", Predicate{MinDuration: 10}, true},
+		{"min duration too long", Predicate{MinDuration: 11}, false},
+		{"max duration ok", Predicate{MaxDuration: 10}, true},
+		{"max duration exceeded", Predicate{MaxDuration: 9}, false},
+		{"from contains start", Predicate{From: square(40, 90, 60, 110)}, true},
+		{"from misses start", Predicate{From: square(200, 90, 220, 110)}, false},
+		{"to contains end", Predicate{To: square(110, 90, 130, 110)}, true},
+		{"to misses end", Predicate{To: square(40, 90, 60, 110)}, false},
+		{"visits mid-path", Predicate{Visits: square(80, 95, 90, 105)}, true},
+		{"visits nowhere", Predicate{Visits: square(80, 300, 90, 310)}, false},
+		{"crosses perpendicular line", Predicate{Crosses: &geom.Segment{A: geom.Point{X: 90, Y: 0}, B: geom.Point{X: 90, Y: 200}}}, true},
+		{"crosses line elsewhere", Predicate{Crosses: &geom.Segment{A: geom.Point{X: 300, Y: 0}, B: geom.Point{X: 300, Y: 200}}}, false},
+		{"speed in range", Predicate{MinSpeed: 7, MaxSpeed: 9}, true},
+		{"speed too slow", Predicate{MinSpeed: 9}, false},
+		{"speed too fast", Predicate{MaxSpeed: 7}, false},
+		{"direction rightward", Predicate{HasDirection: true, DirMinDeg: 350, DirMaxDeg: 10}, true},
+		{"direction wrong way", Predicate{HasDirection: true, DirMinDeg: 170, DirMaxDeg: 190}, false},
+		{"conjunction all pass", Predicate{MinDuration: 5, MinSpeed: 7, HasDirection: true, DirMinDeg: 315, DirMaxDeg: 45}, true},
+		{"conjunction one fails", Predicate{MinDuration: 5, MinSpeed: 20, HasDirection: true, DirMinDeg: 315, DirMaxDeg: 45}, false},
+	}
+	for _, c := range cases {
+		if got := mustCompile(t, c.p).Match(right); got != c.want {
+			t.Errorf("%s: Match = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if mustCompile(t, Predicate{}).Match(nil) {
+		t.Error("empty path matched")
+	}
+	// A stationary object has no heading, so any direction clause fails.
+	still := pathAlong(5, 50, 50, 0, 0)
+	if mustCompile(t, Predicate{HasDirection: true, DirMinDeg: 0, DirMaxDeg: 360}).Match(still) {
+		t.Error("stationary path matched a direction clause")
+	}
+	if s := AvgSpeed(still); s != 0 {
+		t.Errorf("stationary speed = %v", s)
+	}
+}
+
+func TestHeadingQuadrants(t *testing.T) {
+	cases := []struct {
+		dx, dy float64
+		want   float64
+	}{{1, 0, 0}, {0, 1, 90}, {-1, 0, 180}, {0, -1, 270}, {1, 1, 45}}
+	for _, c := range cases {
+		h, ok := Heading(pathAlong(2, 0, 0, c.dx, c.dy))
+		if !ok || h != c.want {
+			t.Errorf("Heading(d=%v,%v) = %v ok=%v, want %v", c.dx, c.dy, h, ok, c.want)
+		}
+	}
+}
+
+func TestCompileRejectsInconsistent(t *testing.T) {
+	bad := []Predicate{
+		{From: geom.Polygon{{X: 0, Y: 0}, {X: 1, Y: 1}}},                 // 2 vertices
+		{Visits: geom.Polygon{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}}, // zero area
+		{Crosses: &geom.Segment{A: geom.Point{X: 5, Y: 5}, B: geom.Point{X: 5, Y: 5}}},
+		{MinDuration: 10, MaxDuration: 5},
+		{MinSpeed: 10, MaxSpeed: 5},
+	}
+	for i, p := range bad {
+		if _, err := Compile(p); err == nil {
+			t.Errorf("case %d: degenerate predicate compiled", i)
+		}
+	}
+}
+
+// drive runs a plan to completion against a synthetic hit oracle, pulling
+// batch frames per round to mimic engine batching, and returns the ready
+// intervals in completion order.
+func drive(t *testing.T, p *Plan, batch int, hitAt func(int64) bool) []Interval {
+	t.Helper()
+	var ready []Interval
+	for rounds := 0; rounds < 100000; rounds++ {
+		type iss struct {
+			frame int64
+			chunk int
+		}
+		var issued []iss
+		for len(issued) < batch {
+			f, c, ok := p.Next()
+			if !ok {
+				break
+			}
+			issued = append(issued, iss{f, c})
+		}
+		if len(issued) == 0 {
+			if p.Done() {
+				ready = append(ready, p.TakeReady()...)
+				return ready
+			}
+			t.Fatal("plan stalled: nothing issued but not done")
+		}
+		for _, is := range issued {
+			if err := p.Observe(is.frame, is.chunk, hitAt(is.frame)); err != nil {
+				t.Fatalf("Observe(%d): %v", is.frame, err)
+			}
+		}
+		ready = append(ready, p.TakeReady()...)
+	}
+	t.Fatal("plan did not terminate")
+	return nil
+}
+
+func planCfg(numFrames, stride, pad int64) Config {
+	return Config{
+		NumFrames: numFrames,
+		Chunks:    []video.Chunk{{ID: 0, Start: 0, End: numFrames}},
+		Stride:    stride,
+		Pad:       pad,
+		Seed:      42,
+	}
+}
+
+func TestPlanLocalizesAndDensifies(t *testing.T) {
+	// Object visible on [130, 170] of 400 frames; stride 10, pad 10.
+	hit := func(f int64) bool { return f >= 130 && f <= 170 }
+	p, err := NewPlan(planCfg(400, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := drive(t, p, 4, hit)
+	want := []Interval{{Start: 120, End: 180}}
+	if !reflect.DeepEqual(ready, want) {
+		t.Fatalf("ready = %+v, want %+v", ready, want)
+	}
+	ci, ri, ch, rh := p.Stats()
+	if ci != 40 {
+		t.Errorf("coarse issued %d, want 40 (full grid)", ci)
+	}
+	// Interval has 61 frames, 7 of them already visited on the grid.
+	if ri != 61-7 {
+		t.Errorf("refine issued %d, want %d", ri, 61-7)
+	}
+	if ch != 5 { // grid points 130, 140, 150, 160, 170
+		t.Errorf("coarse hits %d, want 5", ch)
+	}
+	if rh != 41-5 {
+		t.Errorf("refine hits %d, want %d", rh, 41-5)
+	}
+	if total := ci + ri; total >= 400/2 {
+		t.Errorf("processed %d of 400 frames — no acceleration", total)
+	}
+}
+
+func TestPlanIntervalsIndependentOfSeedAndBatch(t *testing.T) {
+	hit := func(f int64) bool {
+		return (f >= 50 && f <= 80) || (f >= 300 && f <= 310) || (f >= 690 && f <= 699)
+	}
+	var base []Interval
+	for i, cfg := range []struct {
+		seed  uint64
+		batch int
+	}{{1, 1}, {1, 17}, {99, 4}, {7, 64}} {
+		c := planCfg(800, 8, 8)
+		c.Seed = cfg.seed
+		p, err := NewPlan(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drive(t, p, cfg.batch, hit)
+		if i == 0 {
+			base = got
+			continue
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("seed=%d batch=%d: intervals %+v != base %+v", cfg.seed, cfg.batch, got, base)
+		}
+	}
+	if len(base) != 3 {
+		t.Fatalf("expected 3 disjoint intervals, got %+v", base)
+	}
+}
+
+func TestPlanCoarseOnly(t *testing.T) {
+	hit := func(f int64) bool { return f >= 100 && f <= 140 }
+	cfg := planCfg(400, 10, 10)
+	cfg.CoarseOnly = true
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := drive(t, p, 8, hit)
+	want := []Interval{{Start: 90, End: 150}}
+	if !reflect.DeepEqual(ready, want) {
+		t.Fatalf("ready = %+v, want %+v", ready, want)
+	}
+	ci, ri, _, _ := p.Stats()
+	if ri != 0 {
+		t.Errorf("coarse-only plan issued %d refine frames", ri)
+	}
+	if ci != 40 {
+		t.Errorf("coarse issued %d, want 40", ci)
+	}
+}
+
+func TestPlanStrideOneIsDense(t *testing.T) {
+	// Stride 1: the grid is every frame, so refine has nothing to add and
+	// the plan completes with zero refine issues.
+	hit := func(f int64) bool { return f == 25 }
+	p, err := NewPlan(planCfg(60, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := drive(t, p, 16, hit)
+	want := []Interval{{Start: 22, End: 28}}
+	if !reflect.DeepEqual(ready, want) {
+		t.Fatalf("ready = %+v, want %+v", ready, want)
+	}
+	ci, ri, _, _ := p.Stats()
+	if ci != 60 || ri != 0 {
+		t.Errorf("issued coarse=%d refine=%d, want 60, 0", ci, ri)
+	}
+}
+
+func TestPlanNoHitsFinishesEmpty(t *testing.T) {
+	p, err := NewPlan(planCfg(200, 16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := drive(t, p, 8, func(int64) bool { return false })
+	if len(ready) != 0 {
+		t.Fatalf("ready = %+v, want none", ready)
+	}
+	if !p.Done() {
+		t.Error("plan not done")
+	}
+	if v := p.MarginalValue(); v != 0 {
+		t.Errorf("done marginal value = %v", v)
+	}
+}
+
+func TestPlanClipsToChunkCoverage(t *testing.T) {
+	// Coverage has a hole [40, 60); a hit at 38 with a wide pad must split
+	// around it and never issue frames inside the hole.
+	cfg := Config{
+		NumFrames: 100,
+		Chunks: []video.Chunk{
+			{ID: 0, Start: 0, End: 40},
+			{ID: 1, Start: 60, End: 100},
+		},
+		Stride: 4,
+		Pad:    30,
+		Seed:   3,
+	}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issued := map[int64]bool{}
+	hit := func(f int64) bool {
+		if f >= 40 && f < 60 {
+			t.Fatalf("issued frame %d inside the coverage hole", f)
+		}
+		issued[f] = true
+		return f == 36
+	}
+	ready := drive(t, p, 8, hit)
+	want := []Interval{{Start: 6, End: 39}, {Start: 60, End: 66}}
+	if !reflect.DeepEqual(ready, want) {
+		t.Fatalf("ready = %+v, want %+v", ready, want)
+	}
+}
+
+func TestPlanWaitsForOutstandingCoarse(t *testing.T) {
+	p, err := NewPlan(planCfg(40, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Issue the whole grid (4 frames) without observing.
+	var frames []int64
+	var chunks []int
+	for {
+		f, c, ok := p.Next()
+		if !ok {
+			break
+		}
+		frames = append(frames, f)
+		chunks = append(chunks, c)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("issued %d coarse frames, want 4", len(frames))
+	}
+	if p.Phase() != PhaseCoarse {
+		t.Fatalf("phase = %v with observes outstanding", p.Phase())
+	}
+	for i, f := range frames {
+		if _, _, ok := p.Next(); ok {
+			t.Fatal("Next issued with observes outstanding")
+		}
+		if err := p.Observe(f, chunks[i], f == 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All observed: next call transitions to refine.
+	f, c, ok := p.Next()
+	if !ok || c != -1 {
+		t.Fatalf("Next after transition = (%d, %d, %v)", f, c, ok)
+	}
+	if p.Phase() != PhaseRefine {
+		t.Fatalf("phase = %v, want refine", p.Phase())
+	}
+}
+
+func TestPlanObserveErrors(t *testing.T) {
+	p, err := NewPlan(planCfg(40, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, c, ok := p.Next()
+	if !ok {
+		t.Fatal("no first pick")
+	}
+	if err := p.Observe(f, c, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(f, c, false); err == nil {
+		t.Error("double observe accepted")
+	}
+	if err := p.Observe(999, -1, false); err == nil {
+		t.Error("refine observe in coarse phase accepted")
+	}
+}
+
+func TestPlanMarginalValueDecays(t *testing.T) {
+	hit := func(f int64) bool { return f >= 100 && f <= 120 }
+	p, err := NewPlan(planCfg(400, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p.MarginalValue(); v <= 0 {
+		t.Errorf("initial marginal value %v, want > 0 (prior optimism)", v)
+	}
+	drive(t, p, 4, hit)
+	if v := p.MarginalValue(); v != 0 {
+		t.Errorf("final marginal value %v, want 0", v)
+	}
+}
+
+func TestNewPlanRejectsBadConfig(t *testing.T) {
+	good := planCfg(100, 10, 10)
+	for name, mutate := range map[string]func(*Config){
+		"zero frames":    func(c *Config) { c.NumFrames = 0 },
+		"zero stride":    func(c *Config) { c.Stride = 0 },
+		"negative pad":   func(c *Config) { c.Pad = -1 },
+		"no chunks":      func(c *Config) { c.Chunks = nil },
+		"chunk past end": func(c *Config) { c.Chunks = []video.Chunk{{ID: 0, Start: 0, End: 500}} },
+	} {
+		c := good
+		mutate(&c)
+		if _, err := NewPlan(c); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

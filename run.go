@@ -688,11 +688,19 @@ func (r *queryRun) detectBatch(ctx context.Context, frames []int64) ([]frameResu
 // scratch (nil allocates fresh buffers). The returned slice aliases the
 // scratch and is valid until the scratch's next use.
 func (r *queryRun) detectBatchInto(ctx context.Context, frames []int64, scr *detectScratch) ([]frameResult, error) {
+	return detectFrames(ctx, r.detector, r.memo, r.src.id, r.query.Class, frames, scr)
+}
+
+// detectFrames is the memo-aware batched detect shared by every run type
+// (distinct-object queryRun and trackRun): cache hits resolve locally and
+// only the misses — as one subsequence, in order — reach the backend in a
+// single DetectBatch call. Safe for concurrent calls with disjoint scratches.
+func detectFrames(ctx context.Context, detector detect.BatchDetector, memo *cache.Cache, srcID uint64, class string, frames []int64, scr *detectScratch) ([]frameResult, error) {
 	out := scr.results(len(frames))
-	if r.memo == nil {
+	if memo == nil {
 		// Fast path for uncached runs: the whole batch is one detector
 		// call, no index indirection.
-		outs, err := r.detector.DetectBatch(ctx, frames)
+		outs, err := detector.DetectBatch(ctx, frames)
 		if err != nil {
 			return nil, err
 		}
@@ -709,8 +717,8 @@ func (r *queryRun) detectBatchInto(ctx context.Context, frames []int64, scr *det
 		missIdx = scr.missIdx[:0]
 	}
 	for i, frame := range frames {
-		key := cache.Key{Source: r.src.id, Class: r.query.Class, Frame: frame}
-		if dets, ok := r.memo.Get(key); ok {
+		key := cache.Key{Source: srcID, Class: class, Frame: frame}
+		if dets, ok := memo.Get(key); ok {
 			out[i] = frameResult{dets: dets, cached: true}
 		} else {
 			missIdx = append(missIdx, i)
@@ -734,7 +742,7 @@ func (r *queryRun) detectBatchInto(ctx context.Context, frames []int64, scr *det
 	if scr != nil {
 		scr.miss = miss
 	}
-	outs, err := r.detector.DetectBatch(ctx, miss)
+	outs, err := detector.DetectBatch(ctx, miss)
 	if err != nil {
 		return nil, err
 	}
@@ -743,7 +751,7 @@ func (r *queryRun) detectBatchInto(ctx context.Context, frames []int64, scr *det
 	}
 	for k, i := range missIdx {
 		out[i] = frameResult{dets: outs[k].Dets, cost: outs[k].Cost}
-		r.memo.Put(cache.Key{Source: r.src.id, Class: r.query.Class, Frame: frames[i]}, outs[k].Dets)
+		memo.Put(cache.Key{Source: srcID, Class: class, Frame: frames[i]}, outs[k].Dets)
 	}
 	return out, nil
 }

@@ -1,0 +1,416 @@
+package exsample
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/exsample/exsample/internal/cache"
+	"github.com/exsample/exsample/internal/core"
+	"github.com/exsample/exsample/internal/detect"
+	"github.com/exsample/exsample/internal/geom"
+	"github.com/exsample/exsample/internal/kalman"
+	"github.com/exsample/exsample/internal/sorttrack"
+	"github.com/exsample/exsample/internal/track"
+	"github.com/exsample/exsample/internal/trackquery"
+	"github.com/exsample/exsample/internal/video"
+)
+
+// trackRun is the step state machine behind TrackSearch and
+// Engine.SubmitTrack — the track-query sibling of queryRun, built around
+// internal/trackquery's accelerate/refine plan instead of the distinct-
+// object sampler. The same next/detect/apply discipline holds: only apply
+// mutates state and must run in pick order on one goroutine; detect calls
+// may fan out across workers between a round's picks and its applies.
+//
+// Determinism: the coarse phase always runs its stride grid to completion,
+// so the hit set — and therefore the candidate intervals, the refine
+// schedule, the per-interval tracker inputs and the emitted TrackResults —
+// is a pure function of (source contents, predicate, options), independent
+// of the sampler seed, the engine's round size and worker count, and the
+// shard layout (a ShardedSource presents the same global frame space as
+// the equivalent Dataset).
+type trackRun struct {
+	src      *querySource
+	pred     TrackPredicate
+	eval     *trackquery.Evaluator
+	opts     TrackOptions
+	detector detect.BatchDetector
+	memo     *cache.Cache
+	plan     *trackquery.Plan
+	stride   int64
+	trkCfg   sorttrack.Config
+
+	// store holds every processed frame's detections until the interval
+	// containing the frame is assembled (coarse frames outside every
+	// interval stay until the run ends — the grid is small by design).
+	store map[int64][]track.Detection
+
+	rep            *TrackReport
+	intervalsNoted bool
+	err            error
+
+	// emits queues per-interval result batches for the event stream.
+	// Intervals can complete both from apply (a refine observation) and
+	// from next (the coarse→refine transition readies intervals the
+	// coarse grid already covered — all of them in dense or CoarseOnly
+	// mode), so emission is buffered here and drained by the driver.
+	emits []trackEmit
+
+	// seq is the scratch behind detectOne for the sequential driver.
+	seq detectScratch
+	one [1]int64
+}
+
+// newTrackRun validates the predicate and options and builds the full
+// track-query pipeline over a Source. For elastic sources the topology is
+// frozen at submit: the plan samples the shards active right now, and
+// later attach/drain events do not move a running track query (candidate
+// intervals are clipped to the frozen coverage, so refine never touches a
+// frame the snapshot cannot reach).
+func newTrackRun(s Source, p TrackPredicate, o TrackOptions, memo *cache.Cache) (*trackRun, error) {
+	if s == nil {
+		return nil, fmt.Errorf("exsample: nil Source (open a Dataset or compose a ShardedSource first)")
+	}
+	src := s.querySource()
+	if src == nil {
+		return nil, fmt.Errorf("exsample: uninitialized Source — construct it with OpenProfile, Synthesize or NewShardedSource, not as a zero value")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	eval, err := trackquery.Compile(p.lower())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := src.groundTruth(p.Class); err != nil {
+		return nil, err
+	}
+	chunks := src.chunks
+	numFrames := src.numFrames
+	if src.topology != nil {
+		snap := src.topology()
+		if snap.NumActive() == 0 {
+			return nil, fmt.Errorf("exsample: source %q: %w (every shard is draining or gated; attach one with AddShard first)", src.name, ErrNoActiveShards)
+		}
+		numFrames = snap.Map.NumFrames()
+		all := snap.Map.Chunks()
+		chunks = make([]video.Chunk, 0, len(all))
+		for j, c := range all {
+			if snap.ChunkActive(j) {
+				chunks = append(chunks, c)
+			}
+		}
+	}
+	detector, err := src.newDetector(p.Class)
+	if err != nil {
+		return nil, err
+	}
+	if memo != nil && !src.cacheable {
+		memo = nil
+	}
+	stride := o.strideFor(p)
+	pad := o.Pad
+	if pad == 0 {
+		pad = stride
+	}
+	plan, err := trackquery.NewPlan(trackquery.Config{
+		NumFrames:  numFrames,
+		Chunks:     chunks,
+		Stride:     stride,
+		Pad:        pad,
+		Seed:       o.Seed,
+		CoarseOnly: o.CoarseOnly,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trkCfg := sorttrack.Config{IoUThreshold: 0.3, MaxAge: 3, MinHits: 2}
+	if o.IoUThreshold > 0 {
+		trkCfg.IoUThreshold = o.IoUThreshold
+	}
+	if o.MaxAge > 0 {
+		trkCfg.MaxAge = o.MaxAge
+	}
+	if o.MinHits > 0 {
+		trkCfg.MinHits = o.MinHits
+	}
+	if o.CoarseOnly {
+		// Consecutive observations are a stride apart, so age in grid
+		// steps: a track may miss MaxAge grid points before finalizing.
+		trkCfg.MaxAge *= stride
+	}
+	var dense int64
+	for _, c := range chunks {
+		dense += c.Len()
+	}
+	return &trackRun{
+		src:      src,
+		pred:     p,
+		eval:     eval,
+		opts:     o,
+		detector: detector,
+		memo:     memo,
+		plan:     plan,
+		stride:   stride,
+		trkCfg:   trkCfg,
+		store:    make(map[int64][]track.Detection),
+		rep:      &TrackReport{Predicate: p, DenseFrames: dense},
+	}, nil
+}
+
+// trackEmit is one queued interval-completion event: the tracks an
+// interval matched, stamped with its last frame.
+type trackEmit struct {
+	frame  int64
+	chunk  int
+	tracks []TrackResult
+}
+
+// next draws the next frame from the plan. Chunk is the coarse sampler arm
+// during phase 1 and -1 during refine. ok is false when the plan has
+// nothing to issue — terminal once done() holds, transient while a round's
+// coarse observes are outstanding. next runs on the same goroutine as
+// apply (the scheduler's, or the sequential driver's), so it may drain
+// intervals the plan transition just readied.
+func (r *trackRun) next() (core.Pick, bool) {
+	if r.err != nil || r.done() {
+		return core.Pick{}, false
+	}
+	f, c, ok := r.plan.Next()
+	// Next may have run the coarse→refine transition, readying every
+	// interval the coarse grid already covered; assemble them now or
+	// they would never surface (in dense and CoarseOnly runs that is
+	// the entire result set).
+	if err := r.drain(); err != nil {
+		return core.Pick{}, false
+	}
+	if !ok || r.done() {
+		return core.Pick{}, false
+	}
+	return core.Pick{Frame: f, Chunk: c}, true
+}
+
+// takeEmits hands the queued interval-completion batches to the driver
+// and resets the queue.
+func (r *trackRun) takeEmits() []trackEmit {
+	out := r.emits
+	r.emits = nil
+	return out
+}
+
+// marginalValue exposes the plan's expected-value estimate to the engine's
+// global budget planner, on the same scale distinct-object queries use.
+func (r *trackRun) marginalValue() float64 {
+	if r.err != nil || r.done() {
+		return 0
+	}
+	return r.plan.MarginalValue()
+}
+
+// detectBatchInto runs the memo-aware batched detector; see detectFrames.
+func (r *trackRun) detectBatchInto(ctx context.Context, frames []int64, scr *detectScratch) ([]frameResult, error) {
+	return detectFrames(ctx, r.detector, r.memo, r.src.id, r.pred.Class, frames, scr)
+}
+
+// detectOne is detectBatchInto for a single frame through the sequential
+// scratch.
+func (r *trackRun) detectOne(ctx context.Context, frame int64) (frameResult, error) {
+	r.one[0] = frame
+	res, err := r.detectBatchInto(ctx, r.one[:], &r.seq)
+	if err != nil {
+		return frameResult{}, err
+	}
+	return res[0], nil
+}
+
+// apply charges the frame's costs, records its detections, feeds the plan,
+// and assembles any interval the observation completed (matching tracks
+// land on the emit queue). Must be called in pick order from one
+// goroutine.
+func (r *trackRun) apply(p core.Pick, fr frameResult) error {
+	if r.err != nil {
+		return r.err
+	}
+	rep := r.rep
+	rep.DecodeSeconds += r.src.decodeCost(p.Frame)
+	rep.DetectSeconds += fr.cost
+	if r.memo != nil {
+		if fr.cached {
+			rep.CacheHits++
+		} else {
+			rep.CacheMisses++
+		}
+	}
+	rep.FramesProcessed++
+	if p.Chunk >= 0 {
+		rep.CoarseFrames++
+	} else {
+		rep.RefineFrames++
+	}
+	r.store[p.Frame] = fr.dets
+	if err := r.plan.Observe(p.Frame, p.Chunk, len(fr.dets) > 0); err != nil {
+		r.err = err
+		return err
+	}
+	return r.drain()
+}
+
+// drain records the interval set once the plan leaves the coarse phase and
+// assembles every interval that became ready, queueing matched tracks for
+// emission. Runs from apply and from next — both on the driver's apply
+// goroutine.
+func (r *trackRun) drain() error {
+	if r.err != nil {
+		return r.err
+	}
+	if !r.intervalsNoted && r.plan.Phase() != trackquery.PhaseCoarse {
+		r.intervalsNoted = true
+		ivs := r.plan.Intervals()
+		r.rep.Intervals = len(ivs)
+		for _, iv := range ivs {
+			r.rep.IntervalFrames += iv.Len()
+		}
+	}
+	for _, iv := range r.plan.TakeReady() {
+		res, err := r.assemble(iv)
+		if err != nil {
+			r.err = err
+			return err
+		}
+		if len(res) > 0 {
+			r.emits = append(r.emits, trackEmit{frame: iv.End, chunk: -1, tracks: res})
+		}
+	}
+	return nil
+}
+
+// assemble runs the tracker over one completed interval's stored
+// detections, smooths each track, evaluates the predicate and emits the
+// matches. Interval frames are released from the store afterwards.
+func (r *trackRun) assemble(iv trackquery.Interval) ([]TrackResult, error) {
+	defer func() {
+		for f := iv.Start; f <= iv.End; f++ {
+			delete(r.store, f)
+		}
+	}()
+	if r.opts.Limit > 0 && len(r.rep.Results) >= r.opts.Limit {
+		return nil, nil
+	}
+	tr, err := sorttrack.New(r.trkCfg)
+	if err != nil {
+		return nil, err
+	}
+	for f := iv.Start; f <= iv.End; f++ {
+		dets, ok := r.store[f]
+		if !ok {
+			// CoarseOnly mode: only grid frames were processed.
+			continue
+		}
+		// Processed frames with no detections still age live tracks —
+		// a confirmed absence separates two objects sharing a lane.
+		if err := tr.Observe(f, dets); err != nil {
+			return nil, err
+		}
+	}
+	var out []TrackResult
+	for _, t := range tr.Flush() {
+		if r.opts.Limit > 0 && len(r.rep.Results) >= r.opts.Limit {
+			break
+		}
+		frames := make([]int64, len(t.Path))
+		boxes := make([]geom.Box, len(t.Path))
+		for i, pp := range t.Path {
+			frames[i] = pp.Frame
+			boxes[i] = pp.Box
+		}
+		sm, err := kalman.Smooth(frames, boxes, r.opts.SmoothQ, r.opts.SmoothR)
+		if err != nil {
+			return nil, err
+		}
+		smPath := make([]sorttrack.PathPoint, len(sm))
+		for i := range sm {
+			smPath[i] = sorttrack.PathPoint{Frame: frames[i], Box: sm[i]}
+		}
+		if !r.eval.Match(smPath) {
+			continue
+		}
+		first, last := sm[0], sm[len(sm)-1]
+		res := TrackResult{
+			TrackID:  len(r.rep.Results),
+			Class:    r.pred.Class,
+			Start:    t.Start,
+			End:      t.End,
+			StartBox: Box{X1: first.X1, Y1: first.Y1, X2: first.X2, Y2: first.Y2},
+			EndBox:   Box{X1: last.X1, Y1: last.Y1, X2: last.X2, Y2: last.Y2},
+			Hits:     t.Hits,
+			AvgSpeed: trackquery.AvgSpeed(smPath),
+		}
+		r.rep.Results = append(r.rep.Results, res)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// done is the track query's stopping condition: the plan finished, the
+// result limit was reached, or an explicit frame/time budget is spent.
+func (r *trackRun) done() bool {
+	if r.opts.Limit > 0 && len(r.rep.Results) >= r.opts.Limit {
+		return true
+	}
+	if r.plan.Done() {
+		return true
+	}
+	if r.opts.MaxFrames > 0 && r.rep.FramesProcessed >= r.opts.MaxFrames {
+		return true
+	}
+	if r.opts.MaxSeconds > 0 && r.rep.TotalSeconds() >= r.opts.MaxSeconds {
+		return true
+	}
+	return false
+}
+
+// TrackSearch runs a track-predicate query against a source — a local
+// Dataset or a ShardedSource — and returns its report. It is the
+// sequential driver over the same trackRun step machine Engine.SubmitTrack
+// schedules concurrently, so both produce identical Results for the same
+// predicate and options.
+//
+// The query runs the MIRIS-style accelerate/refine loop: phase 1 samples
+// the repository at a coarse stride (ordered by the adaptive chunk sampler,
+// so detector frames flow to chunks where the class actually appears) to
+// localize candidate intervals, phase 2 densifies only those intervals and
+// evaluates the predicate over the smoothed tracks found there. On sparse
+// scenes this charges a small fraction of a dense scan's detector frames —
+// TrackReport.Speedup reports the realized ratio.
+func TrackSearch(src Source, p TrackPredicate, o TrackOptions) (*TrackReport, error) {
+	run, err := newTrackRun(src, p, o, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	for !run.done() {
+		pick, ok := run.next()
+		if !ok {
+			break
+		}
+		fr, err := run.detectOne(ctx, pick.Frame)
+		if err != nil {
+			return run.rep, err
+		}
+		if err := run.apply(pick, fr); err != nil {
+			return run.rep, err
+		}
+		run.emits = nil // no event stream to feed
+	}
+	run.emits = nil
+	return run.rep, run.err
+}
+
+// TrackSearch runs a track-predicate query against this dataset; see the
+// package-level TrackSearch.
+func (d *Dataset) TrackSearch(p TrackPredicate, o TrackOptions) (*TrackReport, error) {
+	return TrackSearch(d, p, o)
+}
