@@ -14,7 +14,7 @@ import (
 func TestDetectBatchMemoHitAllocFree(t *testing.T) {
 	ds := smallDataset(t, WithPerfectDetector())
 	memo := cache.New(1 << 12)
-	run, err := newQueryRun(ds, Query{Class: "car", Limit: 10}, Options{Seed: 3}, memo, false)
+	run, err := newQueryRun(ds, Query{Class: "car", Limit: 10}, Options{Seed: 3}, cacheConfig{memo: memo}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestDetectBatchMemoHitAllocFree(t *testing.T) {
 func TestDetectOneScratchReuse(t *testing.T) {
 	ds := smallDataset(t, WithPerfectDetector())
 	memo := cache.New(1 << 12)
-	run, err := newQueryRun(ds, Query{Class: "car", Limit: 10}, Options{Seed: 3}, memo, false)
+	run, err := newQueryRun(ds, Query{Class: "car", Limit: 10}, Options{Seed: 3}, cacheConfig{memo: memo}, false)
 	if err != nil {
 		t.Fatal(err)
 	}

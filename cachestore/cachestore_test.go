@@ -1,0 +1,484 @@
+package cachestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/exsample/exsample/backend"
+)
+
+func det(frame int64, score float64) backend.Detection {
+	return backend.Detection{
+		Frame: frame,
+		Class: "car",
+		Box:   backend.Box{X1: 1, Y1: 2, X2: 3, Y2: 4},
+		Score: score,
+	}
+}
+
+// TestKeyEncodeDecode: Encode and DecodeKey are exact inverses over
+// representative keys, including classes containing the separator.
+func TestKeyEncodeDecode(t *testing.T) {
+	keys := []Key{
+		{},
+		{Content: 1, Class: "car", Frame: 0},
+		{Content: ^uint64(0), Class: "person", Frame: 1<<63 - 1},
+		{Content: 0xdeadbeef, Class: "a:b:c", Frame: 7},
+		{Content: 42, Class: "", Frame: 123456},
+		{Content: 42, Class: "with space\tand\nnewline", Frame: 1},
+	}
+	for _, k := range keys {
+		s := k.Encode()
+		got, err := DecodeKey(s)
+		if err != nil {
+			t.Fatalf("DecodeKey(%q): %v", s, err)
+		}
+		if got != k {
+			t.Fatalf("round trip %q: got %+v want %+v", s, got, k)
+		}
+	}
+	// Canonical form is stable.
+	s := Key{Content: 0xabc, Class: "car", Frame: 9}.Encode()
+	if want := "v1:0000000000000abc:9:car"; s != want {
+		t.Fatalf("Encode = %q, want %q", s, want)
+	}
+}
+
+// TestDecodeKeyRejects: every malformed shape is an error, not a mangled
+// key — remote stores must never hold aliased or misparsed entries.
+func TestDecodeKeyRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"v1",
+		"v1:0000000000000abc:9", // missing class field entirely
+		"v2:0000000000000abc:9:car",
+		"v1:abc:9:car",               // short hex
+		"v1:0000000000000ABC:9:car",  // uppercase hex
+		"v1:000000000000zabc:9:car",  // non-hex
+		"v1:0000000000000abc:-1:car", // negative frame
+		"v1:0000000000000abc:+9:car", // non-canonical frame
+		"v1:0000000000000abc:09:car", // non-canonical frame
+		"v1:0000000000000abc::car",   // empty frame
+		"v1:0000000000000abc:9.5:car",
+	}
+	for _, s := range bad {
+		if _, err := DecodeKey(s); err == nil {
+			t.Errorf("DecodeKey(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// TestLocalStore: PutBatch/GetBatch round-trip through the internal cache,
+// distinguishing memoized-empty from absent, and CountRange sees entries.
+func TestLocalStore(t *testing.T) {
+	l := NewLocal(1024)
+	ctx := context.Background()
+	keys := []Key{
+		{Content: 7, Class: "car", Frame: 10},
+		{Content: 7, Class: "car", Frame: 20},
+	}
+	vals := [][]backend.Detection{{det(10, 0.9)}, nil} // nil = memoized empty
+	if err := l.PutBatch(ctx, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.GetBatch(ctx, append(keys, Key{Content: 7, Class: "car", Frame: 30}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Found || len(got[0].Dets) != 1 || got[0].Dets[0].Score != 0.9 {
+		t.Fatalf("entry 0 = %+v, want found with one detection", got[0])
+	}
+	if !got[1].Found || got[1].Dets != nil {
+		t.Fatalf("entry 1 = %+v, want memoized empty (found, no dets)", got[1])
+	}
+	if got[2].Found {
+		t.Fatalf("entry 2 = %+v, want absent", got[2])
+	}
+	if n := l.CountRange(7, "car", 0, 100); n < 2 {
+		t.Fatalf("CountRange = %d, want >= 2", n)
+	}
+	if n := l.CountRange(8, "car", 0, 100); n != 0 {
+		t.Fatalf("CountRange wrong content = %d, want 0", n)
+	}
+}
+
+// TestLocalForcesKeyFrame: a stored detection's Frame is the key's frame,
+// whatever a confused remote payload claimed — misrouted entries cannot
+// leak detections onto the wrong frame.
+func TestLocalForcesKeyFrame(t *testing.T) {
+	l := NewLocal(16)
+	ctx := context.Background()
+	k := Key{Content: 1, Class: "car", Frame: 50}
+	if err := l.PutBatch(ctx, []Key{k}, [][]backend.Detection{{det(999, 0.5)}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.GetBatch(ctx, []Key{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Found || got[0].Dets[0].Frame != 50 {
+		t.Fatalf("got %+v, want detection pinned to frame 50", got[0])
+	}
+}
+
+// fillFromMap is a test fill that serves from a fixed map and counts calls
+// per key.
+type fillCounter struct {
+	mu    sync.Mutex
+	calls map[Key]int
+}
+
+func (fc *fillCounter) fill(keys []Key) FillFunc {
+	return func(_ context.Context, miss []int) ([][]backend.Detection, []float64, error) {
+		fc.mu.Lock()
+		if fc.calls == nil {
+			fc.calls = make(map[Key]int)
+		}
+		for _, i := range miss {
+			fc.calls[keys[i]]++
+		}
+		fc.mu.Unlock()
+		dets := make([][]backend.Detection, len(miss))
+		costs := make([]float64, len(miss))
+		for j, i := range miss {
+			dets[j] = []backend.Detection{det(keys[i].Frame, 0.8)}
+			costs[j] = 0.002
+		}
+		return dets, costs, nil
+	}
+}
+
+// TestTieredFetchBatch: cold keys fill (and write through both tiers), a
+// second fetch is all L1, and a fresh L1 over the same L2 hits remotely.
+func TestTieredFetchBatch(t *testing.T) {
+	l2 := NewLocal(1024)
+	tiered := NewTiered(NewLocal(1024), l2)
+	ctx := context.Background()
+	keys := []Key{
+		{Content: 3, Class: "car", Frame: 1},
+		{Content: 3, Class: "car", Frame: 2},
+	}
+	var fc fillCounter
+	out, err := tiered.FetchBatch(ctx, keys, nil, fc.fill(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o.Where != TierDetector || o.Cost != 0.002 || len(o.Dets) != 1 {
+			t.Fatalf("cold outcome %d = %+v, want detector fill", i, o)
+		}
+	}
+	out, err = tiered.FetchBatch(ctx, keys, out, fc.fill(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o.Where != TierL1 || o.Cost != 0 {
+			t.Fatalf("warm outcome %d = %+v, want L1 hit at zero cost", i, o)
+		}
+	}
+	for k, n := range fc.calls {
+		if n != 1 {
+			t.Fatalf("key %v filled %d times, want 1", k, n)
+		}
+	}
+
+	// A second process: fresh L1, same L2.
+	second := NewTiered(NewLocal(1024), l2)
+	var fc2 fillCounter
+	out2, err := second.FetchBatch(ctx, keys, nil, fc2.fill(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out2 {
+		if o.Where != TierL2 || o.Cost != 0 {
+			t.Fatalf("second-user outcome %d = %+v, want L2 hit at zero cost", i, o)
+		}
+	}
+	if len(fc2.calls) != 0 {
+		t.Fatalf("second user paid %d detector calls, want 0", len(fc2.calls))
+	}
+	// And the L2 hits wrote through: third fetch is all L1.
+	out2, err = second.FetchBatch(ctx, keys, out2, fc2.fill(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out2 {
+		if o.Where != TierL1 {
+			t.Fatalf("write-through outcome %d = %+v, want L1 hit", i, o)
+		}
+	}
+	st := second.Stats()
+	if st.L2Hits != 2 || st.L2RoundTrips != 1 || st.Fills != 0 {
+		t.Fatalf("second-user stats = %+v, want 2 L2 hits over 1 round trip, 0 fills", st)
+	}
+	if st.L2RTTSeconds <= 0 {
+		t.Fatalf("L2RTTSeconds = %v, want > 0 after a round trip", st.L2RTTSeconds)
+	}
+}
+
+// errStore fails every call.
+type errStore struct{}
+
+func (errStore) GetBatch(context.Context, []Key) ([]Entry, error) {
+	return nil, errors.New("remote down")
+}
+func (errStore) PutBatch(context.Context, []Key, [][]backend.Detection) error {
+	return errors.New("remote down")
+}
+
+// TestTieredL2Degrades: a failing remote counts errors but the fetch still
+// succeeds through the fill, and write-through failures are dropped.
+func TestTieredL2Degrades(t *testing.T) {
+	tiered := NewTiered(NewLocal(64), errStore{})
+	ctx := context.Background()
+	keys := []Key{{Content: 9, Class: "car", Frame: 4}}
+	var fc fillCounter
+	out, err := tiered.FetchBatch(ctx, keys, nil, fc.fill(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Where != TierDetector {
+		t.Fatalf("outcome = %+v, want detector fill despite remote outage", out[0])
+	}
+	st := tiered.Stats()
+	if st.L2Errors != 1 || st.L2PutErrors != 1 {
+		t.Fatalf("stats = %+v, want one read error and one dropped put", st)
+	}
+	if _, err := tiered.Warm(ctx, keys); err == nil {
+		t.Fatal("Warm against a down remote succeeded, want error")
+	}
+}
+
+// TestTieredWarm: Warm copies exactly the remotely present keys into L1 and
+// reports the count; a later fetch is all L1 with zero fills.
+func TestTieredWarm(t *testing.T) {
+	l2 := NewLocal(1024)
+	ctx := context.Background()
+	present := []Key{{Content: 5, Class: "car", Frame: 0}, {Content: 5, Class: "car", Frame: 1}}
+	if err := l2.PutBatch(ctx, present, [][]backend.Detection{{det(0, 0.7)}, nil}); err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(NewLocal(1024), l2)
+	probe := append(append([]Key{}, present...), Key{Content: 5, Class: "car", Frame: 2})
+	n, err := tiered.Warm(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Warm = %d, want 2", n)
+	}
+	var fc fillCounter
+	out, err := tiered.FetchBatch(ctx, present, nil, fc.fill(present))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o.Where != TierL1 {
+			t.Fatalf("post-warm outcome %d = %+v, want L1", i, o)
+		}
+	}
+	if len(fc.calls) != 0 {
+		t.Fatalf("post-warm fetch paid %d fills, want 0", len(fc.calls))
+	}
+	if st := tiered.Stats(); st.Warmed != 2 {
+		t.Fatalf("Warmed = %d, want 2", st.Warmed)
+	}
+}
+
+// TestTieredStoreInterface: Tiered's own GetBatch/PutBatch fan across tiers
+// so tiered stores nest (a Tiered can be a cache server's backing store).
+func TestTieredStoreInterface(t *testing.T) {
+	l2 := NewLocal(64)
+	tiered := NewTiered(NewLocal(64), l2)
+	ctx := context.Background()
+	keys := []Key{{Content: 11, Class: "bus", Frame: 3}}
+	if err := tiered.PutBatch(ctx, keys, [][]backend.Detection{{det(3, 0.6)}}); err != nil {
+		t.Fatal(err)
+	}
+	// Both tiers hold it.
+	for name, s := range map[string]Store{"tiered": tiered, "l2": l2} {
+		got, err := s.GetBatch(ctx, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[0].Found {
+			t.Fatalf("%s missing entry after PutBatch", name)
+		}
+	}
+	// A fresh L1 resolves through L2 via the Store interface too.
+	second := NewTiered(NewLocal(64), l2)
+	got, err := second.GetBatch(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Found {
+		t.Fatal("nested GetBatch missed an L2-resident entry")
+	}
+}
+
+// TestSingleflightExactlyOnce: N concurrent fetches of the same cold keys
+// pay exactly one fill per key — the others merge or hit L1.
+func TestSingleflightExactlyOnce(t *testing.T) {
+	tiered := NewTiered(NewLocal(1024), nil)
+	keys := make([]Key, 16)
+	for i := range keys {
+		keys[i] = Key{Content: 21, Class: "car", Frame: int64(i)}
+	}
+	var fills atomic.Int64
+	gate := make(chan struct{})
+	slowFill := func(_ context.Context, miss []int) ([][]backend.Detection, []float64, error) {
+		<-gate // hold every leader until all goroutines have fetched
+		fills.Add(int64(len(miss)))
+		dets := make([][]backend.Detection, len(miss))
+		costs := make([]float64, len(miss))
+		for j, i := range miss {
+			dets[j] = []backend.Detection{det(keys[i].Frame, 0.8)}
+		}
+		return dets, costs, nil
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	outcomes := make([][]Outcome, callers)
+	errs := make([]error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			started.Done()
+			outcomes[c], errs[c] = tiered.FetchBatch(context.Background(), keys, nil, slowFill)
+		}(c)
+	}
+	started.Wait()
+	close(gate)
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		for i, o := range outcomes[c] {
+			if len(o.Dets) != 1 || o.Dets[0].Frame != keys[i].Frame {
+				t.Fatalf("caller %d outcome %d = %+v, want frame %d", c, i, o, keys[i].Frame)
+			}
+		}
+	}
+	if n := fills.Load(); n != int64(len(keys)) {
+		t.Fatalf("fill served %d frames across %d concurrent callers, want exactly %d", n, callers, len(keys))
+	}
+	if st := tiered.Stats(); st.Merges == 0 {
+		t.Fatal("no singleflight merges recorded for concurrent identical fetches")
+	}
+}
+
+// TestSingleflightLeaderCancelled: a leader cancelled mid-fill completes
+// its flights with the error; waiters neither wedge nor inherit it — they
+// re-fill with their own context and succeed.
+func TestSingleflightLeaderCancelled(t *testing.T) {
+	tiered := NewTiered(NewLocal(64), nil)
+	keys := []Key{{Content: 31, Class: "car", Frame: 0}}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := tiered.FetchBatch(leaderCtx, keys, nil,
+			func(ctx context.Context, miss []int) ([][]backend.Detection, []float64, error) {
+				close(leaderIn)
+				<-ctx.Done() // simulate a fill aborted by cancellation
+				return nil, nil, ctx.Err()
+			})
+		leaderErr <- err
+	}()
+	<-leaderIn // the leader's flight is registered and its fill is running
+
+	waiterDone := make(chan error, 1)
+	var waiterOut []Outcome
+	var waiterFills atomic.Int64
+	go func() {
+		out, err := tiered.FetchBatch(context.Background(), keys, nil,
+			func(_ context.Context, miss []int) ([][]backend.Detection, []float64, error) {
+				waiterFills.Add(1)
+				return [][]backend.Detection{{det(0, 0.9)}}, []float64{0.001}, nil
+			})
+		waiterOut = out
+		waiterDone <- err
+	}()
+
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader returned %v, want context.Canceled", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter failed after leader cancellation: %v", err)
+	}
+	if len(waiterOut) != 1 || len(waiterOut[0].Dets) != 1 {
+		t.Fatalf("waiter outcome = %+v, want one filled frame", waiterOut)
+	}
+	if waiterFills.Load() != 1 {
+		t.Fatalf("waiter filled %d times, want exactly 1 retry", waiterFills.Load())
+	}
+	// The protocol left no stranded flight behind.
+	tiered.mu.Lock()
+	stranded := len(tiered.inflight)
+	tiered.mu.Unlock()
+	if stranded != 0 {
+		t.Fatalf("%d flights still registered after completion", stranded)
+	}
+}
+
+// TestFetchBatchFillError: a real fill error (the detector failing)
+// propagates, and the keys stay absent rather than memoized.
+func TestFetchBatchFillError(t *testing.T) {
+	tiered := NewTiered(NewLocal(64), nil)
+	ctx := context.Background()
+	keys := []Key{{Content: 41, Class: "car", Frame: 0}}
+	boom := errors.New("detector down")
+	_, err := tiered.FetchBatch(ctx, keys, nil,
+		func(context.Context, []int) ([][]backend.Detection, []float64, error) {
+			return nil, nil, boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the fill error", err)
+	}
+	got, err := tiered.GetBatch(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Found {
+		t.Fatal("a failed fill memoized an entry")
+	}
+	// Length-mismatched fills are rejected the same way.
+	_, err = tiered.FetchBatch(ctx, keys, nil,
+		func(context.Context, []int) ([][]backend.Detection, []float64, error) {
+			return nil, nil, nil
+		})
+	if err == nil {
+		t.Fatal("length-mismatched fill accepted")
+	}
+}
+
+// TestFetchBatchReusesBuffer: a caller-supplied outcome buffer with enough
+// capacity is reused, not reallocated — the engine's steady state.
+func TestFetchBatchReusesBuffer(t *testing.T) {
+	tiered := NewTiered(NewLocal(64), nil)
+	ctx := context.Background()
+	keys := []Key{{Content: 51, Class: "car", Frame: 0}}
+	var fc fillCounter
+	buf := make([]Outcome, 0, 8)
+	out, err := tiered.FetchBatch(ctx, keys, buf, fc.fill(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("FetchBatch reallocated despite sufficient capacity")
+	}
+	if fmt.Sprintf("%p", out) != fmt.Sprintf("%p", buf[:1]) {
+		t.Fatal("outcome buffer not aliased")
+	}
+}

@@ -1,0 +1,56 @@
+package cachestore
+
+import "testing"
+
+// FuzzKeyRoundTrip pins the wire format both ways: every Key encodes to a
+// string that decodes back to itself, and every string DecodeKey accepts
+// re-encodes to a canonical fixpoint (one wire form per key — remote
+// stores must never hold aliased entries).
+func FuzzKeyRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0), "")
+	f.Add(uint64(1), int64(1), "car")
+	f.Add(^uint64(0), int64(1)<<62, "person")
+	f.Add(uint64(0xdeadbeef), int64(7), "a:b:c")
+	f.Add(uint64(42), int64(99), "class with \x00 bytes")
+	f.Fuzz(func(t *testing.T, content uint64, frame int64, class string) {
+		if frame < 0 {
+			frame = -frame
+		}
+		if frame < 0 { // MinInt64 negates to itself
+			frame = 0
+		}
+		k := Key{Content: content, Class: class, Frame: frame}
+		s := k.Encode()
+		got, err := DecodeKey(s)
+		if err != nil {
+			t.Fatalf("DecodeKey(Encode(%+v) = %q): %v", k, s, err)
+		}
+		if got != k {
+			t.Fatalf("round trip %q: got %+v want %+v", s, got, k)
+		}
+		// Decode → Encode is a fixpoint: the accepted form IS the canonical
+		// form.
+		if s2 := got.Encode(); s2 != s {
+			t.Fatalf("re-encode %q != %q", s2, s)
+		}
+	})
+}
+
+// FuzzDecodeKey feeds arbitrary strings: DecodeKey must never panic, and
+// anything it accepts must re-encode to the exact input (canonicality).
+func FuzzDecodeKey(f *testing.F) {
+	f.Add("v1:0000000000000abc:9:car")
+	f.Add("v1:0000000000000abc:+9:car")
+	f.Add("v2:0000000000000abc:9:car")
+	f.Add("")
+	f.Add("v1:::")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := DecodeKey(s)
+		if err != nil {
+			return
+		}
+		if got := k.Encode(); got != s {
+			t.Fatalf("accepted %q but canonical form is %q", s, got)
+		}
+	})
+}

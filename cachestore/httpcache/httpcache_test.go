@@ -1,0 +1,343 @@
+package httpcache
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/exsample/exsample/backend"
+	"github.com/exsample/exsample/cachestore"
+)
+
+func loopback(t *testing.T) (*Client, *cachestore.Local, *httptest.Server) {
+	t.Helper()
+	store := cachestore.NewLocal(4096)
+	srv := httptest.NewServer(Handler(store))
+	t.Cleanup(srv.Close)
+	c, err := New(Config{Endpoint: srv.URL, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, store, srv
+}
+
+func dets(frame int64) []backend.Detection {
+	return []backend.Detection{{
+		Frame: frame,
+		Class: "car",
+		Box:   backend.Box{X1: 0.125, Y1: 2.5, X2: 3.75, Y2: 4.0625},
+		Score: 0.9375, // exactly representable, but arbitrary floats round-trip too
+	}}
+}
+
+// TestClientServerRoundTrip: PutBatch then GetBatch through a real HTTP
+// loopback returns exactly what went in, memoized-empty included.
+func TestClientServerRoundTrip(t *testing.T) {
+	c, _, _ := loopback(t)
+	ctx := context.Background()
+	keys := []cachestore.Key{
+		{Content: 42, Class: "car", Frame: 17},
+		{Content: 42, Class: "car", Frame: 18},
+	}
+	vals := [][]backend.Detection{dets(17), nil}
+	if err := c.PutBatch(ctx, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	probe := append(append([]cachestore.Key{}, keys...), cachestore.Key{Content: 42, Class: "car", Frame: 99})
+	got, err := c.GetBatch(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Found || len(got[0].Dets) != 1 || got[0].Dets[0] != vals[0][0] {
+		t.Fatalf("entry 0 = %+v, want exact round trip of %+v", got[0], vals[0][0])
+	}
+	if !got[1].Found || got[1].Dets != nil {
+		t.Fatalf("entry 1 = %+v, want memoized empty", got[1])
+	}
+	if got[2].Found {
+		t.Fatalf("entry 2 = %+v, want absent", got[2])
+	}
+	st := c.Stats()
+	if st.Gets != 1 || st.Puts != 1 || st.Keys != 5 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want 1 get + 1 put over 5 keys, no retries", st)
+	}
+}
+
+// TestFloatRoundTrip: arbitrary float64 box coordinates and scores survive
+// the JSON wire bit-exactly (Go emits shortest-round-trip encodings), which
+// is what keeps remote-tier results byte-identical to paid inference.
+func TestFloatRoundTrip(t *testing.T) {
+	c, _, _ := loopback(t)
+	ctx := context.Background()
+	in := []backend.Detection{{
+		Frame: 3, Class: "car",
+		Box:   backend.Box{X1: 0.1 + 0.2, Y1: 1.0 / 3.0, X2: 0.30000000000000004, Y2: 1e-17},
+		Score: 0.123456789012345678,
+	}}
+	k := []cachestore.Key{{Content: 1, Class: "car", Frame: 3}}
+	if err := c.PutBatch(ctx, k, [][]backend.Detection{in}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetBatch(ctx, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dets[0] != in[0] {
+		t.Fatalf("floats drifted over the wire: got %+v want %+v", got[0].Dets[0], in[0])
+	}
+}
+
+// TestBatchSplitting: a batch beyond MaxBatch splits into sequential wire
+// requests, entries still aligned.
+func TestBatchSplitting(t *testing.T) {
+	store := cachestore.NewLocal(4096)
+	var gets atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/get") {
+			gets.Add(1)
+		}
+		Handler(store).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, MaxBatch: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	keys := make([]cachestore.Key, 25)
+	vals := make([][]backend.Detection, 25)
+	for i := range keys {
+		keys[i] = cachestore.Key{Content: 7, Class: "car", Frame: int64(i)}
+		vals[i] = dets(int64(i))
+	}
+	if err := c.PutBatch(ctx, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetBatch(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := gets.Load(); n != 3 {
+		t.Fatalf("25 keys at MaxBatch 10 issued %d get requests, want 3", n)
+	}
+	for i, e := range got {
+		if !e.Found || e.Dets[0].Frame != int64(i) {
+			t.Fatalf("entry %d = %+v, misaligned after splitting", i, e)
+		}
+	}
+}
+
+// TestRetryOn5xx: a transient 500 is retried and the call succeeds; the
+// retry is counted.
+func TestRetryOn5xx(t *testing.T) {
+	store := cachestore.NewLocal(64)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		Handler(store).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetBatch(context.Background(), []cachestore.Key{{Content: 1, Class: "car", Frame: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Found {
+		t.Fatal("empty store returned a hit")
+	}
+	if st := c.Stats(); st.Retries != 1 || st.Requests != 2 {
+		t.Fatalf("stats = %+v, want exactly one retry over two requests", st)
+	}
+}
+
+// Test4xxTerminal: a 400 fails immediately without retries.
+func Test4xxTerminal(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetBatch(context.Background(), []cachestore.Key{{Frame: 0}}); err == nil {
+		t.Fatal("400 response did not fail the call")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx retried (%d attempts), must be terminal", calls.Load())
+	}
+}
+
+// TestEntryCountMismatch: a server answering with the wrong entry count is
+// a protocol error, not silently misaligned data.
+func TestEntryCountMismatch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"entries":[]}`)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetBatch(context.Background(), []cachestore.Key{{Frame: 0}}); err == nil {
+		t.Fatal("entry-count mismatch accepted")
+	}
+}
+
+// TestCorruptResponseTerminal: a complete-but-unparseable body is a
+// terminal protocol error, not retried.
+func TestCorruptResponseTerminal(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		fmt.Fprint(w, `{"entries": not json`)
+	}))
+	defer srv.Close()
+	c, err := New(Config{Endpoint: srv.URL, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetBatch(context.Background(), []cachestore.Key{{Frame: 0}}); err == nil {
+		t.Fatal("corrupt response accepted")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("corrupt body retried (%d attempts), must be terminal", calls.Load())
+	}
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestHandlerRejects: the server rejects malformed, oversized and
+// version-skewed requests with 400 — one bad key fails the whole batch so
+// a skewed client cannot poison a shared store.
+func TestHandlerRejects(t *testing.T) {
+	_, _, srv := loopback(t)
+	goodKey := cachestore.Key{Content: 1, Class: "car", Frame: 0}.Encode()
+
+	manyKeys := make([]string, 5000)
+	for i := range manyKeys {
+		manyKeys[i] = cachestore.Key{Content: 1, Class: "car", Frame: int64(i)}.Encode()
+	}
+	manyJSON, _ := json.Marshal(map[string]any{"keys": manyKeys})
+
+	bigDets := make([]wireDetection, 2000)
+	bigEntry, _ := json.Marshal(map[string]any{"entries": []any{map[string]any{"key": goodKey, "dets": bigDets}}})
+
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+	}{
+		{"corrupt get body", "/get", `{"keys": [`, http.StatusBadRequest},
+		{"empty keys", "/get", `{"keys": []}`, http.StatusBadRequest},
+		{"bad key", "/get", `{"keys": ["v9:junk:1:car"]}`, http.StatusBadRequest},
+		{"one bad key poisons the batch", "/get", fmt.Sprintf(`{"keys": [%q, "nope"]}`, goodKey), http.StatusBadRequest},
+		{"oversized key batch", "/get", string(manyJSON), http.StatusBadRequest},
+		{"corrupt put body", "/put", `{"entries": [`, http.StatusBadRequest},
+		{"empty entries", "/put", `{"entries": []}`, http.StatusBadRequest},
+		{"bad put key", "/put", `{"entries": [{"key": "garbage", "dets": []}]}`, http.StatusBadRequest},
+		{"oversized entry", "/put", string(bigEntry), http.StatusBadRequest},
+		{"unknown endpoint", "/stats", `{}`, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, srv.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+	}
+
+	// Non-POST is 405.
+	resp, err := http.Get(srv.URL + "/get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /get: status %d, want 405", resp.StatusCode)
+	}
+
+	// An oversized body (beyond maxRequestBytes) is rejected, not decoded.
+	huge := `{"keys": ["` + strings.Repeat("x", maxRequestBytes) + `"]}`
+	resp2 := postJSON(t, srv.URL+"/get", huge)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestConfigValidation: New rejects out-of-range configs.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty endpoint accepted")
+	}
+	if _, err := New(Config{Endpoint: "http://x", Retries: -2}); err == nil {
+		t.Error("Retries -2 accepted")
+	}
+	if _, err := New(Config{Endpoint: "http://x", Timeout: -time.Second}); err == nil {
+		t.Error("negative Timeout accepted")
+	}
+	if _, err := New(Config{Endpoint: "http://x", MaxBatch: -1}); err == nil {
+		t.Error("negative MaxBatch accepted")
+	}
+}
+
+// TestTieredOverLoopback: the full composition — Tiered with an httpcache
+// Client as L2 against a live loopback server — serves a second user's
+// fetch entirely from the shared tier.
+func TestTieredOverLoopback(t *testing.T) {
+	store := cachestore.NewLocal(4096)
+	srv := httptest.NewServer(Handler(store))
+	defer srv.Close()
+
+	newTier := func() *cachestore.Tiered {
+		c, err := New(Config{Endpoint: srv.URL})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cachestore.NewTiered(cachestore.NewLocal(256), c)
+	}
+	ctx := context.Background()
+	keys := []cachestore.Key{{Content: 8, Class: "car", Frame: 5}}
+
+	first := newTier()
+	var fills atomic.Int64
+	fill := func(_ context.Context, miss []int) ([][]backend.Detection, []float64, error) {
+		fills.Add(int64(len(miss)))
+		return [][]backend.Detection{dets(5)}, []float64{0.002}, nil
+	}
+	if _, err := first.FetchBatch(ctx, keys, nil, fill); err != nil {
+		t.Fatal(err)
+	}
+	second := newTier()
+	out, err := second.FetchBatch(ctx, keys, nil, fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Where != cachestore.TierL2 {
+		t.Fatalf("second user outcome = %+v, want L2 hit over HTTP", out[0])
+	}
+	if fills.Load() != 1 {
+		t.Fatalf("%d detector fills across two users, want 1", fills.Load())
+	}
+}

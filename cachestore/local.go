@@ -1,0 +1,132 @@
+package cachestore
+
+import (
+	"context"
+
+	"github.com/exsample/exsample/backend"
+	"github.com/exsample/exsample/internal/cache"
+	"github.com/exsample/exsample/internal/geom"
+	"github.com/exsample/exsample/internal/track"
+)
+
+// Local is the in-process tier: a Store over the bounded sharded LRU that
+// backs the engine's memo cache. It is the natural L1 of a Tiered store and
+// the natural backing store for an httpcache.Handler (a cache server is a
+// Local behind the wire protocol). Local never returns an error and is safe
+// for concurrent use.
+type Local struct {
+	c *cache.Cache
+}
+
+// Compile-time interface checks.
+var (
+	_ Store        = (*Local)(nil)
+	_ rangeCounter = (*Local)(nil)
+)
+
+// NewLocal builds a local store bounding resident entries to roughly
+// capacity (values < 1 are clamped to 1, matching internal/cache).
+func NewLocal(capacity int) *Local {
+	return &Local{c: cache.New(capacity)}
+}
+
+// WrapCache builds a Local over an existing internal cache, sharing its
+// entries, counters and presence index. This is the bridge the engine uses
+// to make its memo cache double as the tier's L1 — external callers want
+// NewLocal (the parameter type is internal to this module).
+func WrapCache(c *cache.Cache) *Local {
+	return &Local{c: c}
+}
+
+// GetBatch implements Store. The returned detections are converted copies
+// of the cached values, so callers may retain them freely.
+func (l *Local) GetBatch(_ context.Context, keys []Key) ([]Entry, error) {
+	out := make([]Entry, len(keys))
+	for i, k := range keys {
+		if dets, ok := l.c.Get(cacheKey(k)); ok {
+			out[i] = Entry{Found: true, Dets: toBackend(dets)}
+		}
+	}
+	return out, nil
+}
+
+// PutBatch implements Store.
+func (l *Local) PutBatch(_ context.Context, keys []Key, vals [][]backend.Detection) error {
+	for i, k := range keys {
+		var v []backend.Detection
+		if i < len(vals) {
+			v = vals[i]
+		}
+		l.c.Put(cacheKey(k), toTrack(k.Frame, v))
+	}
+	return nil
+}
+
+// CountRange reports roughly how many entries for (content, class) are
+// resident with frames in [start, end) — the cache-aware sampler's
+// per-chunk signal.
+func (l *Local) CountRange(content uint64, class string, start, end int64) int {
+	return l.c.CountRange(content, class, start, end)
+}
+
+// Stats is a snapshot of a local store's counters.
+type Stats struct {
+	// Hits and Misses count lookup outcomes since construction.
+	Hits, Misses int64
+	// Evictions counts entries displaced by capacity pressure.
+	Evictions int64
+	// Entries is the current resident entry count.
+	Entries int
+}
+
+// Stats snapshots the store's counters.
+func (l *Local) Stats() Stats {
+	st := l.c.Stats()
+	return Stats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries}
+}
+
+// cacheKey maps a content-addressed key onto the internal cache's key
+// space: Content plays the role the per-process source id plays for the
+// memo cache.
+func cacheKey(k Key) cache.Key {
+	return cache.Key{Source: k.Content, Class: k.Class, Frame: k.Frame}
+}
+
+// toBackend converts internal detections to the public wire type.
+func toBackend(dets []track.Detection) []backend.Detection {
+	if len(dets) == 0 {
+		return nil
+	}
+	out := make([]backend.Detection, len(dets))
+	for i, d := range dets {
+		out[i] = backend.Detection{
+			Frame:   d.Frame,
+			Class:   d.Class,
+			Box:     backend.Box{X1: d.Box.X1, Y1: d.Box.Y1, X2: d.Box.X2, Y2: d.Box.Y2},
+			Score:   d.Score,
+			TruthID: d.TruthID,
+		}
+	}
+	return out
+}
+
+// toTrack converts wire detections to the internal type, forcing the frame
+// index: per the Store contract an entry holds its key's frame, so an
+// echoed Frame field from a confused (or corrupted) remote store cannot
+// misroute detections.
+func toTrack(frame int64, dets []backend.Detection) []track.Detection {
+	if len(dets) == 0 {
+		return nil
+	}
+	out := make([]track.Detection, len(dets))
+	for i, d := range dets {
+		out[i] = track.Detection{
+			Frame:   frame,
+			Class:   d.Class,
+			Box:     geom.Box{X1: d.Box.X1, Y1: d.Box.Y1, X2: d.Box.X2, Y2: d.Box.Y2},
+			Score:   d.Score,
+			TruthID: d.TruthID,
+		}
+	}
+	return out
+}

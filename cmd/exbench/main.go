@@ -117,7 +117,24 @@ func main() {
 
 // compareMetrics are the headline throughput numbers the regression smoke
 // watches; higher is better for every one of them.
-var compareMetrics = []string{"frames/s", "results/kdetect"}
+var compareMetrics = []string{"frames/s", "results/kdetect", "vs-cold-x"}
+
+// compareMetricSkips suppresses gating for metrics that are reported for
+// context but too noisy to regress on. The warm shared-tier row keeps its
+// raw frames/s in the snapshot, but its wall time is dominated by loopback
+// HTTP latency that swings past the tolerance run to run; the acceptance
+// number is the warm/cold ratio (vs-cold-x), which divides out the shared
+// machine noise and is gated instead.
+var compareMetricSkips = map[string]map[string]bool{
+	"cache_second_user_warm": {"frames/s": true},
+}
+
+// compareMetricTols widens the tolerance for specific metrics. vs-cold-x
+// divides a loopback-HTTP-bound number by a sleep-bound one, so it swings
+// ~25% run to run even averaged over eight ops; what the gate must catch
+// is the remote tier silently not serving — which collapses the ratio to
+// ~1x, far past any tolerance — so a wide band loses nothing.
+var compareMetricTols = map[string]float64{"vs-cold-x": 0.45}
 
 // compareRows are the suite rows stable enough to gate on: the end-to-end
 // engine throughput row, the two scheduling arms (whose detector-call
@@ -133,6 +150,39 @@ var compareRows = map[string]bool{
 	"engine_globalbudget_mixedfleet": true,
 	"track_query_accel":              true,
 	"track_query_dense":              true,
+	// The shared-tier rows: cold pays simulated inference for every frame,
+	// warm resolves everything from a populated cache server. Both gate on
+	// frames/s; the warm row collapsing toward the cold row's value means
+	// the remote tier stopped serving.
+	"cache_second_user_cold": true,
+	"cache_second_user_warm": true,
+	// The cache-aware arms run a deterministic Workers-1 fleet and report
+	// only count ratios, so their results/kdetect is noise-free; the on
+	// row regressing toward the off row means tie-breaking stopped
+	// converting fleet overlap into cache hits.
+	"cache_aware_off": true,
+	"cache_aware_on":  true,
+}
+
+// compareAllocRows gates allocs_per_op — lower is better — for the rows
+// whose allocation profile is deterministic enough to regress on: the
+// sampler decision micro-row (its steady state is pinned allocation-free by
+// CI AllocsPerRun guards; this catches drift in the setup path) and the two
+// scheduling arms, which run a fixed detector-call budget.
+//
+// Context for the scheduling arms' absolute values: the global-budget row
+// reports ~1.7x the fair-share row's allocs_per_op, which reads like a
+// regression but is inherent — the marginal-value allocator steers frames
+// at hot queries, so the same 6000-detector-call budget yields ~1.9x the
+// results, and every result carries discriminator/report allocations. Per
+// result the budget arm allocates ~9.0 objects against fair-share's ~9.8:
+// the budget path is the leaner of the two per unit of useful work, and
+// gating each row against its own committed baseline (rather than against
+// each other) is what keeps that inherent gap from tripping the smoke.
+var compareAllocRows = map[string]bool{
+	"sampler_decision_256":           true,
+	"engine_fairshare_mixedfleet":    true,
+	"engine_globalbudget_mixedfleet": true,
 }
 
 // compareBench runs the perf suite fresh and fails when any watched metric
@@ -165,19 +215,36 @@ func compareBench(path string, tol float64) error {
 			continue
 		}
 		for _, metric := range compareMetrics {
+			if compareMetricSkips[want.Name][metric] {
+				continue
+			}
 			base, ok := want.Metrics[metric]
 			if !ok || base <= 0 {
 				continue
 			}
 			cur := got.Metrics[metric]
 			ratio := cur / base
+			mtol := tol
+			if t, ok := compareMetricTols[metric]; ok {
+				mtol = t
+			}
 			status := "ok"
-			if ratio < 1-tol {
+			if ratio < 1-mtol {
 				status = "REGRESSION"
 				failures++
 			}
 			fmt.Printf("%-32s %-16s %12.0f -> %12.0f  (%+5.1f%%)  %s\n",
 				want.Name, metric, base, cur, (ratio-1)*100, status)
+		}
+		if compareAllocRows[want.Name] && want.AllocsPerOp > 0 {
+			ratio := got.AllocsPerOp / want.AllocsPerOp
+			status := "ok"
+			if ratio > 1+tol {
+				status = "REGRESSION"
+				failures++
+			}
+			fmt.Printf("%-32s %-16s %12.0f -> %12.0f  (%+5.1f%%)  %s\n",
+				want.Name, "allocs_per_op", want.AllocsPerOp, got.AllocsPerOp, (ratio-1)*100, status)
 		}
 	}
 	if failures > 0 {

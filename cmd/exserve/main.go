@@ -11,12 +11,23 @@
 //	exserve -datasets dashcam,bdd1k -queries 8 -limit 10
 //	        [-workers 4] [-round 4] [-adaptive] [-scale 0.05] [-seed 1]
 //	        [-budget 0] [-floor 1] [-shards 1] [-cache 0]
+//	        [-cache-remote URL] [-cache-warm] [-cache-aware]
 //	        [-backend sim|http] [-endpoint URL] [-replicas 1]
 //	        [-churn 0] [-admin addr]
 //
 // -shards N composes each profile from N independently generated shards
 // (one logical repository, N machines' worth of chunks); -cache N enables
 // an N-entry detector memo cache shared by every query on the engine.
+//
+// -cache-remote URL attaches a shared remote result tier (a
+// cachestore/httpcache server) behind the memo cache: detector results are
+// looked up L1-then-L2 and written through, so a fleet of exserve
+// processes pointed at one server shares every frame any of them paid
+// for. -cache-warm prefetches each target's cached entries L2→L1 before
+// the queries start; -cache-aware breaks Thompson-sampling ties toward
+// chunks with more cached frames. With a remote tier the run ends with a
+// per-tier table: hits/misses per tier, round trips, EWMA round-trip
+// latency and the singleflight merge/fill counters.
 //
 // -adaptive turns on feedback-controlled round sizing: each query's
 // per-round detector quota grows from -round toward the backend's MaxBatch
@@ -84,6 +95,7 @@ import (
 	"github.com/exsample/exsample/backend"
 	"github.com/exsample/exsample/backend/httpbatch"
 	"github.com/exsample/exsample/backend/router"
+	"github.com/exsample/exsample/cachestore/httpcache"
 )
 
 func main() {
@@ -97,6 +109,9 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base random seed")
 	flag.IntVar(&cfg.shards, "shards", 1, "shards per profile (>1 composes a ShardedSource)")
 	flag.IntVar(&cfg.cache, "cache", 0, "detector memo cache entries (0 = disabled)")
+	flag.StringVar(&cfg.cacheRemote, "cache-remote", "", "shared remote result tier endpoint URL (a cachestore/httpcache server)")
+	flag.BoolVar(&cfg.cacheWarm, "cache-warm", false, "prefetch each target's cached entries from the remote tier before the queries start (requires -cache-remote)")
+	flag.BoolVar(&cfg.cacheAware, "cache-aware", false, "break Thompson-sampling ties toward chunks with more cached frames (requires -cache or -cache-remote)")
 	flag.BoolVar(&cfg.adaptive, "adaptive", false, "adaptive round sizing: grow each query's per-round quota toward the backend's MaxBatch while latency stays flat")
 	flag.IntVar(&cfg.budget, "budget", 0, "engine-level frames-per-round budget divided across queries by marginal value (0 = fair-share)")
 	flag.IntVar(&cfg.floor, "floor", 1, "per-round frame floor every query is guaranteed under -budget")
@@ -140,14 +155,19 @@ type config struct {
 	seed     uint64
 	shards   int
 	cache    int
-	adaptive bool
-	budget   int
-	floor    int
-	backend  string
-	endpoint string
-	replicas int
-	churn    time.Duration
-	admin    string
+	// Shared-result-tier knobs: the remote cache endpoint, the pre-warm
+	// toggle and the cache-aware sampling toggle.
+	cacheRemote string
+	cacheWarm   bool
+	cacheAware  bool
+	adaptive    bool
+	budget      int
+	floor       int
+	backend     string
+	endpoint    string
+	replicas    int
+	churn       time.Duration
+	admin       string
 	// churnSignal, when non-nil, triggers an add/drain cycle per receive
 	// (wired to SIGHUP by main; tests poke it directly).
 	churnSignal <-chan os.Signal
@@ -193,6 +213,44 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.w.Write(p)
+}
+
+// engineOptions builds the engine configuration shared by the query and
+// track modes, dialing the remote result tier when -cache-remote is set.
+func engineOptions(cfg config) (exsample.EngineOptions, error) {
+	opts := exsample.EngineOptions{
+		Workers:        cfg.workers,
+		FramesPerRound: cfg.round,
+		CacheEntries:   cfg.cache,
+		AdaptiveRounds: cfg.adaptive,
+		GlobalBudget:   cfg.budget,
+		FloorQuota:     cfg.floor,
+		CacheAware:     cfg.cacheAware,
+	}
+	if cfg.cacheRemote != "" {
+		client, err := httpcache.New(httpcache.Config{Endpoint: cfg.cacheRemote})
+		if err != nil {
+			return exsample.EngineOptions{}, fmt.Errorf("cache-remote: %w", err)
+		}
+		opts.RemoteCache = client
+	}
+	return opts, nil
+}
+
+// printTierTable renders the shared-result-tier stats when -cache-remote
+// is active: per-tier hit/miss counts, remote round trips with their EWMA
+// latency, and the singleflight merge/fill counters.
+func printTierTable(w io.Writer, eng *exsample.Engine, cfg config) {
+	if cfg.cacheRemote == "" {
+		return
+	}
+	ts := eng.TierStats()
+	fmt.Fprintf(w, "\nshared result tier (%s):\n", cfg.cacheRemote)
+	fmt.Fprintf(w, "%-5s %10s %10s %12s %9s\n", "tier", "hits", "misses", "round-trips", "rtt-ms")
+	fmt.Fprintf(w, "%-5s %10d %10d %12s %9s\n", "L1", ts.L1Hits, ts.L1Misses, "-", "-")
+	fmt.Fprintf(w, "%-5s %10d %10d %12d %9.2f\n", "L2", ts.L2Hits, ts.L2Misses, ts.L2RoundTrips, ts.L2RTTSeconds*1e3)
+	fmt.Fprintf(w, "singleflight: %d merged, %d filled, %d warmed; L2 outages: %d read, %d write\n",
+		ts.Merges, ts.Fills, ts.Warmed, ts.L2Errors, ts.L2PutErrors)
 }
 
 // serveBackend starts a loopback HTTP server for a dataset's backend — the
@@ -491,8 +549,8 @@ func runStream(w io.Writer, cfg config) error {
 	if cfg.backend != "" && cfg.backend != "sim" {
 		return fmt.Errorf("-stream runs on the in-process sim backend (got %q)", cfg.backend)
 	}
-	if cfg.shards > 1 || cfg.churn > 0 || cfg.admin != "" || cfg.endpoint != "" {
-		return fmt.Errorf("-stream is its own topology: drop -shards/-churn/-admin/-endpoint")
+	if cfg.shards > 1 || cfg.churn > 0 || cfg.admin != "" || cfg.endpoint != "" || cfg.cacheRemote != "" {
+		return fmt.Errorf("-stream is its own topology: drop -shards/-churn/-admin/-endpoint/-cache-remote")
 	}
 	w = &syncWriter{w: w}
 
@@ -676,6 +734,12 @@ func run(w io.Writer, cfg config) error {
 	if cfg.churn > 0 && cfg.shards <= 1 {
 		return fmt.Errorf("-churn requires -shards > 1")
 	}
+	if cfg.cacheWarm && cfg.cacheRemote == "" {
+		return fmt.Errorf("-cache-warm requires -cache-remote")
+	}
+	if cfg.cacheAware && cfg.cache <= 0 && cfg.cacheRemote == "" {
+		return fmt.Errorf("-cache-aware requires -cache or -cache-remote")
+	}
 	// Churn messages print from timer/signal goroutines while the main
 	// goroutine renders tables; serialize the writer.
 	w = &syncWriter{w: w}
@@ -734,18 +798,28 @@ func run(w io.Writer, cfg config) error {
 		fmt.Fprintf(w, "admin: listening on http://%s\n", ln.Addr())
 	}
 
-	eng, err := exsample.NewEngine(exsample.EngineOptions{
-		Workers:        cfg.workers,
-		FramesPerRound: cfg.round,
-		CacheEntries:   cfg.cache,
-		AdaptiveRounds: cfg.adaptive,
-		GlobalBudget:   cfg.budget,
-		FloorQuota:     cfg.floor,
-	})
+	engOpts, err := engineOptions(cfg)
+	if err != nil {
+		return err
+	}
+	eng, err := exsample.NewEngine(engOpts)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
+
+	// Pre-warm the local tier: copy whatever the remote already holds for
+	// each target into L1 so the first rounds hit locally instead of
+	// paying a round trip each.
+	if cfg.cacheWarm {
+		for _, tgt := range targets {
+			n, err := eng.Warm(context.Background(), tgt.src, tgt.class, 0)
+			if err != nil {
+				return fmt.Errorf("cache-warm %s/%s: %w", tgt.src.Name(), tgt.class, err)
+			}
+			fmt.Fprintf(w, "warm: %s/%s — %d cached frame(s) copied to L1\n", tgt.src.Name(), tgt.class, n)
+		}
+	}
 
 	// Churn triggers: a delay (-churn) and the signal channel (SIGHUP),
 	// live until every query finishes. Both are joined before run returns
@@ -922,6 +996,7 @@ func run(w io.Writer, cfg config) error {
 		fmt.Fprintf(w, "\ncache: %d entries, %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 			cst.Entries, cst.Hits, cst.Misses, cst.HitRate()*100, cst.Evictions)
 	}
+	printTierTable(w, eng, cfg)
 	return nil
 }
 
@@ -969,18 +1044,28 @@ func runTrack(w io.Writer, cfg config) error {
 	if len(targets) == 0 {
 		return fmt.Errorf("no datasets given")
 	}
-	eng, err := exsample.NewEngine(exsample.EngineOptions{
-		Workers:        cfg.workers,
-		FramesPerRound: cfg.round,
-		CacheEntries:   cfg.cache,
-		AdaptiveRounds: cfg.adaptive,
-		GlobalBudget:   cfg.budget,
-		FloorQuota:     cfg.floor,
-	})
+	engOpts, err := engineOptions(cfg)
+	if err != nil {
+		return err
+	}
+	eng, err := exsample.NewEngine(engOpts)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
+
+	if cfg.cacheWarm {
+		if cfg.cacheRemote == "" {
+			return fmt.Errorf("-cache-warm requires -cache-remote")
+		}
+		for _, tgt := range targets {
+			n, err := eng.Warm(context.Background(), tgt.src, tgt.class, 0)
+			if err != nil {
+				return fmt.Errorf("cache-warm %s/%s: %w", tgt.src.Name(), tgt.class, err)
+			}
+			fmt.Fprintf(w, "warm: %s/%s — %d cached frame(s) copied to L1\n", tgt.src.Name(), tgt.class, n)
+		}
+	}
 
 	start := time.Now()
 	handles := make([]*exsample.TrackHandle, len(targets))
@@ -1021,5 +1106,6 @@ func runTrack(w io.Writer, cfg config) error {
 		fmt.Fprintf(w, "cache: %d entries, %d hits / %d misses (%.1f%% hit rate)\n",
 			cst.Entries, cst.Hits, cst.Misses, cst.HitRate()*100)
 	}
+	printTierTable(w, eng, cfg)
 	return nil
 }

@@ -3,6 +3,7 @@ package exsample
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"github.com/exsample/exsample/backend"
@@ -163,6 +164,7 @@ func newDataset(inner *datasets.Dataset, seed uint64, opts ...DatasetOption) *Da
 	}
 	d.qs = &querySource{
 		id:        sourceIDs.Add(1),
+		contentID: datasetContentID(inner, seed, d.noise),
 		name:      inner.Profile.Name,
 		numFrames: inner.Repo.NumFrames(),
 		fps:       inner.Profile.FPS,
@@ -197,6 +199,27 @@ func newDataset(inner *datasets.Dataset, seed uint64, opts ...DatasetOption) *Da
 		},
 	}
 	return d
+}
+
+// datasetContentID computes the stable content address of a dataset: an
+// FNV-1a hash over every construction input that determines detector output
+// — profile name, scale, generation seed, frame count, recording rate, the
+// noise model and the per-class populations. Unlike the per-process source
+// id, the value is identical across processes (and restarts) that opened
+// the same data, which is what keys the shared result tier (cachestore).
+func datasetContentID(inner *datasets.Dataset, seed uint64, noise detect.NoiseModel) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%g|%d|%d|%g|%+v|",
+		inner.Profile.Name, inner.Scale, seed, inner.Repo.NumFrames(), inner.Profile.FPS, noise)
+	classes := make([]string, 0, len(inner.CountByClass))
+	for c := range inner.CountByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(h, "%s=%d|", c, inner.CountByClass[c])
+	}
+	return h.Sum64()
 }
 
 // newBatchDetector builds the per-query batched detector — the single
@@ -323,7 +346,14 @@ func Synthesize(spec SynthSpec, opts ...DatasetOption) (*Dataset, error) {
 		Index:        idx,
 		CountByClass: map[string]int{spec.Class: len(instances)},
 	}
-	return newDataset(inner, spec.Seed, opts...), nil
+	d := newDataset(inner, spec.Seed, opts...)
+	// The shared profile name "custom" under-determines a synthetic dataset
+	// (TravelX/TravelY, duration, skew all shape detector output), so fold
+	// the full spec into the content address.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%x|%+v", d.qs.contentID, spec)
+	d.qs.contentID = h.Sum64()
+	return d, nil
 }
 
 // Name returns the dataset profile name.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/exsample/exsample/cachestore"
 	"github.com/exsample/exsample/internal/cache"
 	"github.com/exsample/exsample/internal/core"
 	"github.com/exsample/exsample/internal/engine"
@@ -64,6 +65,28 @@ type EngineOptions struct {
 	// against the same latency trace; the controller itself is a pure
 	// state machine over its observations (see internal/sizer).
 	AdaptiveRounds bool
+	// RemoteCache, when non-nil, composes the memo cache with a shared
+	// remote result tier (normally an httpcache.Client pointed at a fleet
+	// cache server): lookups go local-first, remote hits write through
+	// locally, detector fills write through remotely, and concurrent
+	// identical misses are singleflighted to one detector call. Cache keys
+	// switch from the per-process source id to the source's content
+	// address, so entries survive restarts and are shared across every
+	// process that opened the same data — the second user of a popular
+	// video queries it at interactive speed. CacheEntries sizes the local
+	// L1 (defaulting to 65536 entries when left zero with a remote tier
+	// configured). Results for a fixed seed stay byte-identical to an
+	// uncached run; only charged costs change. A failing remote degrades
+	// to misses (see cachestore.TierStats) and never fails a query.
+	RemoteCache cachestore.Store
+	// CacheAware opts every query's sampler into cache-aware
+	// tie-breaking: when Thompson beliefs tie within epsilon, prefer the
+	// chunk with the higher cached fraction, converting incidental cache
+	// hits into deliberate near-zero-cost rounds. Off by default — the
+	// tie-break changes pick sequences, so seeded reports are
+	// byte-identical to Search only with it off. Requires CacheEntries or
+	// RemoteCache.
+	CacheAware bool
 	// GlobalBudget, when positive, replaces fair-share scheduling with one
 	// engine-level frames-per-round budget divided across the active
 	// queries by marginal value — each query's expected new results per
@@ -97,6 +120,9 @@ func (o EngineOptions) withDefaults() EngineOptions {
 	if o.EventBuffer == 0 {
 		o.EventBuffer = 256
 	}
+	if o.RemoteCache != nil && o.CacheEntries <= 0 {
+		o.CacheEntries = 1 << 16
+	}
 	if o.GlobalBudget < 0 {
 		o.GlobalBudget = 0
 	}
@@ -115,6 +141,9 @@ func (o EngineOptions) Validate() error {
 	}
 	if o.CacheEntries < 0 {
 		return fmt.Errorf("exsample: negative CacheEntries %d", o.CacheEntries)
+	}
+	if o.CacheAware && o.CacheEntries <= 0 && o.RemoteCache == nil {
+		return fmt.Errorf("exsample: CacheAware needs a cache to be aware of; set CacheEntries or RemoteCache")
 	}
 	return nil
 }
@@ -138,6 +167,10 @@ type Engine struct {
 	opts  EngineOptions
 	inner *engine.Engine
 	memo  *cache.Cache
+	// tier is the shared result tier (non-nil only with RemoteCache set):
+	// the memo cache doubles as its L1 via cachestore.WrapCache, so
+	// CacheStats and the cache-aware presence index keep working.
+	tier *cachestore.Tiered
 	// quota aggregates adaptive round-sizing adjustments across every
 	// AdaptiveRounds query (all zeros when the option is off).
 	quota sizer.Counters
@@ -162,7 +195,22 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	if opts.CacheEntries > 0 {
 		e.memo = cache.New(opts.CacheEntries)
 	}
+	if opts.RemoteCache != nil {
+		// The memo cache becomes the tier's L1 (withDefaults guarantees it
+		// exists), so CacheStats and the presence index see tier traffic too.
+		e.tier = cachestore.NewTiered(cachestore.WrapCache(e.memo), opts.RemoteCache)
+	}
 	return e, nil
+}
+
+// cacheCfg is the cache wiring handed to every run this engine creates:
+// the shared tier when a remote cache is configured, the plain memo cache
+// otherwise, plus the cache-aware sampling flag.
+func (e *Engine) cacheCfg() cacheConfig {
+	if e.tier != nil {
+		return cacheConfig{tier: e.tier, aware: e.opts.CacheAware}
+	}
+	return cacheConfig{memo: e.memo, aware: e.opts.CacheAware}
 }
 
 // Workers returns the engine's detector concurrency bound.
@@ -235,6 +283,14 @@ type EngineStats struct {
 	// the scheduling pressure: well below 1 means the budget is the
 	// binding constraint and frames are being steered by marginal value.
 	BudgetGranted, BudgetRequested int64
+	// TierL1Hits through TierMerges mirror the shared result tier's
+	// per-tier counters (all 0 when RemoteCache is unset; see TierStats
+	// for the full breakdown including round-trip latency). TierMerges
+	// counts frames resolved by joining another query's in-flight
+	// detector call instead of issuing a duplicate.
+	TierL1Hits, TierL1Misses     int64
+	TierL2Hits, TierL2Misses     int64
+	TierL2RoundTrips, TierMerges int64
 }
 
 // Stats snapshots the engine's scheduler counters.
@@ -242,19 +298,81 @@ func (e *Engine) Stats() EngineStats {
 	rounds, detects, batches := e.inner.Counters()
 	parks, wakes := e.inner.ParkCounters()
 	granted, requested := e.inner.BudgetCounters()
-	return EngineStats{
-		Rounds:          rounds,
-		DetectCalls:     detects,
-		Batches:         batches,
-		QuotaGrows:      e.quota.Grows.Load(),
-		QuotaShrinks:    e.quota.Shrinks.Load(),
-		CapacityLosses:  e.quota.CapacityLosses.Load(),
-		PeakQuota:       e.quota.Peak.Load(),
-		Parks:           parks,
-		Wakes:           wakes,
-		BudgetGranted:   granted,
-		BudgetRequested: requested,
+	var ts cachestore.TierStats
+	if e.tier != nil {
+		ts = e.tier.Stats()
 	}
+	return EngineStats{
+		Rounds:           rounds,
+		DetectCalls:      detects,
+		Batches:          batches,
+		QuotaGrows:       e.quota.Grows.Load(),
+		QuotaShrinks:     e.quota.Shrinks.Load(),
+		CapacityLosses:   e.quota.CapacityLosses.Load(),
+		PeakQuota:        e.quota.Peak.Load(),
+		Parks:            parks,
+		Wakes:            wakes,
+		BudgetGranted:    granted,
+		BudgetRequested:  requested,
+		TierL1Hits:       ts.L1Hits,
+		TierL1Misses:     ts.L1Misses,
+		TierL2Hits:       ts.L2Hits,
+		TierL2Misses:     ts.L2Misses,
+		TierL2RoundTrips: ts.L2RoundTrips,
+		TierMerges:       ts.Merges,
+	}
+}
+
+// TierStats snapshots the shared result tier's full counter set — per-tier
+// hits and misses, remote round-trips and their EWMA latency, singleflight
+// merges, degradations. The zero value is returned when the engine runs
+// without a RemoteCache.
+func (e *Engine) TierStats() cachestore.TierStats {
+	if e.tier == nil {
+		return cachestore.TierStats{}
+	}
+	return e.tier.Stats()
+}
+
+// Warm prefetches a source's cached detector results for one class from
+// the remote tier into the local L1, ahead of any query: a subsequent
+// query over frames another process already paid for runs at cache speed
+// from its first round. limit bounds how many frames (from frame 0) to
+// probe; <= 0 means the whole source. Returns the number of entries
+// copied into the local tier. Warm requires a RemoteCache and is
+// independent of any running query — it issues only remote lookups, never
+// detector calls.
+func (e *Engine) Warm(ctx context.Context, src Source, class string, limit int64) (int, error) {
+	if e.tier == nil {
+		return 0, fmt.Errorf("exsample: Warm needs EngineOptions.RemoteCache")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	qs := src.querySource()
+	n := qs.numFrames
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	const batch = 512
+	keys := make([]cachestore.Key, 0, batch)
+	total := 0
+	for frame := int64(0); frame < n; frame += batch {
+		end := frame + batch
+		if end > n {
+			end = n
+		}
+		keys = keys[:0]
+		for f := frame; f < end; f++ {
+			keys = append(keys, cachestore.Key{Content: qs.contentID, Class: class, Frame: f})
+		}
+		got, err := e.tier.Warm(ctx, keys)
+		total += got
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // Submit registers a query against a source — a local Dataset or a
@@ -288,7 +406,7 @@ func (e *Engine) Submit(ctx context.Context, src Source, q Query, opts Options) 
 	if opts.ProxyTrainPositives > 0 {
 		return nil, fmt.Errorf("exsample: engine queries do not support the proxy training phase")
 	}
-	run, err := newQueryRun(src, q, opts, e.memo, false)
+	run, err := newQueryRun(src, q, opts, e.cacheCfg(), false)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +456,7 @@ func (e *Engine) SubmitStanding(ctx context.Context, src Source, q Query, opts O
 	if opts.ProxyTrainPositives > 0 {
 		return nil, fmt.Errorf("exsample: engine queries do not support the proxy training phase")
 	}
-	run, err := newQueryRun(src, q, opts, e.memo, true)
+	run, err := newQueryRun(src, q, opts, e.cacheCfg(), true)
 	if err != nil {
 		return nil, err
 	}
@@ -703,7 +821,7 @@ func (q *engineQuery) DetectBatch(frames []int64) ([]any, error) {
 		// hits resolve locally and must not feed their near-zero latency
 		// into the AIMD controller as if the backend produced it.
 		misses := len(frames)
-		if q.run.memo != nil {
+		if q.run.memo != nil || q.run.tier != nil {
 			misses = len(s.missIdx)
 		}
 		q.scr.note(q.AffinityKey(frames[0]), misses)

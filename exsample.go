@@ -416,6 +416,11 @@ type Report struct {
 	// frames when an Engine-level detector cache is enabled (both zero
 	// otherwise). Hits are charged decode-only cost.
 	CacheHits, CacheMisses int64
+	// RemoteCacheHits counts the subset of CacheHits served by the shared
+	// remote tier (EngineOptions.RemoteCache) rather than the local cache —
+	// frames some other process (or an earlier run of this one) paid the
+	// detector for. Zero without a remote tier.
+	RemoteCacheHits int64
 	// CurveSamples/CurveSeconds/CurveFound trace discovery progress: after
 	// CurveSamples[i] frames (CurveSeconds[i] charged seconds, including
 	// any scan), CurveFound[i] distinct true instances had been found.

@@ -1,0 +1,68 @@
+package cache
+
+import "testing"
+
+// Tests for the presence index behind CountRange — the cache-aware
+// sampler's per-chunk warmth signal.
+
+func TestCountRangeTracksPuts(t *testing.T) {
+	c := New(1 << 12)
+	// 3 entries in bucket 0 ([0, 1024)), 2 in bucket 4 ([4096, 5120)).
+	for _, f := range []int64{0, 100, 1023, 4096, 5000} {
+		c.Put(Key{Source: 1, Class: "car", Frame: f}, det(f, 0.5))
+	}
+	cases := []struct {
+		start, end int64
+		want       int
+	}{
+		{0, 1024, 3},
+		{0, 5120, 5},
+		{4096, 5120, 2},
+		{1024, 4096, 0},  // middle buckets are empty
+		{100, 200, 3},    // partial buckets count whole (approximate by design)
+		{5120, 10000, 0}, // past every entry
+		{-5, 100, 0},     // negative start is rejected
+		{50, 50, 0},      // empty range
+	}
+	for _, tc := range cases {
+		if got := c.CountRange(1, "car", tc.start, tc.end); got != tc.want {
+			t.Errorf("CountRange(%d, %d) = %d, want %d", tc.start, tc.end, got, tc.want)
+		}
+	}
+	// Other sources and classes are invisible.
+	if got := c.CountRange(2, "car", 0, 5120); got != 0 {
+		t.Errorf("wrong source counted %d", got)
+	}
+	if got := c.CountRange(1, "bus", 0, 5120); got != 0 {
+		t.Errorf("wrong class counted %d", got)
+	}
+}
+
+func TestCountRangeIdempotentOverwrite(t *testing.T) {
+	// Re-putting a resident key must not double-count its bucket.
+	c := New(1 << 12)
+	k := Key{Source: 1, Class: "car", Frame: 10}
+	c.Put(k, det(10, 0.5))
+	c.Put(k, det(10, 0.9))
+	if got := c.CountRange(1, "car", 0, 1024); got != 1 {
+		t.Fatalf("overwritten key counted %d times, want 1", got)
+	}
+}
+
+func TestCountRangeDecrementsOnEviction(t *testing.T) {
+	// The presence index follows evictions: a bucket whose entries were
+	// displaced stops reporting them, so cache-aware sampling never chases
+	// chunks whose warmth has rotted away.
+	c := New(numShards) // one slot per shard: every colliding put evicts
+	var total int64 = 20000
+	for f := int64(0); f < total; f++ {
+		c.Put(Key{Source: 1, Class: "car", Frame: f}, det(f, 0.5))
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions at capacity 1 per shard")
+	}
+	if got := c.CountRange(1, "car", 0, total); got != st.Entries {
+		t.Fatalf("presence index reports %d entries, cache holds %d", got, st.Entries)
+	}
+}

@@ -108,6 +108,21 @@ type Config struct {
 	// OnChunkOpen, if set, is called the first time a chunk's frame order
 	// is built (e.g. to charge per-chunk scoring cost in a fusion setup).
 	OnChunkOpen func(chunk int)
+	// CachedFrac, if set, enables cache-aware tie-breaking: when the
+	// policy's top scores tie within TieEpsilon, Next prefers the chunk
+	// with the higher CachedFrac(chunk) — the fraction of the chunk's
+	// frames already resident in a result cache, where sampling is
+	// near-free. The function must be cheap (it is consulted only on
+	// ties) and side-effect-free. Crucially the tie-break consumes no
+	// randomness: every enabled arm's score is drawn exactly as without
+	// it, so a sampler with CachedFrac set but no ties — or one whose
+	// cached fractions are all equal — picks byte-identically to one
+	// without.
+	CachedFrac func(chunk int) float64
+	// TieEpsilon is the relative tie width for CachedFrac: scores a and b
+	// tie when hi-lo <= TieEpsilon*hi. Zero selects DefaultTieEpsilon;
+	// it must be left zero when CachedFrac is nil.
+	TieEpsilon float64
 }
 
 // DefaultAlpha0 and DefaultBeta0 are the paper's prior (§III-C).
@@ -116,12 +131,21 @@ const (
 	DefaultBeta0  = 1.0
 )
 
+// DefaultTieEpsilon is the default relative tie width for cache-aware
+// tie-breaking: 5% — wide enough that near-identical beliefs (where the
+// policy's choice is effectively arbitrary) defer to the cache signal,
+// narrow enough that a genuinely better arm is never overridden.
+const DefaultTieEpsilon = 0.05
+
 func (c Config) withDefaults() Config {
 	if c.Alpha0 == 0 {
 		c.Alpha0 = DefaultAlpha0
 	}
 	if c.Beta0 == 0 {
 		c.Beta0 = DefaultBeta0
+	}
+	if c.CachedFrac != nil && c.TieEpsilon == 0 {
+		c.TieEpsilon = DefaultTieEpsilon
 	}
 	return c
 }
@@ -135,6 +159,12 @@ func (c Config) Validate() error {
 	case Thompson, BayesUCB, Greedy:
 	default:
 		return fmt.Errorf("core: unknown policy %d", int(c.Policy))
+	}
+	if c.TieEpsilon < 0 || c.TieEpsilon >= 1 {
+		return fmt.Errorf("core: TieEpsilon %v outside [0, 1)", c.TieEpsilon)
+	}
+	if c.TieEpsilon != 0 && c.CachedFrac == nil {
+		return fmt.Errorf("core: TieEpsilon set but CachedFrac is nil")
 	}
 	switch c.Within {
 	case WithinRandomPlus, WithinUniform:
@@ -341,9 +371,15 @@ func (s *Sampler) score(j int) float64 {
 // policy) choice of chunk, and a frame drawn from that chunk's
 // without-replacement order. Disabled arms are skipped without being
 // scored. ok is false when every enabled chunk is exhausted.
+//
+// With Config.CachedFrac set, arms whose scores tie within TieEpsilon are
+// broken toward the higher cached fraction (equal fractions keep the higher
+// score). Every enabled arm's score is still drawn, in the same order, so
+// the RNG stream is identical with and without the tie-break.
 func (s *Sampler) Next() (Pick, bool) {
 	for s.live > 0 {
 		best, bestScore := -1, 0.0
+		bestFrac := -1.0 // best's cached fraction, computed lazily on first tie
 		for j := range s.chunks {
 			if s.disabled[j] {
 				continue
@@ -352,8 +388,22 @@ func (s *Sampler) Next() (Pick, bool) {
 				continue
 			}
 			sc := s.score(j)
-			if best == -1 || sc > bestScore {
+			if best == -1 {
 				best, bestScore = j, sc
+				continue
+			}
+			if s.cfg.CachedFrac != nil && tied(sc, bestScore, s.cfg.TieEpsilon) {
+				if bestFrac < 0 {
+					bestFrac = s.cfg.CachedFrac(best)
+				}
+				f := s.cfg.CachedFrac(j)
+				if f > bestFrac || (f == bestFrac && sc > bestScore) {
+					best, bestScore, bestFrac = j, sc, f
+				}
+				continue
+			}
+			if sc > bestScore {
+				best, bestScore, bestFrac = j, sc, -1
 			}
 		}
 		if best == -1 {
@@ -375,6 +425,16 @@ func (s *Sampler) Next() (Pick, bool) {
 		return Pick{Frame: frame, Chunk: best}, true
 	}
 	return Pick{}, false
+}
+
+// tied reports whether two policy scores fall within the relative tie
+// width: hi-lo <= eps*hi.
+func tied(a, b, eps float64) bool {
+	hi, lo := a, b
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	return hi-lo <= eps*hi
 }
 
 // Update feeds back the discriminator's classification of the detections

@@ -12,11 +12,14 @@ package perf
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"time"
 
 	exsample "github.com/exsample/exsample"
 	"github.com/exsample/exsample/backend"
+	"github.com/exsample/exsample/cachestore"
+	"github.com/exsample/exsample/cachestore/httpcache"
 )
 
 // Result is one benchmark's snapshot entry.
@@ -503,6 +506,136 @@ func RunSuite() (*Snapshot, error) {
 		bseed := uint64(9000)
 		res, err = measure(arm.name, 2, func() (map[string]float64, error) {
 			return budgetOp(dsHot, dsCold, arm.opts, &bseed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		snap.Suite = append(snap.Suite, res)
+	}
+
+	// Shared result tier, second-user path: the same two seeded queries
+	// against the same slow backend, with the remote cache server cold
+	// (every frame pays the simulated inference latency and fills the
+	// server) versus already populated by a previous process (every frame
+	// resolves in one loopback round trip per batch, the detector never
+	// fires). The warm row's frames/s multiple over the cold row —
+	// recorded as vs-cold-x — is the tier's acceptance metric.
+	const cacheSeedBase = 8000
+	cacheEngineOpts := func(client *httpcache.Client) exsample.EngineOptions {
+		return exsample.EngineOptions{Workers: 4, FramesPerRound: 8, RemoteCache: client}
+	}
+	res, err = measure("cache_second_user_cold", 3, func() (map[string]float64, error) {
+		// A fresh server per op keeps every op genuinely cold.
+		srv := httptest.NewServer(httpcache.Handler(cachestore.NewLocal(1 << 16)))
+		defer srv.Close()
+		client, err := httpcache.New(httpcache.Config{Endpoint: srv.URL})
+		if err != nil {
+			return nil, err
+		}
+		cseed := uint64(cacheSeedBase)
+		return engineOp(slow, "car", 2, 1_000_000, cacheEngineOpts(client), 256, &cseed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	coldFS := res.Metrics["frames/s"]
+	snap.Suite = append(snap.Suite, res)
+
+	// One shared, pre-populated server for every warm op; each op still
+	// rebuilds the dataset and engine from scratch — the second user owns
+	// nothing but the server's address.
+	warmSrv := httptest.NewServer(httpcache.Handler(cachestore.NewLocal(1 << 16)))
+	defer warmSrv.Close()
+	// The warm op is wall-clock tiny (tens of milliseconds), so its
+	// frames/s — and through it vs-cold-x — is the suite's most
+	// jitter-prone number; eight ops average the loopback-latency noise
+	// down to where the ratio is gateable.
+	res, err = measure("cache_second_user_warm", 8, func() (map[string]float64, error) {
+		client, err := httpcache.New(httpcache.Config{Endpoint: warmSrv.URL})
+		if err != nil {
+			return nil, err
+		}
+		wseed := uint64(cacheSeedBase)
+		return engineOp(slow, "car", 2, 1_000_000, cacheEngineOpts(client), 256, &wseed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if coldFS > 0 {
+		res.Metrics["vs-cold-x"] = res.Metrics["frames/s"] / coldFS
+	}
+	snap.Suite = append(snap.Suite, res)
+
+	// Cache-aware tie-breaking on an overlapping fleet: four same-class,
+	// different-seed queries sharing one memo cache, with Workers 1 so the
+	// schedule (and therefore every count below) is deterministic. The
+	// source is deliberately small and densely chunked — 250-frame chunks
+	// — so fleet-mates steered into the same chunk collide on actual
+	// frames, not just chunks. The aware arm steers tied Thompson draws
+	// toward chunks its fleet-mates already paid for, so at equal results
+	// it charges fewer detector frames — results/kdetect is the row's
+	// gated metric. frames/s is deliberately not reported: these rows
+	// exist to compare counts, and a wall-clock metric would only add
+	// gate noise.
+	fleetSrc, err := exsample.Synthesize(exsample.SynthSpec{
+		NumFrames:    20_000,
+		NumInstances: 40,
+		Class:        "car",
+		MeanDuration: 30,
+		SkewFraction: 1.0 / 8,
+		ChunkFrames:  250,
+		Seed:         23,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, arm := range []struct {
+		name  string
+		aware bool
+	}{
+		{"cache_aware_off", false},
+		{"cache_aware_on", true},
+	} {
+		res, err = measure(arm.name, 2, func() (map[string]float64, error) {
+			eng, err := exsample.NewEngine(exsample.EngineOptions{
+				Workers:        1,
+				FramesPerRound: 4,
+				CacheEntries:   1 << 16,
+				CacheAware:     arm.aware,
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer eng.Close()
+			handles := make([]*exsample.QueryHandle, 4)
+			for i := range handles {
+				handles[i], err = eng.Submit(context.Background(), fleetSrc,
+					exsample.Query{Class: "car", Limit: 20},
+					exsample.Options{Seed: uint64(8100 + i)})
+				if err != nil {
+					return nil, err
+				}
+			}
+			var found int
+			var hits, misses int64
+			for _, h := range handles {
+				rep, err := h.Wait()
+				if err != nil {
+					return nil, err
+				}
+				found += len(rep.Results)
+				hits += rep.CacheHits
+				misses += rep.CacheMisses
+			}
+			m := map[string]float64{
+				"results/op": float64(found),
+				"hits/op":    float64(hits),
+				"detects/op": float64(misses),
+			}
+			if misses > 0 {
+				m["results/kdetect"] = float64(found) / float64(misses) * 1000
+			}
+			return m, nil
 		})
 		if err != nil {
 			return nil, err

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/exsample/exsample/backend"
+	"github.com/exsample/exsample/cachestore"
 	"github.com/exsample/exsample/internal/baseline"
 	"github.com/exsample/exsample/internal/cache"
 	"github.com/exsample/exsample/internal/core"
@@ -42,8 +44,17 @@ type queryRun struct {
 	dis      *discrim.Discriminator
 	curve    *metrics.RecallCurve
 	// memo, when non-nil, memoizes detector output across queries; hits
-	// are charged decode-only cost.
+	// are charged decode-only cost. Exactly one of memo and tier is
+	// non-nil for a cached run: memo is the classic in-process path (keyed
+	// by the per-process source id, byte-for-byte the pre-tier pipeline),
+	// tier the shared result tier (keyed by the source's content address,
+	// resolving through L1 → remote L2 → singleflighted detector fill).
 	memo *cache.Cache
+	tier *cachestore.Tiered
+	// aware enables the cache-aware sampler tie-break: when Thompson
+	// beliefs tie within epsilon, prefer the chunk with the higher cached
+	// fraction (see core.Config.CachedFrac).
+	aware bool
 
 	sampler *core.Sampler    // StrategyExSample
 	order   video.FrameOrder // other strategies
@@ -109,12 +120,25 @@ type queryRun struct {
 }
 
 // frameResult carries one frame's detector output plus the inference cost
-// actually incurred — zero on a memo-cache hit, where the query pays
-// decode-only cost.
+// actually incurred — zero on a cache hit (memo or tier), where the query
+// pays decode-only cost. remote marks a hit served by the remote L2 rather
+// than locally.
 type frameResult struct {
 	dets   []track.Detection
 	cost   float64
 	cached bool
+	remote bool
+}
+
+// cacheConfig bundles the caching mode a run operates under — the engine's
+// one decision point. The zero value is an uncached run; memo and tier are
+// mutually exclusive (newQueryRun rejects both set).
+type cacheConfig struct {
+	memo *cache.Cache
+	tier *cachestore.Tiered
+	// aware opts the sampler into cache-aware tie-breaking; it requires
+	// memo or tier.
+	aware bool
 }
 
 // detectScratch is a reusable buffer set for one in-flight detectBatch
@@ -128,6 +152,10 @@ type detectScratch struct {
 	out     []any // engine-side boxed view; unused by run.go itself
 	missIdx []int
 	miss    []int64
+	// keys and tierOuts are the shared-tier path's reusable buffers (key
+	// batch and per-frame outcomes); untouched by the memo path.
+	keys     []cachestore.Key
+	tierOuts []cachestore.Outcome
 }
 
 // results returns the scratch's result buffer resized to n, growing only
@@ -148,17 +176,18 @@ func (s *detectScratch) results(n int) []frameResult {
 
 // newQueryRun builds the full per-query pipeline over a Source: detector,
 // SORT-style discriminator, recall curve, report, and the strategy's
-// sampling state. memo, when non-nil, memoizes detector output across
-// queries sharing the cache (it is ignored for sources whose detector
-// output is not a pure function of the frame, e.g. under failure
-// injection). Callers are responsible for validating q and opts first
-// (Session deliberately accepts queries without a stopping condition).
+// sampling state. cc selects the caching mode: a memo cache or a shared
+// result tier, either memoizing detector output across queries (both are
+// ignored for sources whose detector output is not a pure function of the
+// frame, e.g. under failure injection). Callers are responsible for
+// validating q and opts first (Session deliberately accepts queries
+// without a stopping condition).
 //
 // standing selects park-on-exhaustion semantics for live sources: the run
 // tolerates an empty active shard set and an empty class population at
 // submission (both may arrive with a later append), and exhaustion never
 // latches. Standing runs require an elastic topology.
-func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache, standing bool) (*queryRun, error) {
+func newQueryRun(s Source, q Query, opts Options, cc cacheConfig, standing bool) (*queryRun, error) {
 	if s == nil {
 		return nil, fmt.Errorf("exsample: nil Source (open a Dataset or compose a ShardedSource first)")
 	}
@@ -227,8 +256,14 @@ func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache, standing bo
 	if maxFrames == 0 || maxFrames > numFrames {
 		maxFrames = numFrames
 	}
-	if memo != nil && !src.cacheable {
-		memo = nil
+	if cc.memo != nil && cc.tier != nil {
+		return nil, fmt.Errorf("exsample: a run caches through a memo cache or a shared tier, not both")
+	}
+	if !src.cacheable {
+		cc = cacheConfig{}
+	}
+	if cc.memo == nil && cc.tier == nil {
+		cc.aware = false
 	}
 	r := &queryRun{
 		src:        src,
@@ -237,7 +272,9 @@ func newQueryRun(s Source, q Query, opts Options, memo *cache.Cache, standing bo
 		detector:   detector,
 		dis:        dis,
 		curve:      curve,
-		memo:       memo,
+		memo:       cc.memo,
+		tier:       cc.tier,
+		aware:      cc.aware,
 		snap:       snap,
 		truthSeen:  truthSeen,
 		truthTotal: total,
@@ -264,6 +301,37 @@ func (r *queryRun) newSampler(chunks []video.Chunk, seed uint64) (*core.Sampler,
 	}
 	if r.opts.UniformWithinChunk {
 		cfg.Within = core.WithinUniform
+	}
+	if r.aware {
+		// Cache-aware tie-breaking: the per-chunk cached fraction comes
+		// from the tier's (or memo cache's) presence index — an O(chunk
+		// frames / bucket width) read consulted only when Thompson draws
+		// actually tie, so the signal is effectively free.
+		count := func(start, end int64) int { return 0 }
+		switch {
+		case r.tier != nil:
+			content := r.src.contentID
+			count = func(start, end int64) int {
+				return r.tier.CountRange(content, r.query.Class, start, end)
+			}
+		case r.memo != nil:
+			id := r.src.id
+			count = func(start, end int64) int {
+				return r.memo.CountRange(id, r.query.Class, start, end)
+			}
+		}
+		cfg.CachedFrac = func(j int) float64 {
+			c := chunks[j]
+			n := c.Len()
+			if n <= 0 {
+				return 0
+			}
+			frac := float64(count(c.Start, c.End)) / float64(n)
+			if frac > 1 {
+				frac = 1 // presence buckets are coarse; clamp the estimate
+			}
+			return frac
+		}
 	}
 	if r.opts.FuseProxyWithinChunk {
 		quality := r.opts.ProxyQuality
@@ -688,6 +756,9 @@ func (r *queryRun) detectBatch(ctx context.Context, frames []int64) ([]frameResu
 // scratch (nil allocates fresh buffers). The returned slice aliases the
 // scratch and is valid until the scratch's next use.
 func (r *queryRun) detectBatchInto(ctx context.Context, frames []int64, scr *detectScratch) ([]frameResult, error) {
+	if r.tier != nil {
+		return detectFramesTiered(ctx, r.detector, r.tier, r.src.contentID, r.query.Class, frames, scr)
+	}
 	return detectFrames(ctx, r.detector, r.memo, r.src.id, r.query.Class, frames, scr)
 }
 
@@ -756,6 +827,77 @@ func detectFrames(ctx context.Context, detector detect.BatchDetector, memo *cach
 	return out, nil
 }
 
+// detectFramesTiered is the shared-tier counterpart of detectFrames: the
+// batch resolves through the tiered store (L1 → remote L2 → singleflighted
+// fill), and only the frames no tier held — the TierDetector outcomes —
+// reach the backend, through the tier's fill seam so concurrent identical
+// misses across queries collapse to one detector call. scr.missIdx comes
+// back holding exactly those detector-charged positions, preserving the
+// sizer's miss accounting. Safe for concurrent calls with disjoint
+// scratches.
+func detectFramesTiered(ctx context.Context, detector detect.BatchDetector, tier *cachestore.Tiered, content uint64, class string, frames []int64, scr *detectScratch) ([]frameResult, error) {
+	out := scr.results(len(frames))
+	var keys []cachestore.Key
+	var outs []cachestore.Outcome
+	if scr != nil {
+		if cap(scr.keys) < len(frames) {
+			scr.keys = make([]cachestore.Key, len(frames))
+		}
+		scr.keys = scr.keys[:len(frames)]
+		keys = scr.keys
+		outs = scr.tierOuts
+	} else {
+		keys = make([]cachestore.Key, len(frames))
+	}
+	for i, f := range frames {
+		keys[i] = cachestore.Key{Content: content, Class: class, Frame: f}
+	}
+	res, err := tier.FetchBatch(ctx, keys, outs, func(fctx context.Context, miss []int) ([][]backend.Detection, []float64, error) {
+		mf := make([]int64, len(miss))
+		for k, i := range miss {
+			mf[k] = frames[i]
+		}
+		fouts, ferr := detector.DetectBatch(fctx, mf)
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		if len(fouts) != len(mf) {
+			return nil, nil, fmt.Errorf("exsample: detector returned %d results for a %d-frame batch", len(fouts), len(mf))
+		}
+		dets := make([][]backend.Detection, len(miss))
+		costs := make([]float64, len(miss))
+		for k, fo := range fouts {
+			dets[k] = trackToBackend(fo.Dets)
+			costs[k] = fo.Cost
+		}
+		return dets, costs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	missIdx := []int(nil)
+	if scr != nil {
+		scr.tierOuts = res
+		missIdx = scr.missIdx[:0]
+	}
+	for i, o := range res {
+		dets := backendToTrack(frames[i], o.Dets)
+		switch o.Where {
+		case cachestore.TierDetector:
+			out[i] = frameResult{dets: dets, cost: o.Cost}
+			missIdx = append(missIdx, i)
+		case cachestore.TierL2:
+			out[i] = frameResult{dets: dets, cached: true, remote: true}
+		default: // TierL1, TierMerged: locally resolved, zero inference cost
+			out[i] = frameResult{dets: dets, cached: true}
+		}
+	}
+	if scr != nil {
+		scr.missIdx = missIdx
+	}
+	return out, nil
+}
+
 // detectOne is detectBatch for a single frame — the shape the sequential
 // Search loop and Session's Step use. It runs through the per-run
 // sequential scratch, so the steady-state step loop allocates nothing
@@ -780,9 +922,12 @@ func (r *queryRun) apply(p core.Pick, fr frameResult) (StepInfo, error) {
 	rep := r.rep
 	rep.DecodeSeconds += r.src.decodeCost(p.Frame)
 	rep.DetectSeconds += fr.cost
-	if r.memo != nil {
+	if r.memo != nil || r.tier != nil {
 		if fr.cached {
 			rep.CacheHits++
+			if fr.remote {
+				rep.RemoteCacheHits++
+			}
 		} else {
 			rep.CacheMisses++
 		}

@@ -30,7 +30,7 @@ func SearchSource(src Source, q Query, opts Options) (*Report, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	run, err := newQueryRun(src, q, opts, nil, false)
+	run, err := newQueryRun(src, q, opts, cacheConfig{}, false)
 	if err != nil {
 		return nil, err
 	}

@@ -50,7 +50,7 @@ func NewSession(src Source, q Query, opts Options) (*Session, error) {
 	if opts.BatchSize > 1 || opts.Parallelism > 1 {
 		return nil, fmt.Errorf("exsample: sessions are single-frame; use Search for batching")
 	}
-	run, err := newQueryRun(src, q, opts, nil, false)
+	run, err := newQueryRun(src, q, opts, cacheConfig{}, false)
 	if err != nil {
 		return nil, err
 	}

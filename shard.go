@@ -3,6 +3,7 @@ package exsample
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -184,6 +185,7 @@ func NewShardedSource(name string, shards ...*Dataset) (*ShardedSource, error) {
 	}
 	s.qs = &querySource{
 		id:        sourceIDs.Add(1),
+		contentID: shardedContentID(name, shards),
 		name:      name,
 		numFrames: m.NumFrames(),
 		fps:       shards[0].inner.Profile.FPS,
@@ -237,6 +239,22 @@ func NewShardedSource(name string, shards ...*Dataset) (*ShardedSource, error) {
 		newScorer:   s.newScorer,
 	}
 	return s, nil
+}
+
+// shardedContentID composes the initial members' content addresses, in
+// order, under the source's name — the composed repository's stable content
+// address (see querySource.contentID). Later attaches keep the id: frames
+// append past the existing space, so the original members' keys stay valid,
+// and cross-process sharing of the appended range is sound exactly when the
+// processes attach the same shards in the same order — the caveat the
+// shared-tier docs carry.
+func shardedContentID(name string, shards []*Dataset) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "sharded|%s|", name)
+	for _, d := range shards {
+		fmt.Fprintf(h, "%016x|", d.qs.contentID)
+	}
+	return h.Sum64()
 }
 
 // AddShard attaches one more dataset to the composed repository and

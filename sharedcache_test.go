@@ -1,0 +1,378 @@
+package exsample
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/exsample/exsample/cachestore"
+	"github.com/exsample/exsample/cachestore/httpcache"
+)
+
+// Tests for the shared result tier: remote L2 via httpcache, content
+// addressing, engine-level singleflight and cache-aware sampling.
+
+// loopbackCache spins up an httpcache server over a Local store and returns
+// a connected client plus the backing store.
+func loopbackCache(t *testing.T) (*httpcache.Client, *cachestore.Local) {
+	t.Helper()
+	store := cachestore.NewLocal(1 << 16)
+	srv := httptest.NewServer(httpcache.Handler(store))
+	t.Cleanup(srv.Close)
+	c, err := httpcache.New(httpcache.Config{Endpoint: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, store
+}
+
+func TestRemoteTierByteIdenticalResults(t *testing.T) {
+	// With the remote tier enabled, a seeded engine query must return
+	// byte-identical Results to plain Search — the tier changes charged
+	// costs and sharing, never behavior.
+	ds := smallDataset(t, WithPerfectDetector())
+	q := Query{Class: "car", Limit: 20}
+	opts := Options{Seed: 101}
+
+	want, err := ds.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, _ := loopbackCache(t)
+	e := newTestEngine(t, EngineOptions{Workers: 2, RemoteCache: remote})
+	h, err := e.Submit(context.Background(), ds, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Results, rep.Results) {
+		t.Fatal("remote-tier run diverged from Search's Results")
+	}
+	if rep.CacheMisses != rep.FramesProcessed || rep.CacheHits != 0 || rep.RemoteCacheHits != 0 {
+		t.Fatalf("cold tier run: hits=%d remote=%d misses=%d over %d frames",
+			rep.CacheHits, rep.RemoteCacheHits, rep.CacheMisses, rep.FramesProcessed)
+	}
+	st := e.TierStats()
+	if st.Fills != rep.FramesProcessed {
+		t.Fatalf("tier filled %d frames for %d processed", st.Fills, rep.FramesProcessed)
+	}
+	if st.L2RoundTrips == 0 || st.L2RTTSeconds <= 0 {
+		t.Fatalf("no remote traffic recorded: %+v", st)
+	}
+}
+
+func TestSecondUserServedFromRemoteTier(t *testing.T) {
+	// The headline path: one process pays for a query's inference, a second
+	// process — fresh dataset object, fresh engine, same video content,
+	// same shared cache server — runs the same query without a single
+	// detector-charged frame, byte-identically.
+	spec := SynthSpec{
+		NumFrames:    200_000,
+		NumInstances: 300,
+		Class:        "car",
+		MeanDuration: 150,
+		SkewFraction: 1.0 / 16,
+		ChunkFrames:  4000,
+		Seed:         21,
+	}
+	q := Query{Class: "car", Limit: 20}
+	opts := Options{Seed: 77}
+	remote, _ := loopbackCache(t)
+
+	ds1, err := Synthesize(spec, WithPerfectDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := newTestEngine(t, EngineOptions{Workers: 2, RemoteCache: remote})
+	h1, err := e1.Submit(context.Background(), ds1, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := h1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second user: everything process-local is rebuilt from scratch.
+	ds2, err := Synthesize(spec, WithPerfectDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := newTestEngine(t, EngineOptions{Workers: 2, RemoteCache: remote})
+	h2, err := e2.Submit(context.Background(), ds2, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := h2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1.Results, rep2.Results) {
+		t.Fatal("second user's Results diverged from the first's")
+	}
+	if rep2.CacheMisses != 0 {
+		t.Fatalf("second user missed %d frames, want 0", rep2.CacheMisses)
+	}
+	if rep2.RemoteCacheHits != rep2.FramesProcessed {
+		t.Fatalf("second user: %d remote hits over %d frames, want all remote",
+			rep2.RemoteCacheHits, rep2.FramesProcessed)
+	}
+	if rep2.DetectSeconds != 0 {
+		t.Fatalf("second user charged %v detector seconds", rep2.DetectSeconds)
+	}
+	if st := e2.TierStats(); st.Fills != 0 {
+		t.Fatalf("second user paid %d detector fills", st.Fills)
+	}
+
+	// Third user warms ahead of the query: every hit is then local.
+	ds3, err := Synthesize(spec, WithPerfectDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3 := newTestEngine(t, EngineOptions{Workers: 2, RemoteCache: remote})
+	warmed, err := e3.Warm(context.Background(), ds3, "car", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(warmed) != rep1.FramesProcessed {
+		t.Fatalf("Warm copied %d entries, first run processed %d frames", warmed, rep1.FramesProcessed)
+	}
+	h3, err := e3.Submit(context.Background(), ds3, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep3, err := h3.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1.Results, rep3.Results) {
+		t.Fatal("warmed user's Results diverged")
+	}
+	if rep3.CacheMisses != 0 || rep3.RemoteCacheHits != 0 || rep3.CacheHits != rep3.FramesProcessed {
+		t.Fatalf("warmed user: hits=%d remote=%d misses=%d, want all local hits",
+			rep3.CacheHits, rep3.RemoteCacheHits, rep3.CacheMisses)
+	}
+}
+
+func TestContentIDStableAcrossReopens(t *testing.T) {
+	spec := SynthSpec{
+		NumFrames:    50_000,
+		NumInstances: 50,
+		Class:        "car",
+		MeanDuration: 100,
+		ChunkFrames:  2000,
+		Seed:         9,
+	}
+	a, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.qs.contentID != b.qs.contentID {
+		t.Fatal("re-opening the same spec changed the content id")
+	}
+	if a.qs.id == b.qs.id {
+		t.Fatal("two opens share a process-local source id")
+	}
+	spec.Seed = 10
+	c, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.qs.contentID == a.qs.contentID {
+		t.Fatal("different generation seeds share a content id")
+	}
+	// A noise-model option changes detector output, so it must change the
+	// content id too.
+	d, err := Synthesize(SynthSpec{
+		NumFrames:    50_000,
+		NumInstances: 50,
+		Class:        "car",
+		MeanDuration: 100,
+		ChunkFrames:  2000,
+		Seed:         9,
+	}, WithPerfectDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.qs.contentID == a.qs.contentID {
+		t.Fatal("different noise models share a content id")
+	}
+	// Sharded composition is content-addressed from its members and name.
+	mk := func() *ShardedSource {
+		shards := shardDatasets(t, 2, 20_000)
+		ss, err := NewShardedSource("fleet", shards...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+	if mk().qs.contentID != mk().qs.contentID {
+		t.Fatal("identical sharded compositions differ in content id")
+	}
+}
+
+func TestEngineSingleflightSharedFrames(t *testing.T) {
+	// Two identical concurrent queries on a cold shared tier must cost
+	// exactly one detector call per distinct frame: whichever query reaches
+	// a frame second either merges into the first's in-flight fill
+	// (singleflight) or hits the L1 write-through — never the backend.
+	shards := shardDatasets(t, 2, 20_000, WithPerfectDetector())
+	ss, err := NewShardedSource("fleet", shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, _ := loopbackCache(t)
+	e := newTestEngine(t, EngineOptions{Workers: 4, RemoteCache: remote})
+	q := Query{Class: "car", Limit: 20}
+	opts := Options{Seed: 5}
+
+	var handles [2]*QueryHandle
+	for i := range handles {
+		h, err := e.Submit(context.Background(), ss, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	var wg sync.WaitGroup
+	for _, h := range handles {
+		wg.Add(1)
+		go func(h *QueryHandle) {
+			defer wg.Done()
+			for range h.Events() {
+			}
+		}(h)
+	}
+	reps := make([]*Report, len(handles))
+	for i, h := range handles {
+		rep, err := h.Wait()
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		reps[i] = rep
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(reps[0].Results, reps[1].Results) {
+		t.Fatal("identical concurrent queries diverged")
+	}
+	// Same seed → same distinct frame set; the backends must have served it
+	// exactly once.
+	var detects int64
+	for _, st := range ss.ShardStats() {
+		detects += st.DetectCalls
+	}
+	if detects != reps[0].FramesProcessed {
+		t.Fatalf("backends served %d frames for %d distinct sampled frames (duplicate inference under concurrency)",
+			detects, reps[0].FramesProcessed)
+	}
+	if st := e.TierStats(); st.Fills != reps[0].FramesProcessed {
+		t.Fatalf("tier filled %d frames, want %d", st.Fills, reps[0].FramesProcessed)
+	}
+}
+
+func TestCacheAwareColdIdentity(t *testing.T) {
+	// With an empty cache every chunk's cached fraction is 0, ties resolve
+	// to the higher score — exactly the unaware rule — so a cold
+	// cache-aware run is still byte-identical to Search.
+	ds := smallDataset(t, WithPerfectDetector())
+	q := Query{Class: "car", Limit: 20}
+	opts := Options{Seed: 31}
+	want, err := ds.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, EngineOptions{Workers: 1, CacheEntries: 1 << 16, CacheAware: true})
+	h, err := e.Submit(context.Background(), ds, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Results, rep.Results) {
+		t.Fatal("cold cache-aware run diverged from Search")
+	}
+}
+
+func TestCacheAwarePrefersCachedChunks(t *testing.T) {
+	// Two engines start from identical warm L1 state (same remote tier,
+	// same Warm call); the cache-aware one must convert at least as many of
+	// its frames into cache hits as the unaware one.
+	spec := SynthSpec{
+		NumFrames:    200_000,
+		NumInstances: 300,
+		Class:        "car",
+		MeanDuration: 150,
+		SkewFraction: 1.0 / 16,
+		ChunkFrames:  4000,
+		Seed:         21,
+	}
+	remote, _ := loopbackCache(t)
+
+	// Seed the shared tier with one query's worth of frames.
+	seedDS, err := Synthesize(spec, WithPerfectDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := newTestEngine(t, EngineOptions{Workers: 2, RemoteCache: remote})
+	h0, err := e0.Submit(context.Background(), seedDS, Query{Class: "car", Limit: 30}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h0.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(aware bool) *Report {
+		ds, err := Synthesize(spec, WithPerfectDetector())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := newTestEngine(t, EngineOptions{Workers: 1, RemoteCache: remote, CacheAware: aware})
+		if _, err := e.Warm(context.Background(), ds, "car", 0); err != nil {
+			t.Fatal(err)
+		}
+		h, err := e.Submit(context.Background(), ds, Query{Class: "car", Limit: 30}, Options{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := h.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	off := run(false)
+	on := run(true)
+	if on.CacheHits < off.CacheHits {
+		t.Fatalf("cache-aware run hit %d frames, unaware hit %d — awareness lost hits",
+			on.CacheHits, off.CacheHits)
+	}
+	if len(on.Results) == 0 {
+		t.Fatal("cache-aware run found nothing")
+	}
+}
+
+func TestWarmRequiresRemote(t *testing.T) {
+	ds := smallDataset(t)
+	e := newTestEngine(t, EngineOptions{CacheEntries: 1 << 10})
+	if _, err := e.Warm(context.Background(), ds, "car", 0); err == nil {
+		t.Fatal("Warm without a RemoteCache succeeded")
+	}
+}
+
+func TestCacheAwareNeedsCache(t *testing.T) {
+	if _, err := NewEngine(EngineOptions{CacheAware: true}); err == nil {
+		t.Fatal("CacheAware without any cache accepted")
+	}
+}

@@ -77,7 +77,21 @@ func (qs *querySource) backendMaxBatch() int {
 // pipeline needs from a repository, expressed in global frame coordinates.
 type querySource struct {
 	// id uniquely identifies this open source (cache key prefix).
-	id        uint64
+	id uint64
+	// contentID is the stable content address of the source: a hash of the
+	// construction inputs that determine detector output (profile, scale,
+	// generation seed, noise model; composed member hashes for sharded
+	// sources). Two processes opening the same video derive the same value,
+	// which is what lets shared-tier cache entries (cachestore) survive
+	// restarts and cross process boundaries. For sharded sources the hash
+	// composes the initial members in order; elastic attaches keep the id
+	// (frames append past the existing space), so sharing the appended
+	// range across processes is sound only when they attach the same shards
+	// in the same order. Sources with custom
+	// backends inherit the same determinism caveat as the memo cache: the
+	// backend must be deterministic per (class, frame) for sharing to be
+	// sound.
+	contentID uint64
 	name      string
 	numFrames int64
 	// fps is the recording rate used for hour-granularity stratification

@@ -31,7 +31,7 @@ func (e *Engine) SubmitTrack(ctx context.Context, src Source, p TrackPredicate, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	run, err := newTrackRun(src, p, opts, e.memo)
+	run, err := newTrackRun(src, p, opts, e.cacheCfg())
 	if err != nil {
 		return nil, err
 	}

@@ -318,6 +318,9 @@ type TrackReport struct {
 	// CacheHits and CacheMisses count memo-cache outcomes when an
 	// Engine-level detector cache is enabled (both zero otherwise).
 	CacheHits, CacheMisses int64
+	// RemoteCacheHits counts the subset of CacheHits served by the shared
+	// remote tier (EngineOptions.RemoteCache). Zero without a remote tier.
+	RemoteCacheHits int64
 }
 
 // TotalSeconds is the full charged query time.

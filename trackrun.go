@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/exsample/exsample/cachestore"
 	"github.com/exsample/exsample/internal/cache"
 	"github.com/exsample/exsample/internal/core"
 	"github.com/exsample/exsample/internal/detect"
@@ -35,10 +36,12 @@ type trackRun struct {
 	eval     *trackquery.Evaluator
 	opts     TrackOptions
 	detector detect.BatchDetector
-	memo     *cache.Cache
-	plan     *trackquery.Plan
-	stride   int64
-	trkCfg   sorttrack.Config
+	// memo/tier mirror queryRun: at most one is non-nil (see cacheConfig).
+	memo   *cache.Cache
+	tier   *cachestore.Tiered
+	plan   *trackquery.Plan
+	stride int64
+	trkCfg sorttrack.Config
 
 	// store holds every processed frame's detections until the interval
 	// containing the frame is assembled (coarse frames outside every
@@ -67,7 +70,7 @@ type trackRun struct {
 // later attach/drain events do not move a running track query (candidate
 // intervals are clipped to the frozen coverage, so refine never touches a
 // frame the snapshot cannot reach).
-func newTrackRun(s Source, p TrackPredicate, o TrackOptions, memo *cache.Cache) (*trackRun, error) {
+func newTrackRun(s Source, p TrackPredicate, o TrackOptions, cc cacheConfig) (*trackRun, error) {
 	if s == nil {
 		return nil, fmt.Errorf("exsample: nil Source (open a Dataset or compose a ShardedSource first)")
 	}
@@ -108,8 +111,11 @@ func newTrackRun(s Source, p TrackPredicate, o TrackOptions, memo *cache.Cache) 
 	if err != nil {
 		return nil, err
 	}
-	if memo != nil && !src.cacheable {
-		memo = nil
+	if cc.memo != nil && cc.tier != nil {
+		return nil, fmt.Errorf("exsample: a run caches through a memo cache or a shared tier, not both")
+	}
+	if !src.cacheable {
+		cc = cacheConfig{}
 	}
 	stride := o.strideFor(p)
 	pad := o.Pad
@@ -152,7 +158,8 @@ func newTrackRun(s Source, p TrackPredicate, o TrackOptions, memo *cache.Cache) 
 		eval:     eval,
 		opts:     o,
 		detector: detector,
-		memo:     memo,
+		memo:     cc.memo,
+		tier:     cc.tier,
 		plan:     plan,
 		stride:   stride,
 		trkCfg:   trkCfg,
@@ -210,8 +217,12 @@ func (r *trackRun) marginalValue() float64 {
 	return r.plan.MarginalValue()
 }
 
-// detectBatchInto runs the memo-aware batched detector; see detectFrames.
+// detectBatchInto runs the cache-aware batched detector; see detectFrames
+// and detectFramesTiered.
 func (r *trackRun) detectBatchInto(ctx context.Context, frames []int64, scr *detectScratch) ([]frameResult, error) {
+	if r.tier != nil {
+		return detectFramesTiered(ctx, r.detector, r.tier, r.src.contentID, r.pred.Class, frames, scr)
+	}
 	return detectFrames(ctx, r.detector, r.memo, r.src.id, r.pred.Class, frames, scr)
 }
 
@@ -237,9 +248,12 @@ func (r *trackRun) apply(p core.Pick, fr frameResult) error {
 	rep := r.rep
 	rep.DecodeSeconds += r.src.decodeCost(p.Frame)
 	rep.DetectSeconds += fr.cost
-	if r.memo != nil {
+	if r.memo != nil || r.tier != nil {
 		if fr.cached {
 			rep.CacheHits++
+			if fr.remote {
+				rep.RemoteCacheHits++
+			}
 		} else {
 			rep.CacheMisses++
 		}
@@ -386,7 +400,7 @@ func (r *trackRun) done() bool {
 // scenes this charges a small fraction of a dense scan's detector frames —
 // TrackReport.Speedup reports the realized ratio.
 func TrackSearch(src Source, p TrackPredicate, o TrackOptions) (*TrackReport, error) {
-	run, err := newTrackRun(src, p, o, nil)
+	run, err := newTrackRun(src, p, o, cacheConfig{})
 	if err != nil {
 		return nil, err
 	}
