@@ -59,13 +59,50 @@ func (s State) String() string {
 	}
 }
 
-// Config parameterizes a Router. Replicas is required; everything else
-// has a production-shaped default.
+// ReplicaSpec declares one replica together with its capacity metadata —
+// the structured alternative to the parallel Replicas/Names lists for
+// heterogeneous fleets.
+type ReplicaSpec struct {
+	// Backend is the replica endpoint (required).
+	Backend backend.Backend
+	// Name labels the replica in Stats (default "replica-i").
+	Name string
+	// Weight is the replica's relative capacity: a replica with 4x the
+	// throughput of its siblings gets Weight 4 and draws ~4x the batches
+	// (and, under Scatter, ~4x the frames of each split batch). Weights
+	// only compare against each other, so set them for every replica or
+	// for none. Zero derives the weight live: the measured per-frame
+	// throughput once the replica has served coldRequests batches, the
+	// Hints.MaxBatch ratio before that, 1 when neither signal exists.
+	Weight float64
+}
+
+// Config parameterizes a Router. Replicas (or Specs) is required;
+// everything else has a production-shaped default.
 type Config struct {
 	// Replicas are the equivalent backends to route across (at least one).
+	// Mutually exclusive with Specs.
 	Replicas []backend.Backend
 	// Names labels the replicas in Stats (default "replica-0", ...).
 	Names []string
+	// Specs declares the replicas with per-replica capacity weights — use
+	// this instead of Replicas/Names for heterogeneous fleets.
+	Specs []ReplicaSpec
+	// Scatter splits each large DetectBatch across several healthy
+	// replicas proportional to their capacity weights (contiguous frame
+	// slices, reassembled in order), instead of sending the whole batch to
+	// one replica. A failed slice fails over to untried siblings exactly
+	// like a whole batch; a slice that exhausts its retries fails the
+	// whole batch, so callers see the same all-or-nothing semantics as
+	// single-replica routing. With Scatter on, Hints().MaxBatch reports
+	// the fleet's aggregate capacity rather than the most conservative
+	// replica's. Off by default: the single-replica path is byte-for-byte
+	// the pre-scatter router.
+	Scatter bool
+	// ScatterMinSlice is the smallest slice worth a separate dispatch
+	// (default 8): batches under 2*ScatterMinSlice frames, and fleets with
+	// fewer than two healthy replicas, use the single-replica path.
+	ScatterMinSlice int
 	// FailureThreshold is how many consecutive failures open a replica's
 	// circuit breaker (default 3). The counter resets on any success, so
 	// sporadic failures only shed load transiently.
@@ -103,7 +140,14 @@ func (c Config) withDefaults() Config {
 		c.Cooldown = 2 * time.Second
 	}
 	if c.FailoverRetries == 0 {
-		c.FailoverRetries = len(c.Replicas) - 1
+		n := len(c.Replicas)
+		if len(c.Specs) > 0 {
+			n = len(c.Specs)
+		}
+		c.FailoverRetries = n - 1
+	}
+	if c.ScatterMinSlice == 0 {
+		c.ScatterMinSlice = 8
 	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = time.Second
@@ -128,8 +172,10 @@ const coldRequests = 3
 // replica is one endpoint's routing state. The mutex-guarded fields are
 // tiny and uncontended next to the inference calls they account for.
 type replica struct {
-	b    backend.Backend
-	name string
+	b        backend.Backend
+	name     string
+	weight   float64 // configured capacity weight (0 = derive live)
+	maxBatch int     // Hints().MaxBatch cached at construction
 
 	mu          sync.Mutex
 	state       State
@@ -138,12 +184,20 @@ type replica struct {
 	trial       bool // a half-open trial call is in flight
 	inflight    int
 	ewmaSeconds float64
+	perFrame    float64 // per-frame latency EWMA — the throughput proxy
 	lastErr     error
 	lastErrAt   time.Time
 
 	requests  int64
 	failures  int64
 	successes int64
+	opens     int64 // breaker open transitions charged to this replica
+	slices    int64 // scatter slices served
+
+	// credit is the replica's smooth weighted-round-robin balance for
+	// near-tie picks. Guarded by Router.mu, not rep.mu: only pick touches
+	// it, and pick already holds the router lock.
+	credit float64
 }
 
 // Router is a backend.Backend (and backend.BatchCoster) that fans a fleet
@@ -152,10 +206,10 @@ type replica struct {
 type Router struct {
 	cfg      Config
 	replicas []*replica
-	rr       int // round-robin tie-break cursor, guarded by mu
 	mu       sync.Mutex
 
-	failovers int64 // batches rescued by a sibling after a failure
+	failovers int64 // batches (or slices) rescued by a sibling after a failure
+	scatters  int64 // batches served scattered across several replicas
 
 	// breakerOpens counts breaker open transitions (healthy/half-open →
 	// open) over the router's lifetime — the capacity-loss edge the
@@ -177,11 +231,24 @@ var (
 // set, starts its health-probe loop. Callers that set Probe must Close
 // the router to stop the loop.
 func New(cfg Config) (*Router, error) {
-	if len(cfg.Replicas) == 0 {
-		return nil, fmt.Errorf("router: Config.Replicas is required")
+	if len(cfg.Specs) > 0 && (len(cfg.Replicas) > 0 || len(cfg.Names) > 0) {
+		return nil, fmt.Errorf("router: Config.Specs is mutually exclusive with Replicas/Names")
 	}
-	if cfg.Names != nil && len(cfg.Names) != len(cfg.Replicas) {
-		return nil, fmt.Errorf("router: %d names for %d replicas", len(cfg.Names), len(cfg.Replicas))
+	specs := cfg.Specs
+	if len(specs) == 0 {
+		if len(cfg.Replicas) == 0 {
+			return nil, fmt.Errorf("router: Config.Replicas (or Specs) is required")
+		}
+		if cfg.Names != nil && len(cfg.Names) != len(cfg.Replicas) {
+			return nil, fmt.Errorf("router: %d names for %d replicas", len(cfg.Names), len(cfg.Replicas))
+		}
+		specs = make([]ReplicaSpec, len(cfg.Replicas))
+		for i, b := range cfg.Replicas {
+			specs[i] = ReplicaSpec{Backend: b}
+			if cfg.Names != nil {
+				specs[i].Name = cfg.Names[i]
+			}
+		}
 	}
 	if cfg.FailureThreshold < 0 || cfg.FailoverRetries < 0 {
 		return nil, fmt.Errorf("router: negative FailureThreshold or FailoverRetries")
@@ -189,17 +256,28 @@ func New(cfg Config) (*Router, error) {
 	if cfg.LatencyDecay < 0 || cfg.LatencyDecay > 1 {
 		return nil, fmt.Errorf("router: LatencyDecay %v outside [0, 1]", cfg.LatencyDecay)
 	}
+	if cfg.ScatterMinSlice < 0 {
+		return nil, fmt.Errorf("router: negative ScatterMinSlice")
+	}
 	cfg = cfg.withDefaults()
 	r := &Router{cfg: cfg}
-	for i, b := range cfg.Replicas {
-		if b == nil {
+	for i, s := range specs {
+		if s.Backend == nil {
 			return nil, fmt.Errorf("router: replica %d is nil", i)
 		}
-		name := fmt.Sprintf("replica-%d", i)
-		if cfg.Names != nil {
-			name = cfg.Names[i]
+		if s.Weight < 0 {
+			return nil, fmt.Errorf("router: replica %d has negative Weight %v", i, s.Weight)
 		}
-		r.replicas = append(r.replicas, &replica{b: b, name: name})
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("replica-%d", i)
+		}
+		r.replicas = append(r.replicas, &replica{
+			b:        s.Backend,
+			name:     name,
+			weight:   s.Weight,
+			maxBatch: s.Backend.Hints().MaxBatch,
+		})
 	}
 	if cfg.Probe != nil {
 		r.probeStop = make(chan struct{})
@@ -242,7 +320,7 @@ func (r *Router) probeLoop(stop <-chan struct{}) {
 			if err != nil {
 				r.noteFailure(rep, fmt.Errorf("probe: %w", err))
 			} else {
-				r.noteSuccess(rep, 0, false)
+				r.noteSuccess(rep, 0, 0, false)
 			}
 		}
 	}
@@ -273,65 +351,102 @@ func (r *Router) admissible(rep *replica, now time.Time) bool {
 	return false
 }
 
+// capacityWeightLocked returns the replica's relative capacity weight.
+// An explicit ReplicaSpec.Weight wins; otherwise a warmed replica's
+// measured per-frame throughput (1/perFrame — frames per second, modulo
+// batch overhead) is the live estimate, the MaxBatch hint stands in
+// before the EWMA warms, and 1 is the no-signal fallback. Weights only
+// ever compare against each other, so the mixed scales are harmless: a
+// cold replica ranks at load 0 and warms regardless of its weight.
+// Caller must hold rep.mu.
+func capacityWeightLocked(rep *replica) float64 {
+	if rep.weight > 0 {
+		return rep.weight
+	}
+	if rep.requests >= coldRequests && rep.perFrame > 0 {
+		return 1 / rep.perFrame
+	}
+	if rep.maxBatch > 0 {
+		return float64(rep.maxBatch)
+	}
+	return 1
+}
+
 // pick selects the next replica to try: among admissible replicas not yet
-// tried for this batch, the one with the lowest latency-weighted load
-// ewma*(inflight+1) — a cheap "weighted least-connections" that sends
-// traffic toward fast idle replicas without starving slower ones (a
-// replica with no traffic has load ≈ 0 and is always worth a try). Ties
-// break round-robin so equivalent replicas share load evenly.
+// tried for this batch, the one with the lowest capacity-weighted load
+// ewma*(inflight+1)/weight — weighted least-connections where a replica
+// with 4x the capacity carries 4x the latency-load before it stops
+// looking light (a replica with no traffic has load ≈ 0 and is always
+// worth a try). Loads within ~10% of the lightest are noise-level ties
+// (latency EWMAs of equivalent replicas differ by noise); ties resolve by
+// smooth weighted round-robin on persistent per-replica credits, so a
+// 4:1:1:1 fleet interleaves picks 4-1-1-1 instead of bursting, and equal
+// weights reproduce plain round-robin.
 func (r *Router) pick(tried map[int]bool) (int, bool) {
 	now := time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	type cand struct {
-		i    int
-		load float64
+		i      int
+		load   float64
+		weight float64
 	}
 	var cands []cand
-	n := len(r.replicas)
-	for k := 0; k < n; k++ {
-		i := (r.rr + k) % n
+	for i, rep := range r.replicas {
 		if tried[i] {
 			continue
 		}
-		rep := r.replicas[i]
 		if !r.admissible(rep, now) {
 			continue
 		}
 		rep.mu.Lock()
-		load := rep.ewmaSeconds * float64(rep.inflight+1)
+		w := capacityWeightLocked(rep)
+		load := rep.ewmaSeconds * float64(rep.inflight+1) / w
 		if rep.requests < coldRequests {
 			// An unmeasured replica has no latency signal to weigh; rank
-			// it weightless (modulo in-flight pressure) so cold replicas
-			// warm up in rotation order instead of starving behind an
-			// early lucky measurement.
+			// it weightless so cold replicas warm up in weighted rotation
+			// instead of starving behind an early lucky measurement.
 			load = 0
 		}
 		rep.mu.Unlock()
-		cands = append(cands, cand{i, load})
+		cands = append(cands, cand{i, load, w})
 	}
 	if len(cands) == 0 {
 		return 0, false
 	}
-	// A candidate displaces the rotation-first choice only when it is
-	// meaningfully lighter (>10% — latency EWMAs of equivalent replicas
-	// differ by noise), so equal fleets round-robin while a genuinely
-	// fast-and-idle replica still wins.
-	best := cands[0]
+	minLoad := cands[0].load
 	for _, c := range cands[1:] {
-		if c.load < 0.9*best.load {
-			best = c
+		if c.load < minLoad {
+			minLoad = c.load
 		}
 	}
+	// Smooth WRR over the near-tie set: every tied candidate earns credit
+	// proportional to its weight, the highest balance wins and pays the
+	// round's total back — the classic nginx schedule, which spreads a
+	// 4:1:1:1 fleet as 0,1,0,2,0,3,0,0 rather than 0,0,0,0,1,2,3.
+	best := -1
+	var total float64
+	for k := range cands {
+		c := &cands[k]
+		if c.load*0.9 > minLoad {
+			continue // meaningfully heavier than the lightest — not a tie
+		}
+		rep := r.replicas[c.i]
+		rep.credit += c.weight
+		total += c.weight
+		if best < 0 || rep.credit > r.replicas[cands[best].i].credit {
+			best = k
+		}
+	}
+	r.replicas[cands[best].i].credit -= total
 	// Candidates scanned but not chosen give back any half-open trial
 	// slot admissible() just claimed for them.
 	for _, c := range cands {
-		if c.i != best.i {
+		if c.i != cands[best].i {
 			r.releaseTrial(r.replicas[c.i])
 		}
 	}
-	r.rr = (best.i + 1) % n
-	return best.i, true
+	return cands[best].i, true
 }
 
 // releaseTrial returns an unused half-open trial slot.
@@ -344,9 +459,9 @@ func (r *Router) releaseTrial(rep *replica) {
 }
 
 // noteSuccess records a successful call (or probe): the breaker closes,
-// the failure streak resets and the latency EWMA absorbs the observation
-// (probes pass elapsed 0 and update no latency).
-func (r *Router) noteSuccess(rep *replica, elapsed time.Duration, counts bool) {
+// the failure streak resets and the latency EWMAs absorb the observation
+// (probes pass elapsed 0 / frames 0 and update no latency).
+func (r *Router) noteSuccess(rep *replica, elapsed time.Duration, frames int, counts bool) {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
 	rep.state = Healthy
@@ -355,11 +470,19 @@ func (r *Router) noteSuccess(rep *replica, elapsed time.Duration, counts bool) {
 	if counts {
 		rep.successes++
 		sec := elapsed.Seconds()
+		d := r.cfg.LatencyDecay
 		if rep.ewmaSeconds == 0 {
 			rep.ewmaSeconds = sec
 		} else {
-			d := r.cfg.LatencyDecay
 			rep.ewmaSeconds = d*sec + (1-d)*rep.ewmaSeconds
+		}
+		if frames > 0 {
+			pf := sec / float64(frames)
+			if rep.perFrame == 0 {
+				rep.perFrame = pf
+			} else {
+				rep.perFrame = d*pf + (1-d)*rep.perFrame
+			}
 		}
 	}
 }
@@ -377,6 +500,7 @@ func (r *Router) noteFailure(rep *replica, err error) {
 	if rep.state == HalfOpen || rep.consecFails >= r.cfg.FailureThreshold {
 		if rep.state != Open {
 			r.breakerOpens.Add(1)
+			rep.opens++
 		}
 		rep.state = Open
 		rep.openedAt = time.Now()
@@ -384,12 +508,30 @@ func (r *Router) noteFailure(rep *replica, err error) {
 	}
 }
 
-// Hints implements backend.Backend: the fleet's scheduling hints are the
-// most conservative of its replicas' — the smallest non-zero MaxBatch
-// (every replica must accept a routed batch) and the first replica's
-// nominal per-frame cost.
+// Hints implements backend.Backend. With scatter off, the fleet's hints
+// are the most conservative of its replicas' — the smallest non-zero
+// MaxBatch (every replica must accept a whole routed batch) and the
+// first replica's nominal per-frame cost. With scatter on, MaxBatch is
+// the fleet aggregate (the sum across replicas, 0/unbounded if any
+// replica is unbounded): a scattered batch is sliced to each replica's
+// own capacity, so the fleet as a whole absorbs the sum. Replicas should
+// still treat their own MaxBatch as a hint, not a contract — a degraded
+// fleet routes whole batches to the survivors.
 func (r *Router) Hints() backend.Hints {
 	h := r.replicas[0].b.Hints()
+	if r.cfg.Scatter {
+		total := 0
+		for _, rep := range r.replicas {
+			mb := rep.b.Hints().MaxBatch
+			if mb <= 0 {
+				total = 0
+				break
+			}
+			total += mb
+		}
+		h.MaxBatch = total
+		return h
+	}
 	for _, rep := range r.replicas[1:] {
 		rh := rep.b.Hints()
 		if rh.MaxBatch > 0 && (h.MaxBatch == 0 || rh.MaxBatch < h.MaxBatch) {
@@ -414,6 +556,13 @@ func (r *Router) DetectBatch(ctx context.Context, class string, frames []int64) 
 func (r *Router) DetectBatchCost(ctx context.Context, class string, frames []int64) ([][]backend.Detection, []float64, error) {
 	if len(frames) == 0 {
 		return nil, nil, nil
+	}
+	if r.cfg.Scatter {
+		if dets, costs, ok, err := r.scatterBatch(ctx, class, frames); ok {
+			return dets, costs, err
+		}
+		// Too small a batch or too few healthy replicas to be worth
+		// splitting — fall through to the single-replica path.
 	}
 	tried := make(map[int]bool)
 	var lastErr error
@@ -491,7 +640,7 @@ func (r *Router) call(ctx context.Context, rep *replica, class string, frames []
 		r.noteFailure(rep, err)
 		return nil, nil, err
 	}
-	r.noteSuccess(rep, elapsed, true)
+	r.noteSuccess(rep, elapsed, len(frames), true)
 	return dets, costs, nil
 }
 
@@ -511,6 +660,14 @@ type ReplicaStats struct {
 	// signal behind weighted picks, and the stat the adaptive batch sizer
 	// wants.
 	EWMALatencySeconds float64
+	// Weight is the replica's effective capacity weight at snapshot time:
+	// the configured ReplicaSpec.Weight, or the live derived estimate.
+	Weight float64
+	// BreakerOpens counts breaker open transitions charged to this
+	// replica over the router's lifetime.
+	BreakerOpens int64
+	// Slices counts scatter-gather slices this replica served.
+	Slices int64
 	// LastErr is the most recent failure ("" when none).
 	LastErr string
 	// LastErrAt is when it happened (zero when none).
@@ -531,6 +688,9 @@ func (r *Router) Stats() []ReplicaStats {
 			Failures:            rep.failures,
 			ConsecutiveFailures: rep.consecFails,
 			EWMALatencySeconds:  rep.ewmaSeconds,
+			Weight:              capacityWeightLocked(rep),
+			BreakerOpens:        rep.opens,
+			Slices:              rep.slices,
 		}
 		if rep.lastErr != nil {
 			out[i].LastErr = rep.lastErr.Error()
@@ -541,12 +701,49 @@ func (r *Router) Stats() []ReplicaStats {
 	return out
 }
 
-// Failovers returns how many batches were rescued by a sibling replica
-// after their first pick failed.
+// Failovers returns how many batches (or scatter slices) were rescued by
+// a sibling replica after their first pick failed.
 func (r *Router) Failovers() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.failovers
+}
+
+// Scatters returns how many batches were served scattered across several
+// replicas (0 unless Config.Scatter is on).
+func (r *Router) Scatters() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scatters
+}
+
+// ScatterEnabled reports whether scatter-gather batch splitting is on.
+func (r *Router) ScatterEnabled() bool { return r.cfg.Scatter }
+
+// ReplicaOpens snapshots each replica's cumulative breaker-open count,
+// indexed by replica. The per-replica complement of BreakerOpens: a
+// caller that diffs successive snapshots can attribute a capacity-loss
+// edge to the specific replica that dropped out.
+func (r *Router) ReplicaOpens() []int64 {
+	out := make([]int64, len(r.replicas))
+	for i, rep := range r.replicas {
+		rep.mu.Lock()
+		out[i] = rep.opens
+		rep.mu.Unlock()
+	}
+	return out
+}
+
+// CapacityWeights snapshots each replica's effective capacity weight
+// (configured or live-derived), indexed by replica.
+func (r *Router) CapacityWeights() []float64 {
+	out := make([]float64, len(r.replicas))
+	for i, rep := range r.replicas {
+		rep.mu.Lock()
+		out[i] = capacityWeightLocked(rep)
+		rep.mu.Unlock()
+	}
+	return out
 }
 
 // BreakerOpens returns the cumulative count of circuit-breaker open
@@ -572,13 +769,43 @@ type SizerSignal struct {
 	// the "flat" reference a sizer can compare a round's observed batch
 	// latency against.
 	EWMALatencySeconds float64
+	// Replicas is the per-replica breakdown, indexed by replica — the
+	// signal a per-replica quota controller needs to scope a shrink to
+	// the member that actually dropped out.
+	Replicas []ReplicaSignal
+}
+
+// ReplicaSignal is one replica's slice of the sizer-facing signal.
+type ReplicaSignal struct {
+	// Replica is the replica's index; Name its configured label.
+	Replica int
+	Name    string
+	// Healthy reports whether the replica currently admits traffic.
+	Healthy bool
+	// BreakerOpens is the replica's cumulative open-transition count.
+	BreakerOpens int64
+	// EWMALatencySeconds is the replica's per-batch latency EWMA.
+	EWMALatencySeconds float64
+	// Weight is the replica's effective capacity weight.
+	Weight float64
 }
 
 // SizerSignal snapshots the sizer-facing health signal.
 func (r *Router) SizerSignal() SizerSignal {
-	sig := SizerSignal{BreakerOpens: r.breakerOpens.Load()}
-	for _, rep := range r.replicas {
+	sig := SizerSignal{
+		BreakerOpens: r.breakerOpens.Load(),
+		Replicas:     make([]ReplicaSignal, 0, len(r.replicas)),
+	}
+	for i, rep := range r.replicas {
 		rep.mu.Lock()
+		rs := ReplicaSignal{
+			Replica:            i,
+			Name:               rep.name,
+			Healthy:            rep.state != Open,
+			BreakerOpens:       rep.opens,
+			EWMALatencySeconds: rep.ewmaSeconds,
+			Weight:             capacityWeightLocked(rep),
+		}
 		if rep.state == Open {
 			sig.OpenBreakers++
 		} else {
@@ -588,6 +815,7 @@ func (r *Router) SizerSignal() SizerSignal {
 			}
 		}
 		rep.mu.Unlock()
+		sig.Replicas = append(sig.Replicas, rs)
 	}
 	return sig
 }

@@ -15,16 +15,26 @@ import (
 // fakeBackend is a controllable replica: deterministic detections, an
 // atomic kill switch and call counters.
 type fakeBackend struct {
-	name  string
-	dead  atomic.Bool
-	calls atomic.Int64
-	hints backend.Hints
+	name    string
+	dead    atomic.Bool
+	calls   atomic.Int64
+	biggest atomic.Int64 // largest batch seen
+	hints   backend.Hints
 	// delay simulates inference latency.
 	delay time.Duration
 }
 
+// maxSeen returns the largest batch (or slice) the replica served.
+func (f *fakeBackend) maxSeen() int64 { return f.biggest.Load() }
+
 func (f *fakeBackend) DetectBatch(ctx context.Context, class string, frames []int64) ([][]backend.Detection, error) {
 	f.calls.Add(1)
+	for {
+		cur := f.biggest.Load()
+		if int64(len(frames)) <= cur || f.biggest.CompareAndSwap(cur, int64(len(frames))) {
+			break
+		}
+	}
 	if f.dead.Load() {
 		return nil, fmt.Errorf("%s: connection refused", f.name)
 	}

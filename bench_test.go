@@ -22,6 +22,7 @@ import (
 
 	exsample "github.com/exsample/exsample"
 	"github.com/exsample/exsample/backend/httpbatch"
+	"github.com/exsample/exsample/backend/router"
 	"github.com/exsample/exsample/internal/perf"
 )
 
@@ -496,6 +497,93 @@ func BenchmarkAdaptiveRounds(b *testing.B) {
 				b.ReportMetric(float64(frames)/secs, "frames/s")
 			}
 		})
+	}
+}
+
+// BenchmarkHeteroFleet measures the capacity-aware router over a
+// heterogeneous fleet — one fast replica (500µs + 60µs/frame, MaxBatch 256,
+// weight 4) and three slower, smaller-batch ones (500µs + 80µs/frame,
+// MaxBatch 64, weight 3) — in its two modes. single routes each batch
+// whole to one replica, so every round is serialized at the fleet's min
+// MaxBatch on whichever replica wins the weighted pick; scatter splits the
+// round across all healthy replicas proportional to capacity and the round
+// costs one slice-time. Both arms push the same 2048-frame budget; the
+// frames/s spread is scatter-gather's win (see hetero_fleet_* in the perf
+// suite for the gated counterpart).
+func BenchmarkHeteroFleet(b *testing.B) {
+	spec := exsample.SynthSpec{
+		NumFrames:    200_000,
+		NumInstances: 40,
+		Class:        "car",
+		MeanDuration: 60,
+		SkewFraction: 1.0 / 16,
+		ChunkFrames:  10_000,
+		Seed:         27,
+	}
+	for _, arm := range []struct {
+		name    string
+		scatter bool
+	}{
+		{"single", false},
+		{"scatter", true},
+	} {
+		specs := make([]router.ReplicaSpec, 4)
+		for i := range specs {
+			twin, err := exsample.Synthesize(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				specs[i] = router.ReplicaSpec{
+					Backend: perf.SlowBackend(twin.Backend(), 500*time.Microsecond, 60*time.Microsecond, 256),
+					Name:    "fast",
+					Weight:  4,
+				}
+			} else {
+				specs[i] = router.ReplicaSpec{
+					Backend: perf.SlowBackend(twin.Backend(), 500*time.Microsecond, 80*time.Microsecond, 64),
+					Name:    fmt.Sprintf("slow-%d", i),
+					Weight:  3,
+				}
+			}
+		}
+		rtr, err := router.New(router.Config{Specs: specs, Scatter: arm.scatter})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds, err := exsample.Synthesize(spec, exsample.WithBackend(rtr))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(arm.name, func(b *testing.B) {
+			var frames int64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				eng, err := exsample.NewEngine(exsample.EngineOptions{
+					Workers:        2,
+					FramesPerRound: 256,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h, err := eng.Submit(context.Background(), ds,
+					exsample.Query{Class: "car", Limit: 1_000_000},
+					exsample.Options{Seed: uint64(i + 1), MaxFrames: 2048})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := h.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames += rep.FramesProcessed
+				eng.Close()
+			}
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(frames)/secs, "frames/s")
+			}
+		})
+		rtr.Close()
 	}
 }
 

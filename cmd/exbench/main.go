@@ -117,7 +117,7 @@ func main() {
 
 // compareMetrics are the headline throughput numbers the regression smoke
 // watches; higher is better for every one of them.
-var compareMetrics = []string{"frames/s", "results/kdetect", "vs-cold-x"}
+var compareMetrics = []string{"frames/s", "results/kdetect", "vs-cold-x", "vs-single-x"}
 
 // compareMetricSkips suppresses gating for metrics that are reported for
 // context but too noisy to regress on. The warm shared-tier row keeps its
@@ -134,7 +134,12 @@ var compareMetricSkips = map[string]map[string]bool{
 // ~25% run to run even averaged over eight ops; what the gate must catch
 // is the remote tier silently not serving — which collapses the ratio to
 // ~1x, far past any tolerance — so a wide band loses nothing.
-var compareMetricTols = map[string]float64{"vs-cold-x": 0.45}
+// vs-single-x divides two sleep-bound numbers measured on the same
+// machine in the same process, so it is steadier, but both arms share the
+// scheduler's wall clock; a 0.30 band still catches the failure that
+// matters — scatter silently degrading to single-replica routing, which
+// drags the ratio to ~1x.
+var compareMetricTols = map[string]float64{"vs-cold-x": 0.45, "vs-single-x": 0.30}
 
 // compareRows are the suite rows stable enough to gate on: the end-to-end
 // engine throughput row, the two scheduling arms (whose detector-call
@@ -162,6 +167,12 @@ var compareRows = map[string]bool{
 	// converting fleet overlap into cache hits.
 	"cache_aware_off": true,
 	"cache_aware_on":  true,
+	// The heterogeneous-fleet arms are sleep-bound like the slow-backend
+	// rows, so their frames/s is low-noise; the scatter row additionally
+	// gates vs-single-x, whose collapse toward 1x means scatter-gather
+	// stopped fanning batches out.
+	"hetero_fleet_single":  true,
+	"hetero_fleet_scatter": true,
 }
 
 // compareAllocRows gates allocs_per_op — lower is better — for the rows
@@ -183,6 +194,12 @@ var compareAllocRows = map[string]bool{
 	"sampler_decision_256":           true,
 	"engine_fairshare_mixedfleet":    true,
 	"engine_globalbudget_mixedfleet": true,
+	// The heterogeneous-fleet arms process a fixed 2048-frame budget over a
+	// fixed round schedule, so their allocation profile is as deterministic
+	// as the scheduling arms'; gating them pins the per-round cost of the
+	// weighted pick and the scatter fan-out (slice bookkeeping, goroutines).
+	"hetero_fleet_single":  true,
+	"hetero_fleet_scatter": true,
 }
 
 // compareBench runs the perf suite fresh and fails when any watched metric

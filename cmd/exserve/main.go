@@ -13,6 +13,7 @@
 //	        [-budget 0] [-floor 1] [-shards 1] [-cache 0]
 //	        [-cache-remote URL] [-cache-warm] [-cache-aware]
 //	        [-backend sim|http] [-endpoint URL] [-replicas 1]
+//	        [-replica-weight W1,W2,...] [-scatter]
 //	        [-churn 0] [-admin addr]
 //
 // -shards N composes each profile from N independently generated shards
@@ -57,7 +58,13 @@
 // backend/router health-checked router over R equivalent loopback
 // replicas: a replica dying mid-run sheds load to its siblings instead of
 // failing queries, and the run ends with a per-replica health/failover
-// table (state, traffic, EWMA latency, last error).
+// table (state, traffic, weight, slices, EWMA latency, last error).
+// -replica-weight W1,...,WR declares the replicas' relative capacities
+// (one weight per replica; unweighted fleets derive capacity from observed
+// per-frame latency), and -scatter turns on scatter-gather: each batch is
+// split across the healthy replicas proportional to capacity and
+// reassembled in order, so a round costs one slice-time instead of one
+// whole-batch-time — the heterogeneous-fleet throughput path.
 //
 // Fleet churn: with -shards > 1, a SIGHUP (or -churn D after delay D, or
 // POST /admin/churn when -admin is set) runs a live add/drain cycle on
@@ -86,13 +93,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	exsample "github.com/exsample/exsample"
-	"github.com/exsample/exsample/backend"
 	"github.com/exsample/exsample/backend/httpbatch"
 	"github.com/exsample/exsample/backend/router"
 	"github.com/exsample/exsample/cachestore/httpcache"
@@ -118,6 +125,8 @@ func main() {
 	flag.StringVar(&cfg.backend, "backend", "sim", "detector backend: sim (in-process) or http (httpbatch wire protocol)")
 	flag.StringVar(&cfg.endpoint, "endpoint", "", "external httpbatch endpoint URL (http backend only; empty = per-shard loopback servers)")
 	flag.IntVar(&cfg.replicas, "replicas", 1, "replica endpoints per shard behind a health-checked router (http loopback mode)")
+	flag.StringVar(&cfg.replicaWeight, "replica-weight", "", "comma-separated relative capacity weights, one per replica (requires -replicas > 1; empty = derive from observed latency)")
+	flag.BoolVar(&cfg.scatter, "scatter", false, "scatter-gather: split each batch across healthy replicas proportional to capacity (requires -replicas > 1)")
 	flag.DurationVar(&cfg.churn, "churn", 0, "run one add/drain churn cycle this long after the queries start (0 = off; requires -shards > 1)")
 	flag.StringVar(&cfg.admin, "admin", "", "serve /healthz and /admin/{add,drain,churn} on this address (e.g. 127.0.0.1:8080)")
 	flag.BoolVar(&cfg.track, "trackquery", false, "track-predicate demo: MIRIS-style accelerate/refine queries (one per source class) instead of distinct-object queries")
@@ -166,8 +175,13 @@ type config struct {
 	backend     string
 	endpoint    string
 	replicas    int
-	churn       time.Duration
-	admin       string
+	// Heterogeneous-fleet knobs: the raw -replica-weight flag, its parsed
+	// form (set during validation) and the scatter-gather toggle.
+	replicaWeight string
+	weights       []float64
+	scatter       bool
+	churn         time.Duration
+	admin         string
 	// churnSignal, when non-nil, triggers an add/drain cycle per receive
 	// (wired to SIGHUP by main; tests poke it directly).
 	churnSignal <-chan os.Signal
@@ -304,8 +318,7 @@ func (f *fleetState) openShard(name string, shardIdx int, seed uint64, cfg confi
 	if f.shared != nil {
 		return exsample.OpenProfile(name, cfg.scale, seed, exsample.WithBackend(f.shared))
 	}
-	replicas := make([]backend.Backend, cfg.replicas)
-	names := make([]string, cfg.replicas)
+	specs := make([]router.ReplicaSpec, cfg.replicas)
 	for r := 0; r < cfg.replicas; r++ {
 		twin, err := exsample.OpenProfile(name, cfg.scale, seed)
 		if err != nil {
@@ -320,17 +333,19 @@ func (f *fleetState) openShard(name string, shardIdx int, seed uint64, cfg confi
 		if err != nil {
 			return nil, err
 		}
-		replicas[r] = client
-		names[r] = fmt.Sprintf("%s/s%d/r%d", name, shardIdx, r)
+		specs[r] = router.ReplicaSpec{Backend: client, Name: fmt.Sprintf("%s/s%d/r%d", name, shardIdx, r)}
+		if len(cfg.weights) > 0 {
+			specs[r].Weight = cfg.weights[r]
+		}
 		f.mu.Lock()
 		f.backends = append(f.backends, backendStat{profile: name, shard: shardIdx, replica: r, client: client})
 		f.mu.Unlock()
 	}
 	if cfg.replicas == 1 {
 		// Single endpoint: no router in the path, exactly the PR 3 shape.
-		return exsample.OpenProfile(name, cfg.scale, seed, exsample.WithBackend(replicas[0]))
+		return exsample.OpenProfile(name, cfg.scale, seed, exsample.WithBackend(specs[0].Backend))
 	}
-	rt, err := router.New(router.Config{Replicas: replicas, Names: names})
+	rt, err := router.New(router.Config{Specs: specs, Scatter: cfg.scatter})
 	if err != nil {
 		return nil, err
 	}
@@ -440,6 +455,8 @@ func (f *fleetState) adminHandler(w io.Writer, cfg config) http.Handler {
 			State    string  `json:"state"`
 			Requests int64   `json:"requests"`
 			Failures int64   `json:"failures"`
+			Weight   float64 `json:"weight,omitempty"`
+			Slices   int64   `json:"slices,omitempty"`
 			EWMAms   float64 `json:"ewma_ms"`
 			LastErr  string  `json:"last_error,omitempty"`
 		}
@@ -447,6 +464,7 @@ func (f *fleetState) adminHandler(w io.Writer, cfg config) http.Handler {
 			Profile   string          `json:"profile"`
 			Shard     int             `json:"shard"`
 			Failovers int64           `json:"failovers"`
+			Scatters  int64           `json:"scatters,omitempty"`
 			Replicas  []replicaHealth `json:"replicas"`
 		}
 		var payload struct {
@@ -467,11 +485,13 @@ func (f *fleetState) adminHandler(w io.Writer, cfg config) http.Handler {
 			payload.Sources = append(payload.Sources, sh)
 		}
 		for _, rs := range routers {
-			rh := routerHealth{Profile: rs.profile, Shard: rs.shard, Failovers: rs.router.Failovers()}
+			rh := routerHealth{Profile: rs.profile, Shard: rs.shard,
+				Failovers: rs.router.Failovers(), Scatters: rs.router.Scatters()}
 			for _, st := range rs.router.Stats() {
 				rh.Replicas = append(rh.Replicas, replicaHealth{
 					Name: st.Name, State: st.State.String(), Requests: st.Requests,
-					Failures: st.Failures, EWMAms: st.EWMALatencySeconds * 1e3, LastErr: st.LastErr,
+					Failures: st.Failures, Weight: st.Weight, Slices: st.Slices,
+					EWMAms: st.EWMALatencySeconds * 1e3, LastErr: st.LastErr,
 				})
 			}
 			payload.Routers = append(payload.Routers, rh)
@@ -731,6 +751,26 @@ func run(w io.Writer, cfg config) error {
 	if cfg.replicas > 1 && (cfg.backend != "http" || cfg.endpoint != "") {
 		return fmt.Errorf("-replicas requires -backend http without -endpoint (the router fronts loopback replicas)")
 	}
+	if cfg.scatter && cfg.replicas <= 1 {
+		return fmt.Errorf("-scatter requires -replicas > 1")
+	}
+	if cfg.replicaWeight != "" {
+		if cfg.replicas <= 1 {
+			return fmt.Errorf("-replica-weight requires -replicas > 1")
+		}
+		parts := strings.Split(cfg.replicaWeight, ",")
+		if len(parts) != cfg.replicas {
+			return fmt.Errorf("-replica-weight lists %d weights, want one per replica (%d)", len(parts), cfg.replicas)
+		}
+		cfg.weights = make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("-replica-weight %q: weights must be positive numbers", p)
+			}
+			cfg.weights[i] = v
+		}
+	}
 	if cfg.churn > 0 && cfg.shards <= 1 {
 		return fmt.Errorf("-churn requires -shards > 1")
 	}
@@ -981,13 +1021,13 @@ func run(w io.Writer, cfg config) error {
 	}
 	if len(routers) > 0 {
 		fmt.Fprintf(w, "\nrouter health/failover:\n")
-		fmt.Fprintf(w, "%-20s %-9s %8s %8s %8s %9s %9s  %s\n",
-			"replica", "state", "requests", "success", "failures", "failover", "ewma-ms", "last-error")
+		fmt.Fprintf(w, "%-20s %-9s %6s %8s %8s %8s %8s %9s %8s %9s  %s\n",
+			"replica", "state", "weight", "requests", "success", "failures", "slices", "failover", "scatter", "ewma-ms", "last-error")
 		for _, rs := range routers {
 			for _, rst := range rs.router.Stats() {
-				fmt.Fprintf(w, "%-20s %-9s %8d %8d %8d %9d %9.2f  %s\n",
-					rst.Name, rst.State.String(), rst.Requests, rst.Successes, rst.Failures,
-					rs.router.Failovers(), rst.EWMALatencySeconds*1e3, rst.LastErr)
+				fmt.Fprintf(w, "%-20s %-9s %6.1f %8d %8d %8d %8d %9d %8d %9.2f  %s\n",
+					rst.Name, rst.State.String(), rst.Weight, rst.Requests, rst.Successes, rst.Failures,
+					rst.Slices, rs.router.Failovers(), rs.router.Scatters(), rst.EWMALatencySeconds*1e3, rst.LastErr)
 			}
 		}
 	}

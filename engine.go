@@ -496,6 +496,7 @@ func (e *Engine) submitRun(ctx context.Context, src Source, run *queryRun, stand
 			sq.breakerOpens = run.src.breakerOpens
 			sq.lastOpens = sq.breakerOpens()
 		}
+		sq.scope.seed(run.src, fleet)
 		iq = sq
 		if standing {
 			iq = &sizedStandingQuery{sizedQuery: sq}
@@ -846,6 +847,16 @@ func (q *engineQuery) AffinityKey(frame int64) uint64 {
 	return src.id<<16 | uint64(src.shardOf(frame))&0xffff
 }
 
+// shardAffinityKey maps a shard index to the affinity key AffinityKey
+// would produce for that shard's frames — the key the sizer fleet files
+// the shard's quota controllers under.
+func shardAffinityKey(src *querySource, shard int) uint64 {
+	if src.shardOf == nil {
+		return src.id << 16
+	}
+	return src.id<<16 | uint64(shard)&0xffff
+}
+
 func (q *engineQuery) Apply(frame int64, dets any) (bool, error) {
 	p := q.pending[0]
 	q.pending = q.pending[1:]
@@ -894,20 +905,89 @@ type sizedQuery struct {
 	// when no backend reports capacity); lastOpens is the edge detector.
 	breakerOpens func() int64
 	lastOpens    int64
+	// scope attributes capacity-loss edges to (shard, replica).
+	scope capacityScope
 }
 
 // RoundQuota implements engine.Sized: it folds any breaker-open events
 // since the last round into the controller (capacity loss shrinks
 // multiplicatively before the next propose) and returns the fleet's
-// current quota.
+// current quota. The cheap aggregate counter is the edge detector; only
+// on an edge does the scope do per-replica attribution.
 func (q *sizedQuery) RoundQuota(base int) int {
 	if q.breakerOpens != nil {
 		if n := q.breakerOpens(); n > q.lastOpens {
 			q.lastOpens = n
-			q.sizer.CapacityLoss()
+			q.scope.loss(q.run.src, q.sizer)
 		}
 	}
 	return q.sizer.Quota()
+}
+
+// capacityScope attributes a query's breaker-open edges to the specific
+// (shard, replica) controller that should shrink, by diffing per-replica
+// open counts between edges. Anything it cannot attribute — a shard
+// whose backend exposes no per-replica detail, or an edge whose
+// per-replica diff shows nothing new — falls back to shrinking every
+// controller, the pre-scoping behavior.
+type capacityScope struct {
+	// last maps shard index → per-replica opens at the last edge (or at
+	// seeding time). A shard first sighted mid-run is baselined, not
+	// charged: its historical opens predate this query's view.
+	last map[int][]int64
+}
+
+// seed snapshots the per-replica baselines and registers per-replica
+// quota controllers for every scatter-enabled shard. Called once at
+// submit, before the first round.
+func (cs *capacityScope) seed(src *querySource, fleet *sizer.Fleet) {
+	if src.replicaFleets == nil {
+		return
+	}
+	fleets := src.replicaFleets()
+	if len(fleets) == 0 {
+		return
+	}
+	cs.last = make(map[int][]int64, len(fleets))
+	for _, rf := range fleets {
+		cs.last[rf.shard] = append([]int64(nil), rf.opens...)
+		if rf.scatter && len(rf.weights) > 1 {
+			fleet.SeedReplicas(shardAffinityKey(src, rf.shard), rf.weights)
+		}
+	}
+}
+
+// loss handles one aggregate breaker-open edge.
+func (cs *capacityScope) loss(src *querySource, fleet *sizer.Fleet) {
+	if src.replicaFleets == nil {
+		fleet.CapacityLossAll()
+		return
+	}
+	attributed := false
+	for _, rf := range src.replicaFleets() {
+		prev, seen := cs.last[rf.shard]
+		if !seen {
+			if cs.last == nil {
+				cs.last = make(map[int][]int64)
+			}
+			cs.last[rf.shard] = append([]int64(nil), rf.opens...)
+			continue
+		}
+		for ri, n := range rf.opens {
+			var p int64
+			if ri < len(prev) {
+				p = prev[ri]
+			}
+			if n > p {
+				fleet.CapacityLoss(shardAffinityKey(src, rf.shard), ri)
+				attributed = true
+			}
+		}
+		cs.last[rf.shard] = append(prev[:0], rf.opens...)
+	}
+	if !attributed {
+		fleet.CapacityLossAll()
+	}
 }
 
 // ObserveBatch implements engine.Sized: one successfully dispatched

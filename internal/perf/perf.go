@@ -18,6 +18,7 @@ import (
 
 	exsample "github.com/exsample/exsample"
 	"github.com/exsample/exsample/backend"
+	"github.com/exsample/exsample/backend/router"
 	"github.com/exsample/exsample/cachestore"
 	"github.com/exsample/exsample/cachestore/httpcache"
 )
@@ -466,6 +467,102 @@ func RunSuite() (*Snapshot, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		snap.Suite = append(snap.Suite, res)
+	}
+
+	// Heterogeneous fleet: one fast replica (weight 4) and three slower,
+	// smaller-batch ones (weight 3 each) behind the capacity-aware router,
+	// single-replica routing versus scatter-gather over the same frame
+	// budget. In single mode every 256-frame round splits at the fleet's
+	// min MaxBatch and runs serially on whichever replica the router picks;
+	// in scatter mode the round crosses the router whole and fans out
+	// proportional to capacity, so the round takes one slice-time instead
+	// of a sum of batch-times. The scatter row's frames/s multiple over the
+	// single row — recorded as vs-single-x — is the fleet tier's
+	// acceptance metric (>= 2.5x by construction of the latency model).
+	//
+	// The source is deliberately sparse and coarsely chunked (20 chunks):
+	// sampler decision time is additive to both arms, so keeping it small
+	// relative to the simulated backend latency is what lets the ratio
+	// reflect the router rather than the scheduler.
+	heteroSpec := exsample.SynthSpec{
+		NumFrames:    200_000,
+		NumInstances: 40,
+		Class:        "car",
+		MeanDuration: 60,
+		SkewFraction: 1.0 / 16,
+		ChunkFrames:  10_000,
+		Seed:         27,
+	}
+	heteroFleet := func(scatter bool) (*exsample.Dataset, *router.Router, error) {
+		specs := make([]router.ReplicaSpec, 4)
+		for i := range specs {
+			twin, err := exsample.Synthesize(heteroSpec)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Weight 4:3 matches the per-frame cost ratio (60µs vs 80µs),
+			// so scatter shares finish near-simultaneously; the slow
+			// replicas' MaxBatch 64 drags the fleet-wide single-mode batch
+			// ceiling down to 64 (min across replicas), exactly the
+			// lowest-common-denominator tax scatter mode exists to remove.
+			if i == 0 {
+				specs[i] = router.ReplicaSpec{
+					Backend: SlowBackend(twin.Backend(), 500*time.Microsecond, 60*time.Microsecond, 256),
+					Name:    "fast",
+					Weight:  4,
+				}
+			} else {
+				specs[i] = router.ReplicaSpec{
+					Backend: SlowBackend(twin.Backend(), 500*time.Microsecond, 80*time.Microsecond, 64),
+					Name:    fmt.Sprintf("slow-%d", i),
+					Weight:  3,
+				}
+			}
+		}
+		r, err := router.New(router.Config{Specs: specs, Scatter: scatter})
+		if err != nil {
+			return nil, nil, err
+		}
+		ds, err := exsample.Synthesize(heteroSpec, exsample.WithBackend(r))
+		if err != nil {
+			r.Close()
+			return nil, nil, err
+		}
+		return ds, r, nil
+	}
+	var singleFS float64
+	for _, arm := range []struct {
+		name    string
+		scatter bool
+	}{
+		{"hetero_fleet_single", false},
+		{"hetero_fleet_scatter", true},
+	} {
+		ds, rtr, err := heteroFleet(arm.scatter)
+		if err != nil {
+			return nil, err
+		}
+		hseed := uint64(600)
+		res, merr := measure(arm.name, 3, func() (map[string]float64, error) {
+			// Frame-budgeted, one query: both arms pay for the same 2048
+			// frames; only how the router spends the fleet differs. The
+			// warmup op also warms the router's EWMAs past cold start, so
+			// the measured single-mode ops route to the settled replica.
+			return engineOp(ds, "car", 1, 1_000_000,
+				exsample.EngineOptions{Workers: 2, FramesPerRound: 256}, 2048, &hseed)
+		})
+		rtr.Close()
+		if merr != nil {
+			return nil, merr
+		}
+		if arm.scatter {
+			if singleFS > 0 {
+				res.Metrics["vs-single-x"] = res.Metrics["frames/s"] / singleFS
+			}
+		} else {
+			singleFS = res.Metrics["frames/s"]
 		}
 		snap.Suite = append(snap.Suite, res)
 	}

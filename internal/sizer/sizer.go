@@ -256,19 +256,98 @@ func (c *Controller) shrink(capacity bool) {
 	}
 }
 
-// Fleet is the engine-facing controller set for one query: one Controller
-// per backend key (the scheduler's shard-affinity key), created lazily on
-// first observation. The query's round quota is the MINIMUM across its
-// controllers — the slowest backend gates the round's wall time, so it
-// gates the quota too. Fleet is safe for concurrent use: quota reads come
-// from stats surfaces while the scheduler observes batches.
+// ReplicaAll is the replica index for observations and capacity-loss
+// events that cannot be attributed to one replica of a backend key — the
+// single-controller layout every key has until SeedReplicas declares its
+// fleet shape.
+const ReplicaAll = -1
+
+// keyCtrs is one backend key's controller set: a single unattributed
+// (ReplicaAll) controller by default, or one controller per replica once
+// SeedReplicas declares the key fronts a heterogeneous fleet. The slices
+// run parallel: reps[i] is the replica index ctrs[i] controls.
+type keyCtrs struct {
+	key     uint64
+	reps    []int
+	ctrs    []*Controller
+	weights []float64 // static capacity shares (nil = single-controller)
+	wsum    float64
+	shares  []int     // Observe split scratch
+	fracs   []float64 // largest-remainder scratch
+}
+
+// ctrFor returns the controller for a replica index, nil when absent.
+func (kc *keyCtrs) ctrFor(replica int) *Controller {
+	for i, r := range kc.reps {
+		if r == replica {
+			return kc.ctrs[i]
+		}
+	}
+	return nil
+}
+
+// quotaSum is the key's round quota: the sum across its replica
+// controllers (a scattered batch is served by all of them at once),
+// capped at the fleet ceiling.
+func (kc *keyCtrs) quotaSum(max int) int {
+	total := 0
+	for _, c := range kc.ctrs {
+		total += c.Quota()
+	}
+	if total > max {
+		total = max
+	}
+	return total
+}
+
+// split distributes frames across the key's replica controllers
+// proportional to the STATIC seed weights by largest remainder (ties to
+// the lowest index — deterministic). The static weights mirror how the
+// router actually slices a scattered batch; splitting by live quotas
+// instead would spiral (a shrunken controller's smaller share reads as
+// higher per-frame latency, shrinking it further). Callers hold the
+// fleet lock; the returned slice is kc scratch.
+func (kc *keyCtrs) split(frames int) []int {
+	n := len(kc.weights)
+	if kc.shares == nil {
+		kc.shares = make([]int, n)
+		kc.fracs = make([]float64, n)
+	}
+	assigned := 0
+	for i, w := range kc.weights {
+		ideal := float64(frames) * w / kc.wsum
+		s := int(ideal)
+		kc.shares[i] = s
+		kc.fracs[i] = ideal - float64(s)
+		assigned += s
+	}
+	for assigned < frames {
+		best := 0
+		for i := 1; i < n; i++ {
+			if kc.fracs[i] > kc.fracs[best] {
+				best = i
+			}
+		}
+		kc.shares[best]++
+		kc.fracs[best]--
+		assigned++
+	}
+	return kc.shares
+}
+
+// Fleet is the engine-facing controller set for one query: one controller
+// per (backend key, replica), created lazily on first observation —
+// per-key only (ReplicaAll) until SeedReplicas declares a key's replica
+// fleet. The query's round quota is the MINIMUM across its keys — the
+// slowest backend gates the round's wall time, so it gates the quota too
+// — where a seeded key's own quota is the SUM across its replica
+// controllers. Fleet is safe for concurrent use: quota reads come from
+// stats surfaces while the scheduler observes batches.
 type Fleet struct {
 	mu    sync.Mutex
 	cfg   Config
-	ctrs  map[uint64]*Controller
-	ctr0  *Controller // fast path: the first (and usually only) key
-	key0  uint64
-	quota atomic.Int64 // cached min across controllers
+	keys  []*keyCtrs   // tiny (one per shard-affinity key): linear scan
+	quota atomic.Int64 // cached min across keys
 
 	counters *Counters
 }
@@ -287,73 +366,192 @@ func NewFleet(cfg Config, counters *Counters) (*Fleet, error) {
 }
 
 // Quota returns the query's current per-round quota: the minimum across
-// its per-backend controllers, cfg.Min before any observation.
+// its per-backend-key quotas, cfg.Min before any observation.
 func (f *Fleet) Quota() int { return int(f.quota.Load()) }
 
-// Observe feeds one successful batch observation for the given backend
-// key.
-func (f *Fleet) Observe(key uint64, frames int, seconds float64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	c := f.controller(key)
-	if c == nil {
+// SeedReplicas declares that key's backend fronts a fleet of
+// len(weights) replicas with the given static capacity shares (the
+// router's scatter split), so the key learns one AIMD quota per replica:
+// each controller starts from its proportional share of cfg.Min and may
+// grow to its share of cfg.Max, and CapacityLoss can shrink one
+// replica's controller without touching its siblings. Idempotent; a
+// no-op for fewer than two replicas or a key that already has
+// controllers.
+func (f *Fleet) SeedReplicas(key uint64, weights []float64) {
+	if len(weights) < 2 {
 		return
 	}
-	c.Observe(frames, seconds)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if kc := f.findKey(key); kc != nil {
+		return
+	}
+	n := len(weights)
+	ws := make([]float64, n)
+	var wsum float64
+	for i, w := range weights {
+		if w <= 0 {
+			w = 1
+		}
+		ws[i] = w
+		wsum += w
+	}
+	kc := &keyCtrs{key: key, weights: ws, wsum: wsum}
+	// Proportional floors (each at least 1 so every controller is a
+	// valid AIMD instance), remainders to the largest fractional shares.
+	mins := make([]int, n)
+	fracs := make([]float64, n)
+	assigned := 0
+	for i, w := range ws {
+		ideal := float64(f.cfg.Min) * w / wsum
+		s := int(ideal)
+		if s < 1 {
+			s = 1
+		}
+		mins[i] = s
+		fracs[i] = ideal - float64(s)
+		assigned += s
+	}
+	for assigned < f.cfg.Min {
+		best := 0
+		for i := 1; i < n; i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		mins[best]++
+		fracs[best]--
+		assigned++
+	}
+	for i, w := range ws {
+		cfg := f.cfg
+		cfg.Min = mins[i]
+		cfg.Max = int(float64(f.cfg.Max)*w/wsum + 0.999999)
+		if cfg.Max < cfg.Min {
+			cfg.Max = cfg.Min
+		}
+		c, err := NewController(cfg, f.counters)
+		if err != nil {
+			return // cannot happen: derived from a validated config
+		}
+		kc.reps = append(kc.reps, i)
+		kc.ctrs = append(kc.ctrs, c)
+	}
+	f.keys = append(f.keys, kc)
 	f.recompute()
 }
 
-// CapacityLoss shrinks every controller — the fleet cannot attribute a
-// breaker-open event to one backend key, and losing a server anywhere
-// reduces the capacity the round competes for.
-func (f *Fleet) CapacityLoss() {
+// Observe feeds one successful batch observation for the given backend
+// key. For a seeded key the frames are split across the replica
+// controllers by the static seed weights — each replica served its share
+// of the scattered batch within the same wall time.
+func (f *Fleet) Observe(key uint64, frames int, seconds float64) {
+	if frames <= 0 || seconds < 0 {
+		return
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.ctr0 == nil {
-		// No observations yet: record the event against a synthetic
-		// controller so the shrink applies as soon as sizing starts... a
-		// quota already at Min has nothing to shrink; just count the event.
+	kc := f.keyFor(key)
+	if kc == nil {
+		return
+	}
+	if len(kc.weights) == 0 {
+		kc.ctrs[0].Observe(frames, seconds)
+	} else {
+		shares := kc.split(frames)
+		for i, s := range shares {
+			if s > 0 {
+				kc.ctrs[i].Observe(s, seconds)
+			}
+		}
+	}
+	f.recompute()
+}
+
+// CapacityLoss shrinks the controller for the given (key, replica) — the
+// signalled replica's breaker opened, so only its share of the round
+// quota is unsustainable; siblings (and other keys) keep their learned
+// quotas. Events for a key without per-replica controllers shrink the
+// key's unattributed controller; events for an unknown key are counted
+// but shrink nothing (there is no quota to shrink yet).
+func (f *Fleet) CapacityLoss(key uint64, replica int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if kc := f.findKey(key); kc != nil {
+		c := kc.ctrFor(replica)
+		if c == nil {
+			c = kc.ctrFor(ReplicaAll)
+		}
+		if c == nil && len(kc.ctrs) > 0 {
+			c = kc.ctrs[0]
+		}
+		if c != nil {
+			c.CapacityLoss()
+			f.recompute()
+			return
+		}
+	}
+	if f.counters != nil {
+		f.counters.CapacityLosses.Add(1)
+	}
+}
+
+// CapacityLossAll shrinks every controller — for capacity-loss events
+// that cannot be attributed to one backend key or replica: losing a
+// server somewhere reduces the capacity every round competes for.
+func (f *Fleet) CapacityLossAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.keys) == 0 {
+		// No observations yet: a quota already at Min has nothing to
+		// shrink; just count the event.
 		if f.counters != nil {
 			f.counters.CapacityLosses.Add(1)
 		}
 		return
 	}
-	f.ctr0.CapacityLoss()
-	for _, c := range f.ctrs {
-		c.CapacityLoss()
+	for _, kc := range f.keys {
+		for _, c := range kc.ctrs {
+			c.CapacityLoss()
+		}
 	}
 	f.recompute()
 }
 
-// controller returns (creating if needed) the controller for key. Callers
+// findKey returns the key's controller set, nil when absent. Callers
 // hold f.mu.
-func (f *Fleet) controller(key uint64) *Controller {
-	if f.ctr0 != nil && f.key0 == key {
-		return f.ctr0
+func (f *Fleet) findKey(key uint64) *keyCtrs {
+	for _, kc := range f.keys {
+		if kc.key == key {
+			return kc
+		}
 	}
-	if c, ok := f.ctrs[key]; ok {
-		return c
+	return nil
+}
+
+// keyFor returns (creating a single-controller set if needed) the
+// controller set for key. Callers hold f.mu.
+func (f *Fleet) keyFor(key uint64) *keyCtrs {
+	if kc := f.findKey(key); kc != nil {
+		return kc
 	}
 	c, err := NewController(f.cfg, f.counters)
 	if err != nil {
 		return nil
 	}
-	if f.ctr0 == nil {
-		f.ctr0, f.key0 = c, key
-		return c
-	}
-	if f.ctrs == nil {
-		f.ctrs = make(map[uint64]*Controller)
-	}
-	f.ctrs[key] = c
-	return c
+	kc := &keyCtrs{key: key, reps: []int{ReplicaAll}, ctrs: []*Controller{c}}
+	f.keys = append(f.keys, kc)
+	return kc
 }
 
-// recompute refreshes the cached min quota. Callers hold f.mu.
+// recompute refreshes the cached min-across-keys quota. Callers hold
+// f.mu.
 func (f *Fleet) recompute() {
-	min := f.ctr0.Quota()
-	for _, c := range f.ctrs {
-		if q := c.Quota(); q < min {
+	min := f.cfg.Min
+	for i, kc := range f.keys {
+		q := kc.quotaSum(f.cfg.Max)
+		f.counters.notePeak(q)
+		if i == 0 || q < min {
 			min = q
 		}
 	}

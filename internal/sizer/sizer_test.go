@@ -160,9 +160,107 @@ func TestFleetMinAcrossBackends(t *testing.T) {
 	if got := f.Quota(); got > 8 {
 		t.Fatalf("fleet quota %d not gated by the inflating backend", got)
 	}
-	f.CapacityLoss()
+	f.CapacityLossAll()
 	if counters.CapacityLosses.Load() == 0 {
-		t.Fatal("CapacityLoss not counted")
+		t.Fatal("CapacityLossAll not counted")
+	}
+}
+
+// TestFleetScopedCapacityLoss: with per-replica controllers seeded, a
+// capacity-loss event scoped to one replica shrinks only that replica's
+// controller — the unaffected sibling's quota keeps growing on the same
+// flat trace, and the key's summed quota stays strictly above what an
+// unscoped shrink-everything fleet is left with. The traces are fixed, so
+// the quota schedules are golden.
+func TestFleetScopedCapacityLoss(t *testing.T) {
+	var scopedC, allC Counters
+	cfg := Config{Min: 8, Max: 64}
+	scoped, err := NewFleet(cfg, &scopedC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := NewFleet(cfg, &allC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := []float64{1, 1}
+	scoped.SeedReplicas(7, weights)
+	all.SeedReplicas(7, weights)
+	flat := func(f *Fleet, rounds int) {
+		for i := 0; i < rounds; i++ {
+			f.Observe(7, f.Quota(), 0.001*float64(f.Quota()))
+		}
+	}
+	flat(scoped, 12)
+	flat(all, 12)
+	grown := scoped.Quota()
+	if grown != all.Quota() {
+		t.Fatalf("identical traces diverged before the loss: scoped %d, all %d", grown, all.Quota())
+	}
+	if grown <= cfg.Min {
+		t.Fatalf("seeded fleet never grew: quota %d", grown)
+	}
+	// Replica 1's breaker opens. Scoped: only its controller halves.
+	scoped.CapacityLoss(7, 1)
+	all.CapacityLossAll()
+	if scopedC.CapacityLosses.Load() != 1 {
+		t.Fatalf("scoped CapacityLosses = %d, want 1", scopedC.CapacityLosses.Load())
+	}
+	afterScoped, afterAll := scoped.Quota(), all.Quota()
+	if afterScoped >= grown {
+		t.Fatalf("scoped loss did not shrink: %d -> %d", grown, afterScoped)
+	}
+	if afterScoped <= afterAll {
+		t.Fatalf("scoped loss (%d) should keep more quota than shrink-everything (%d)", afterScoped, afterAll)
+	}
+	// The unaffected replica keeps growing: the next flat rounds must
+	// raise the summed quota every step until replica 0 is back at its
+	// pre-loss level plus growth — impossible if the shrink had hit it.
+	prev := afterScoped
+	for i := 0; i < 4; i++ {
+		scoped.Observe(7, scoped.Quota(), 0.001*float64(scoped.Quota()))
+		if q := scoped.Quota(); q <= prev {
+			t.Fatalf("round %d after scoped loss: quota %d did not grow past %d", i, q, prev)
+		} else {
+			prev = q
+		}
+	}
+	// A loss attributed to a replica the key never seeded falls back to
+	// shrinking something rather than nothing, and an unknown key only
+	// counts the event.
+	scoped.CapacityLoss(99, 0)
+	if scopedC.CapacityLosses.Load() != 2 {
+		t.Fatalf("unknown-key loss not counted: %d", scopedC.CapacityLosses.Load())
+	}
+	if q := scoped.Quota(); q != prev {
+		t.Fatalf("unknown-key loss changed the quota: %d -> %d", prev, q)
+	}
+}
+
+// TestFleetSeededSplitMatchesSingle: a seeded key fed the same flat trace
+// as an unseeded one converges to the same summed quota — per-replica
+// bookkeeping must not change how much total capacity a healthy fleet
+// discovers.
+func TestFleetSeededSplitMatchesSingle(t *testing.T) {
+	cfg := Config{Min: 8, Max: 64}
+	seeded, err := NewFleet(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewFleet(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded.SeedReplicas(1, []float64{4, 3, 3, 3})
+	for i := 0; i < 200; i++ {
+		seeded.Observe(1, seeded.Quota(), 0.001*float64(seeded.Quota()))
+		plain.Observe(1, plain.Quota(), 0.001*float64(plain.Quota()))
+	}
+	if got := plain.Quota(); got != cfg.Max {
+		t.Fatalf("plain fleet stopped at %d, want Max %d", got, cfg.Max)
+	}
+	if got := seeded.Quota(); got != cfg.Max {
+		t.Fatalf("seeded fleet stopped at %d, want Max %d", got, cfg.Max)
 	}
 }
 

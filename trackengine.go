@@ -56,6 +56,7 @@ func (e *Engine) SubmitTrack(ctx context.Context, src Source, p TrackPredicate, 
 			sq.breakerOpens = run.src.breakerOpens
 			sq.lastOpens = sq.breakerOpens()
 		}
+		sq.scope.seed(run.src, fleet)
 		iq = sq
 	}
 	inner, err := e.inner.Submit(iq)
@@ -253,6 +254,9 @@ type trackSizedQuery struct {
 	*trackEngineQuery
 	breakerOpens func() int64
 	lastOpens    int64
+	// scope attributes capacity-loss edges to (shard, replica), exactly
+	// as sizedQuery does.
+	scope capacityScope
 }
 
 // RoundQuota implements engine.Sized.
@@ -260,7 +264,7 @@ func (q *trackSizedQuery) RoundQuota(base int) int {
 	if q.breakerOpens != nil {
 		if n := q.breakerOpens(); n > q.lastOpens {
 			q.lastOpens = n
-			q.sizer.CapacityLoss()
+			q.scope.loss(q.run.src, q.sizer)
 		}
 	}
 	return q.sizer.Quota()
